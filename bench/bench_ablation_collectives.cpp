@@ -1,0 +1,65 @@
+// Ablation: collective-algorithm cost models.
+//
+// The paper charges an allreduce as log(P) messages and n*log(P) words
+// (Table 1).  Production MPI libraries use Rabenseifner-style algorithms
+// with 2n(P-1)/P words.  This ablation recosts the same RC-SFISTA
+// trajectory under the three models to show which conclusions are
+// model-robust (the k-fold latency reduction) and which shift (absolute
+// bandwidth share).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rcf;
+
+  CliParser cli("bench_ablation_collectives", "collective-model ablation");
+  bench::add_common_flags(cli);
+  cli.add_flag("iters", "max iterations", "300");
+  cli.add_flag("tol", "relative-error tolerance", "0.01");
+  cli.add_flag("procs", "processor count", "256");
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+  bench::print_banner(
+      "Ablation: allreduce cost model (paper logP vs Rabenseifner vs tree)",
+      "the k-fold latency reduction is model-independent; bandwidth shares "
+      "shift");
+
+  const double tol = cli.get_double("tol", 0.01);
+  const int procs = static_cast<int>(cli.get_int("procs", 256));
+  const model::MachineSpec machine = bench::requested_machine(cli);
+
+  for (const auto& name : bench::requested_datasets(cli, "covtype,mnist")) {
+    const bench::BenchProblem bp = bench::make_bench_problem(cli, name);
+    const std::size_t d = bp.dataset().num_features();
+
+    AsciiTable table({"model", "k", "t_tol (s)", "speedup vs k=1"});
+    for (const auto collective :
+         {model::CollectiveModel::kPaperLogP,
+          model::CollectiveModel::kRabenseifner, model::CollectiveModel::kTree}) {
+      double baseline = 0.0;
+      for (int k : {1, 8}) {
+        core::SolverOptions opts;
+        opts.max_iters = static_cast<int>(cli.get_int("iters", 300));
+        opts.sampling_rate = bench::default_sampling_rate(name);
+        opts.k = k;
+        opts.tol = tol;
+        opts.f_star = bp.f_star();
+        opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+        const auto result = core::solve_rc_sfista(bp.problem(), opts);
+        const auto ttt = bench::time_to_tol_at(result, tol, procs, k, 1, d,
+                                               machine, collective);
+        if (k == 1) {
+          baseline = ttt.seconds;
+        }
+        table.add_row({model::to_string(collective), std::to_string(k),
+                       fmt_e(ttt.seconds, 3),
+                       k == 1 ? "1.00" : fmt_f(baseline / ttt.seconds, 2)});
+      }
+    }
+    std::printf("--- %s (P=%d) ---\n%s\n", bp.name().c_str(), procs,
+                table.str().c_str());
+  }
+  return 0;
+}

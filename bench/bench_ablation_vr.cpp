@@ -1,0 +1,63 @@
+// Ablation: variance reduction (Eq. 9) on vs off.
+//
+// The paper's SFISTA is introduced as variance-reduced (Alg. 3, Eq. 9), but
+// the specialized l1 listing (Alg. 4) drops the anchor terms.  This
+// ablation shows why VR matters: without it the sampled gradient noise sets
+// an error floor e_n cannot cross; with it the iterates converge.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rcf;
+
+  CliParser cli("bench_ablation_vr", "variance-reduction ablation");
+  bench::add_common_flags(cli);
+  cli.add_flag("iters", "iterations per run", "300");
+  cli.add_flag("epoch", "VR epoch length (Alg. 3's N)", "40");
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+  bench::print_banner(
+      "Ablation: the Eq. 9 variance-reduced gradient estimator on vs off",
+      "VR removes the sampling-noise error floor of plain SFISTA (Alg. 4)");
+
+  const int iters = static_cast<int>(cli.get_int("iters", 300));
+  const std::vector<int> checkpoints = {10, 50, 100, 200, 300};
+
+  for (const auto& name : bench::requested_datasets(cli, "covtype,SUSY")) {
+    const bench::BenchProblem bp = bench::make_bench_problem(cli, name);
+    std::printf("--- %s ---\n", bp.name().c_str());
+
+    std::vector<std::string> header = {"b", "VR"};
+    for (int c : checkpoints) {
+      if (c <= iters) header.push_back("e@" + std::to_string(c));
+    }
+    AsciiTable table(header);
+
+    for (double b : {0.1, 0.02}) {
+      for (bool vr : {false, true}) {
+        core::SolverOptions opts;
+        opts.max_iters = iters;
+        opts.sampling_rate = b;
+        opts.variance_reduction = vr;
+        opts.epoch_length = static_cast<int>(cli.get_int("epoch", 40));
+        opts.f_star = bp.f_star();
+        opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+        const auto result = core::solve_sfista(bp.problem(), opts);
+
+        std::vector<std::string> row = {fmt_g(b, 3), vr ? "on" : "off"};
+        for (int c : checkpoints) {
+          if (c > iters) continue;
+          row.push_back(fmt_e(result.history[c - 1].rel_error, 2));
+        }
+        table.add_row(std::move(row));
+      }
+    }
+    std::printf("%s\n", table.str().c_str());
+  }
+  std::printf("VR costs one exact-gradient round per epoch (two SpMVs + a\n"
+              "d-word allreduce) and one extra O(d) subtraction per\n"
+              "iteration -- negligible next to the d^2 Gram traffic.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Parameter bounds (Eq. 25-28): theoretical upper bounds for the overlap
+// parameter k and the Hessian-reuse parameter S per dataset and machine.
+//
+// The paper works the covtype example on Comet: k <= alpha/(beta d^2) = 2
+// (Eq. 25), and S <= 7 for mnist with k = 1, P = 256, N = 200 (Eq. 27).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rcf;
+
+  CliParser cli("bench_bounds", "Eq. 25-28 parameter bounds");
+  bench::add_common_flags(cli);
+  cli.add_flag("procs", "processor count", "256");
+  cli.add_flag("n", "iteration count N", "200");
+  cli.add_flag("b", "sampling rate", "0.01");
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+  bench::print_banner(
+      "Eq. 25-28: upper bounds for the overlap parameter k and inner loop "
+      "parameter S",
+      "covtype on Comet: k <= 2 (Eq. 25); mnist with k=1, P=256, N=200: "
+      "S <= 7 (Eq. 27)");
+
+  const int procs = static_cast<int>(cli.get_int("procs", 256));
+  const double n_iters = static_cast<double>(cli.get_int("n", 200));
+  const double b = cli.get_double("b", 0.01);
+
+  for (const auto machine :
+       {model::comet(), model::ethernet_cluster(), model::infiniband_cluster()}) {
+    std::printf("--- machine %s: alpha=%.3g beta=%.3g gamma=%.3g "
+                "(alpha/beta=%.3g) ---\n",
+                machine.name.c_str(), machine.alpha, machine.beta,
+                machine.gamma, machine.alpha_beta_ratio());
+    AsciiTable table({"dataset", "d", "Eq.25 k<=", "Eq.26 k<=", "Eq.27 kS<=",
+                      "Eq.28 S<="});
+    for (const auto& spec : data::paper_dataset_specs()) {
+      model::AlgorithmShape shape;
+      shape.n_iters = n_iters;
+      shape.d = static_cast<double>(spec.cols);
+      shape.m_bar =
+          std::max(1.0, std::floor(b * static_cast<double>(spec.rows)));
+      shape.fill = spec.density;
+      shape.p = procs;
+      shape.k = 1;
+      shape.s = 1;
+      table.add_row(
+          {spec.name, std::to_string(spec.cols),
+           fmt_g(model::k_bound_latency_bandwidth(machine, shape.d), 3),
+           fmt_g(model::k_bound_latency_flops(shape, machine), 3),
+           fmt_g(model::ks_bound_sparse(shape, machine), 3),
+           fmt_g(model::s_bound(shape, machine), 3)});
+    }
+    std::printf("%s\n", table.str().c_str());
+  }
+  std::printf("Bounds use the full-size paper shapes (Table 2) and the pure\n"
+              "hardware alpha (the paper's quoted constants), with P=%d,\n"
+              "N=%g, b=%g.  Eq. 25 uses only machine constants and d; Eq. 26\n"
+              "adds the flop/latency trade; Eq. 27 is the sparse (f ~ 0)\n"
+              "combined bound; Eq. 28 fixes k at the Eq. 25 bound.\n",
+              procs, n_iters, b);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 2(b): the overlap parameter k does not change convergence.
+//
+// RC-SFISTA is SFISTA re-scheduled: with the sampling stream keyed on
+// (seed, iteration) the iterates are *bitwise identical* for every k.  This
+// bench runs k in {1..128} with the same seed and reports both the error
+// trajectory and the max |w_k - w_1| discrepancy (expected: exactly 0).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rcf;
+
+  CliParser cli("bench_fig2b_overlap", "Fig 2(b): convergence vs k");
+  bench::add_common_flags(cli);
+  cli.add_flag("iters", "iterations per run", "128");
+  cli.add_flag("b", "sampling rate", "0.1");
+  cli.add_flag("k-list", "overlap depths", "1,2,4,8,16,32,64,128");
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+  bench::print_banner(
+      "Fig. 2(b): Convergence of RC-SFISTA for different overlap depths k",
+      "k does not affect stability or relative objective error (tested to "
+      "k = 128)");
+
+  const int iters = static_cast<int>(cli.get_int("iters", 128));
+  const auto k_list =
+      cli.get_int_list("k-list", {1, 2, 4, 8, 16, 32, 64, 128});
+
+  for (const auto& name : bench::requested_datasets(cli, "covtype,mnist")) {
+    const bench::BenchProblem bp = bench::make_bench_problem(cli, name);
+    std::printf("--- %s ---\n", bp.name().c_str());
+
+    AsciiTable table({"k", "iters", "final rel.err", "comm rounds",
+                      "max|w_k - w_1|"});
+    la::Vector w_base;
+    for (auto k : k_list) {
+      core::SolverOptions opts;
+      opts.max_iters = iters;
+      opts.sampling_rate = cli.get_double("b", 0.1);
+      opts.k = static_cast<int>(k);
+      opts.f_star = bp.f_star();
+      opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+      const auto result = core::solve_rc_sfista(bp.problem(), opts);
+      if (k == k_list.front()) {
+        w_base = result.w;
+      }
+      const double diff =
+          la::max_abs_diff(result.w.span(), w_base.span());
+      table.add_row({std::to_string(k), std::to_string(result.iterations),
+                     fmt_e(result.rel_error, 3),
+                     std::to_string(result.history.back().comm_rounds),
+                     diff == 0.0 ? "0 (bitwise)" : fmt_e(diff, 2)});
+    }
+    std::printf("%s\n", table.str().c_str());
+    bench::maybe_write_csv(cli, "fig2b_" + name, table);
+  }
+  std::printf("Communication rounds fall as N/k while the iterates stay\n"
+              "identical -- the exact-arithmetic invariance behind the paper's\n"
+              "O(k) latency reduction.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Figure 5: speedup of RC-SFISTA over SFISTA on 256 processors for
+// different Hessian-reuse depths S.
+//
+// S reduces the number of communication rounds needed to converge at the
+// price of redundant flops; the speedup peaks at a moderate S and falls
+// once the extra computation dominates (the paper reports e.g. 3x at S=5
+// and 2x at S=10 for mnist).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rcf;
+
+  CliParser cli("bench_fig5_speedup_S", "Fig 5: speedup vs S at P=256");
+  bench::add_common_flags(cli);
+  cli.add_flag("iters", "max iterations per run", "800");
+  cli.add_flag("b", "sampling rate (0 = per-dataset default)", "0");
+  cli.add_flag("tol", "relative-error tolerance", "0.01");
+  cli.add_flag("procs", "processor count", "256");
+  cli.add_flag("k", "overlap depth (tuned per paper; 0 = use 8)", "0");
+  cli.add_flag("s-list", "Hessian-reuse depths", "1,2,3,5,10");
+  cli.add_flag("vr", "variance reduction (Eq. 9)", "true");
+  cli.add_flag("restart", "adaptive momentum restart (auto = per-dataset)", "auto");
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+  bench::print_banner(
+      "Fig. 5: Speedup of RC-SFISTA vs SFISTA for different S (P = 256)",
+      "speedup peaks at moderate S, then redundant flops overwhelm the "
+      "saved communication");
+
+  const auto s_list = cli.get_int_list("s-list", {1, 2, 3, 5, 10});
+  const double tol = cli.get_double("tol", 0.01);
+  const int procs = static_cast<int>(cli.get_int("procs", 256));
+  const model::MachineSpec machine = bench::requested_machine(cli);
+  int k = static_cast<int>(cli.get_int("k", 0));
+  if (k <= 0) {
+    k = 8;
+  }
+
+  AsciiTable table([&] {
+    std::vector<std::string> header = {"dataset", "SFISTA iters"};
+    for (auto s : s_list) header.push_back("S=" + std::to_string(s));
+    return header;
+  }());
+
+  for (const auto& name : bench::requested_datasets(cli)) {
+    const bench::BenchProblem bp = bench::make_bench_problem(cli, name);
+
+    core::SolverOptions base;
+    base.max_iters = static_cast<int>(cli.get_int("iters", 800));
+    base.sampling_rate = cli.get_double("b", 0.0);
+    if (base.sampling_rate <= 0.0) {
+      base.sampling_rate = bench::default_sampling_rate(name);
+    }
+    base.tol = tol;
+    base.variance_reduction = cli.get_bool("vr", true);
+    base.adaptive_restart =
+        cli.get_string("restart", "auto") == "auto"
+            ? bench::default_adaptive_restart(name)
+            : cli.get_bool("restart", false);
+    base.f_star = bp.f_star();
+    base.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+    base.procs = procs;
+    base.machine = machine;
+
+    // The SFISTA baseline: k = 1, S = 1.
+    const auto sfista = core::solve_sfista(bp.problem(), base);
+    const auto base_ttt = bench::time_to_tol(sfista, tol);
+
+    std::vector<std::string> row = {
+        bp.name(), std::to_string(base_ttt.iterations) +
+                        (base_ttt.reached ? "" : "+")};
+    for (auto s : s_list) {
+      core::SolverOptions opts = base;
+      opts.k = k;
+      opts.s = static_cast<int>(s);
+      const auto result = core::solve_rc_sfista(bp.problem(), opts);
+      const auto ttt = bench::time_to_tol(result, tol);
+      row.push_back(fmt_f(base_ttt.seconds / ttt.seconds, 2) +
+                    (ttt.reached ? "" : "*"));
+    }
+    table.add_row(std::move(row));
+
+    // Print the paper's S bound for context (Eq. 27 with this dataset).
+    model::AlgorithmShape shape;
+    shape.n_iters = base_ttt.iterations;
+    shape.d = static_cast<double>(bp.dataset().num_features());
+    shape.m_bar = std::max(1.0, std::floor(base.sampling_rate *
+                                           static_cast<double>(
+                                               bp.dataset().num_samples())));
+    shape.fill = bp.dataset().density();
+    shape.p = procs;
+    shape.k = k;
+    std::printf("%s: Eq.27 bound k*S <= %.3g (N=%d, hardware alpha)\n",
+                bp.name().c_str(), model::ks_bound_sparse(shape, machine),
+                base_ttt.iterations);
+  }
+  std::printf("\n%s\n", table.str().c_str());
+  std::printf("Cells: modeled time-to-tol speedup of RC-SFISTA (k=%d, S) vs\n"
+              "SFISTA on P=%d.  '*' = tolerance not reached.\n",
+              k, procs);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 6: relative objective error vs wall-clock, RC-SFISTA vs ProxCoCoA
+// on 256 workers.
+//
+// Both methods run on the Spark-like machine spec (the paper compares the
+// MLlib implementations), with per-round scheduling overhead dominating the
+// communication cost.  The paper's claim: "ProxCoCoA has a slow convergence
+// for all datasets; RC-SFISTA converges faster and reaches a lower relative
+// objective error."
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rcf;
+
+  CliParser cli("bench_fig6_proxcocoa", "Fig 6: error vs time, vs ProxCoCoA");
+  bench::add_common_flags(cli);
+  cli.add_flag("procs", "worker count", "256");
+  cli.add_flag("iters", "RC-SFISTA iteration budget", "800");
+  cli.add_flag("rounds", "ProxCoCoA round budget", "400");
+  cli.add_flag("k", "overlap depth", "8");
+  cli.add_flag("s", "Hessian-reuse depth (0 = per-dataset)", "0");
+  cli.add_flag("vr", "variance reduction (Eq. 9)", "true");
+  cli.add_flag("restart", "adaptive momentum restart (auto = per-dataset)", "auto");
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+  bench::print_banner(
+      "Fig. 6: Relative objective error vs wall-clock, RC-SFISTA vs "
+      "ProxCoCoA (256 workers, Spark-like machine)",
+      "RC-SFISTA converges faster and reaches lower error than ProxCoCoA on "
+      "every benchmark");
+
+  const int procs = static_cast<int>(cli.get_int("procs", 256));
+  model::MachineSpec machine = model::spark_like();
+  if (cli.has("machine")) {
+    machine = bench::requested_machine(cli);
+  }
+
+  for (const auto& name : bench::requested_datasets(cli)) {
+    const bench::BenchProblem bp = bench::make_bench_problem(cli, name);
+
+    core::SolverOptions ropts;
+    ropts.max_iters = static_cast<int>(cli.get_int("iters", 800));
+    ropts.sampling_rate = bench::default_sampling_rate(name);
+    ropts.k = static_cast<int>(cli.get_int("k", 8));
+    ropts.s = static_cast<int>(cli.get_int("s", 0));
+    if (ropts.s <= 0) {
+      ropts.s = bench::default_hessian_reuse(name);
+    }
+    ropts.variance_reduction = cli.get_bool("vr", true);
+    ropts.adaptive_restart =
+        cli.get_string("restart", "auto") == "auto"
+            ? bench::default_adaptive_restart(name)
+            : cli.get_bool("restart", false);
+    ropts.f_star = bp.f_star();
+    ropts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+    ropts.procs = procs;
+    ropts.machine = machine;
+    const auto rc = core::solve_rc_sfista(bp.problem(), ropts);
+
+    core::CocoaOptions copts;
+    copts.max_rounds = static_cast<int>(cli.get_int("rounds", 400));
+    copts.local_epochs = 1;
+    copts.f_star = bp.f_star();
+    copts.seed = ropts.seed;
+    copts.procs = procs;
+    copts.machine = machine;
+    const auto cocoa = core::solve_prox_cocoa(bp.problem(), copts);
+
+    // Sample both trajectories at shared wall-clock checkpoints.
+    const double t_max =
+        std::max(rc.history.back().sim_seconds,
+                 cocoa.history.back().sim_seconds);
+    AsciiTable table({"time (s)", "RC-SFISTA e_n", "ProxCoCoA e_n"});
+    auto error_at = [](const std::vector<core::IterationRecord>& hist,
+                       double t) {
+      double err = std::numeric_limits<double>::quiet_NaN();
+      for (const auto& rec : hist) {
+        if (rec.sim_seconds > t) break;
+        err = rec.rel_error;
+      }
+      return err;
+    };
+    for (double frac : {0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0}) {
+      const double t = frac * t_max;
+      const double e_rc = error_at(rc.history, t);
+      const double e_co = error_at(cocoa.history, t);
+      table.add_row({fmt_f(t, 1),
+                     std::isnan(e_rc) ? "-" : fmt_e(e_rc, 2),
+                     std::isnan(e_co) ? "-" : fmt_e(e_co, 2)});
+    }
+    std::printf("--- %s (P=%d, machine=%s) ---\n%s", bp.name().c_str(), procs,
+                machine.name.c_str(), table.str().c_str());
+    std::printf("final: RC-SFISTA e=%.3g (%d iters, %llu rounds) | "
+                "ProxCoCoA e=%.3g (%d rounds)\n\n",
+                rc.rel_error, rc.iterations,
+                static_cast<unsigned long long>(rc.history.back().comm_rounds),
+                cocoa.rel_error, cocoa.iterations);
+  }
+  std::printf("ProxCoCoA pays one allreduce of m words per round and its\n"
+              "additive aggregation makes per-round progress conservative at\n"
+              "large P; RC-SFISTA amortizes k iterations per round.\n");
+  return 0;
+}

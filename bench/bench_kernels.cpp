@@ -1,0 +1,125 @@
+// Kernel microbenchmarks (google-benchmark): the primitive operations the
+// solver loop is built from, for performance-regression tracking.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "rcf.hpp"
+
+namespace {
+
+using namespace rcf;
+
+sparse::CsrMatrix make_matrix(std::size_t rows, std::size_t cols,
+                              double density) {
+  sparse::GenerateOptions opts;
+  opts.rows = rows;
+  opts.cols = cols;
+  opts.density = density;
+  opts.seed = 7;
+  return sparse::generate_random(opts);
+}
+
+void BM_Philox(benchmark::State& state) {
+  Rng rng(42, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u64());
+  }
+}
+BENCHMARK(BM_Philox);
+
+void BM_SampleWithoutReplacement(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t stream = 0;
+  for (auto _ : state) {
+    Rng rng(42, stream++);
+    benchmark::DoNotOptimize(rng.sample_without_replacement(n, n / 100 + 1));
+  }
+}
+BENCHMARK(BM_SampleWithoutReplacement)->Arg(10000)->Arg(100000);
+
+void BM_SpMV(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto mat = make_matrix(rows, 256, 0.2);
+  std::vector<double> x(256, 1.0), y(rows);
+  for (auto _ : state) {
+    mat.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(mat.nnz()));
+}
+BENCHMARK(BM_SpMV)->Arg(1000)->Arg(10000);
+
+void BM_SampledGram(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const auto mat = make_matrix(20000, d, 0.2);
+  la::Vector y(20000, 1.0);
+  la::Matrix h(d, d);
+  la::Vector r(d);
+  Rng rng(42, 1);
+  const auto idx = rng.sample_without_replacement(20000, 500);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sparse::sampled_gram(mat, y.span(), idx, h, r.span()));
+  }
+}
+BENCHMARK(BM_SampledGram)->Arg(64)->Arg(256);
+
+void BM_Gemv(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  la::Matrix h(d, d, 0.5);
+  la::Vector x(d, 1.0), y(d);
+  for (auto _ : state) {
+    la::gemv(1.0, h, x.span(), 0.0, y.span());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * d * d));
+}
+BENCHMARK(BM_Gemv)->Arg(256)->Arg(1024);
+
+void BM_SoftThreshold(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  la::Vector in(d, 0.3), out(d);
+  for (auto _ : state) {
+    prox::soft_threshold(in.span(), 0.1, out.span());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SoftThreshold)->Arg(1024)->Arg(65536);
+
+void BM_ThreadAllreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const std::size_t words = 4096;
+  dist::ThreadGroup group(ranks);
+  for (auto _ : state) {
+    group.run([&](dist::ThreadComm& comm) {
+      std::vector<double> buf(words, static_cast<double>(comm.rank()));
+      comm.allreduce_sum(buf);
+      benchmark::DoNotOptimize(buf.data());
+    });
+  }
+}
+BENCHMARK(BM_ThreadAllreduce)->Arg(2)->Arg(4);
+
+void BM_SolverIteration(benchmark::State& state) {
+  // One full RC-SFISTA iteration on a covtype-scale problem.
+  data::SyntheticOptions gen;
+  gen.num_samples = 20000;
+  gen.num_features = 54;
+  gen.density = 0.22;
+  const auto ds = data::make_regression(gen);
+  const core::LassoProblem problem(ds, 0.01);
+  for (auto _ : state) {
+    core::SolverOptions opts;
+    opts.max_iters = 8;
+    opts.sampling_rate = 0.05;
+    opts.k = 8;
+    opts.track_history = false;
+    benchmark::DoNotOptimize(core::solve_rc_sfista(problem, opts));
+  }
+}
+BENCHMARK(BM_SolverIteration)->Unit(benchmark::kMillisecond);
+
+}  // namespace

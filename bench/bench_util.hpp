@@ -1,0 +1,116 @@
+// Shared helpers for the paper-reproduction bench harness.
+//
+// Every bench binary runs with no arguments using scaled-down clones of the
+// paper's Table 2 datasets and prints the corresponding table / figure
+// series.  Common flags:
+//
+//   --datasets=SUSY,covtype,...   which clones to run
+//   --scale=<f>                   row-scale override (0 = per-dataset default)
+//   --lambda-ratio=<f>            lambda as a fraction of lambda_max (0.1)
+//   --seed=<n>                    experiment seed
+//   --machine=<name>              comet | spark | ethernet | infiniband
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rcf.hpp"
+
+namespace rcf::bench {
+
+/// A dataset clone + problem + cached reference optimum, ready to solve.
+class BenchProblem {
+ public:
+  /// `lambda_ratio` sets lambda = ratio * lambda_max (the paper quotes
+  /// absolute lambdas tuned to its own data scaling; the ratio form keeps
+  /// the problems equally non-trivial at any clone scale).
+  BenchProblem(const std::string& dataset_name, double scale,
+               double lambda_ratio, std::uint64_t seed);
+
+  [[nodiscard]] const data::Dataset& dataset() const { return *dataset_; }
+  [[nodiscard]] const core::LassoProblem& problem() const { return *problem_; }
+  [[nodiscard]] double lambda() const { return lambda_; }
+  [[nodiscard]] double f_star() const { return f_star_; }
+  [[nodiscard]] const la::Vector& w_star() const { return w_star_; }
+  [[nodiscard]] const std::string& name() const { return dataset_->name; }
+
+ private:
+  std::unique_ptr<data::Dataset> dataset_;
+  std::unique_ptr<core::LassoProblem> problem_;
+  double lambda_ = 0.0;
+  double f_star_ = 0.0;
+  la::Vector w_star_;
+};
+
+/// Standard bench flags registered on every parser.
+void add_common_flags(CliParser& cli);
+
+/// Datasets requested by --datasets (default: the four Fig. 4-7 benchmarks,
+/// or the bench-specific `fallback` list).
+[[nodiscard]] std::vector<std::string> requested_datasets(
+    const CliParser& cli,
+    const std::string& fallback = "SUSY,covtype,mnist,epsilon");
+
+/// Builds a BenchProblem honoring --scale / --lambda-ratio / --seed.
+[[nodiscard]] BenchProblem make_bench_problem(const CliParser& cli,
+                                              const std::string& dataset);
+
+/// Machine spec from --machine (default comet).
+[[nodiscard]] model::MachineSpec requested_machine(const CliParser& cli);
+
+/// Prints the bench banner: what the paper reports, what this bench
+/// regenerates, and the substitutions in play.
+void print_banner(const std::string& experiment, const std::string& claim);
+
+/// Time-to-tolerance of a finished run: modeled seconds at the first history
+/// record whose rel_error <= tol, or the run's final time if never reached
+/// (flagged by `reached`).
+struct TimeToTol {
+  double seconds = 0.0;
+  int iterations = 0;
+  bool reached = false;
+};
+[[nodiscard]] TimeToTol time_to_tol(const core::SolveResult& result,
+                                    double tol);
+
+/// Per-dataset default sampling rate for the speedup benches, tuned so the
+/// sampled batch mbar stays informative relative to d at the default clone
+/// scales (the paper's absolute b = 1% corresponds to much larger absolute
+/// batches on the full-size datasets).
+[[nodiscard]] double default_sampling_rate(const std::string& dataset);
+
+/// Whether the clone needs the adaptive-restart momentum stabilizer at its
+/// default (scale, b): true where mbar << d makes plain FISTA momentum
+/// diverge under sampled Hessians (mnist, epsilon).  See DESIGN.md
+/// "Algorithmic interpretation notes".
+[[nodiscard]] bool default_adaptive_restart(const std::string& dataset);
+
+/// Per-dataset default Hessian-reuse depth for the end-to-end comparisons:
+/// S = 3 where reuse pays (sparse, mbar >= d), S = 1 for the wide clones
+/// where reusing a rank-deficient sampled block does not.
+[[nodiscard]] int default_hessian_reuse(const std::string& dataset);
+
+/// Re-costs one recorded trajectory point for a different processor count /
+/// machine / collective model.  Valid because the iterates themselves are
+/// P-independent (every rank reconstructs the same Gram blocks); only the
+/// charges change.  `k` and `s` must match the run that produced `rec`.
+[[nodiscard]] double modeled_seconds(const core::IterationRecord& rec,
+                                     int procs, int k, int s, std::size_t d,
+                                     const model::MachineSpec& machine,
+                                     model::CollectiveModel collective);
+
+/// time-to-tol under re-costing: modeled seconds at the first record with
+/// rel_error <= tol, re-costed for (procs, machine, collective).
+[[nodiscard]] TimeToTol time_to_tol_at(const core::SolveResult& result,
+                                       double tol, int procs, int k, int s,
+                                       std::size_t d,
+                                       const model::MachineSpec& machine,
+                                       model::CollectiveModel collective);
+
+/// If --csv-dir was given, writes `table` to <dir>/<stem>.csv (for
+/// re-plotting the figures); silent no-op otherwise.
+void maybe_write_csv(const CliParser& cli, const std::string& stem,
+                     const AsciiTable& table);
+
+}  // namespace rcf::bench

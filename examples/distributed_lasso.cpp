@@ -1,0 +1,67 @@
+// Genuinely distributed (threaded SPMD) lasso solve.
+//
+// Runs RC-SFISTA across real concurrent ranks (dist::ThreadGroup), each
+// owning a block of samples, communicating via rendezvous allreduce -- the
+// code path that substitutes the paper's MPI implementation -- and verifies
+// the result against the sequential engine.
+#include <cstdio>
+
+#include "rcf.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rcf;
+
+  CliParser cli("distributed_lasso", "SPMD RC-SFISTA over threaded ranks");
+  cli.add_flag("ranks", "number of SPMD ranks (threads)", "4");
+  cli.add_flag("m", "samples", "8000");
+  cli.add_flag("d", "features", "64");
+  cli.add_flag("k", "overlap depth", "4");
+  cli.add_flag("algo", "allreduce algorithm (central|rd)", "central");
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+
+  data::SyntheticOptions gen;
+  gen.num_samples = cli.get_int("m", 8000);
+  gen.num_features = cli.get_int("d", 64);
+  gen.density = 0.3;
+  gen.name = "distributed-demo";
+  const data::Dataset dataset = data::make_regression(gen);
+  std::printf("dataset: %s\n", data::describe(dataset).c_str());
+
+  const core::LassoProblem problem(dataset, 0.1);
+
+  core::SolverOptions opts;
+  opts.max_iters = 100;
+  opts.sampling_rate = 0.1;
+  opts.k = static_cast<int>(cli.get_int("k", 4));
+  opts.s = 1;
+  opts.track_history = false;
+
+  const int ranks = static_cast<int>(cli.get_int("ranks", 4));
+  const auto algo = cli.get_string("algo", "central") == "rd"
+                        ? dist::AllreduceAlgo::kRecursiveDoubling
+                        : dist::AllreduceAlgo::kCentral;
+  dist::ThreadGroup group(ranks, algo);
+
+  const auto distributed =
+      core::solve_rc_sfista_distributed(problem, opts, group);
+  const auto sequential = core::solve_rc_sfista(problem, opts);
+
+  const double diff =
+      la::max_abs_diff(distributed.w.span(), sequential.w.span());
+  std::printf("ranks        : %d (%s allreduce)\n", ranks,
+              algo == dist::AllreduceAlgo::kCentral ? "central"
+                                                    : "recursive-doubling");
+  std::printf("F(w) dist    : %.12f\n", distributed.objective);
+  std::printf("F(w) seq     : %.12f\n", sequential.objective);
+  std::printf("||w_d - w_s||_inf = %.3e (reduction-order rounding only)\n",
+              diff);
+  std::printf("allreduces   : %llu calls, %llu words (all ranks)\n",
+              static_cast<unsigned long long>(
+                  distributed.comm_stats.allreduce_calls),
+              static_cast<unsigned long long>(
+                  distributed.comm_stats.allreduce_words));
+  std::printf("wall         : %.3f s\n", distributed.wall_seconds);
+  return diff < 1e-8 ? 0 : 1;
+}

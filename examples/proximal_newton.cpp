@@ -1,0 +1,65 @@
+// Proximal Newton on an mnist-like problem, comparing the two inner solvers
+// of paper §3.3 / Fig. 7: exact-subproblem FISTA vs. RC-SFISTA.
+#include <cstdio>
+
+#include "rcf.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rcf;
+
+  CliParser cli("proximal_newton",
+                "PN driver with FISTA vs RC-SFISTA inner solvers");
+  cli.add_flag("dataset", "paper dataset clone", "mnist");
+  cli.add_flag("scale", "row scale (0 = default)", "0");
+  cli.add_flag("outer", "outer Newton iterations", "10");
+  cli.add_flag("inner", "inner-solver iterations", "30");
+  cli.add_flag("k", "overlap depth for the RC-SFISTA inner", "8");
+  cli.add_flag("procs", "logical processors for the cost model", "64");
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+
+  const std::string name = cli.get_string("dataset", "mnist");
+  double scale = cli.get_double("scale", 0.0);
+  if (scale <= 0.0) {
+    scale = data::default_clone_scale(name);
+  }
+  const data::Dataset dataset = data::make_paper_clone(name, scale);
+  const double lambda =
+      0.01 * core::LassoProblem(dataset, 0.0).lambda_max();
+  std::printf("dataset: %s, lambda=%g\n", data::describe(dataset).c_str(),
+              lambda);
+
+  const core::LassoProblem problem(dataset, lambda);
+  const core::SolveResult ref = core::solve_reference(problem);
+  std::printf("F(w*) = %.10f\n\n", ref.objective);
+
+  core::PnOptions base;
+  base.max_outer = static_cast<int>(cli.get_int("outer", 10));
+  base.inner_iters = static_cast<int>(cli.get_int("inner", 30));
+  base.f_star = ref.objective;
+  base.procs = static_cast<int>(cli.get_int("procs", 64));
+
+  core::PnOptions fista_opts = base;
+  fista_opts.inner = core::PnInnerSolver::kFista;
+  const auto pn_fista = core::solve_proximal_newton(problem, fista_opts);
+
+  core::PnOptions rc_opts = base;
+  rc_opts.inner = core::PnInnerSolver::kRcSfista;
+  rc_opts.k = static_cast<int>(cli.get_int("k", 8));
+  rc_opts.s = 2;
+  const auto pn_rc = core::solve_proximal_newton(problem, rc_opts);
+
+  AsciiTable table({"inner solver", "outer iters", "rel. error",
+                    "comm msgs", "modeled time (s)"});
+  for (const auto* r : {&pn_fista, &pn_rc}) {
+    table.add_row({r->solver, std::to_string(r->iterations),
+                   fmt_e(r->rel_error, 3), fmt_g(r->cost.messages(), 4),
+                   fmt_e(r->sim_seconds, 3)});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("\nBoth drivers reach comparable accuracy; the RC-SFISTA inner "
+              "solver reshapes communication (see bench_fig7_pn for the "
+              "full k sweep).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: solve an l1-regularized least squares problem with RC-SFISTA.
+//
+//   build/examples/quickstart [--m=5000 --d=100 --lambda=0.1 --k=8 --s=2]
+//
+// Demonstrates the minimal public-API flow: make (or load) a dataset, build
+// a LassoProblem, get a reference optimum, run the solver, inspect results.
+#include <cstdio>
+
+#include "rcf.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rcf;
+
+  CliParser cli("quickstart", "minimal RC-SFISTA example");
+  cli.add_flag("m", "number of samples", "5000");
+  cli.add_flag("d", "number of features", "100");
+  cli.add_flag("density", "non-zero fill of X", "0.2");
+  cli.add_flag("lambda", "l1 penalty", "0.1");
+  cli.add_flag("b", "sampling rate", "0.05");
+  cli.add_flag("k", "iteration-overlapping depth", "8");
+  cli.add_flag("s", "Hessian-reuse inner iterations", "2");
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+
+  // 1. A synthetic regression dataset (use data::make_paper_clone or
+  //    sparse::read_libsvm for the paper's benchmarks / real data).
+  data::SyntheticOptions gen;
+  gen.num_samples = cli.get_int("m", 5000);
+  gen.num_features = cli.get_int("d", 100);
+  gen.density = cli.get_double("density", 0.2);
+  gen.name = "quickstart";
+  const data::Dataset dataset = data::make_regression(gen);
+  std::printf("dataset : %s\n", data::describe(dataset).c_str());
+
+  // 2. The optimization problem F(w) = (1/2m)||X^T w - y||^2 + lambda||w||_1.
+  const core::LassoProblem problem(dataset, cli.get_double("lambda", 0.1));
+
+  // 3. A high-accuracy reference optimum (the paper's TFOCS role), used for
+  //    the relative-error stopping criterion.
+  const core::SolveResult ref = core::solve_reference(problem);
+  std::printf("F(w*)   : %.10f  (reference, %d iterations)\n", ref.objective,
+              ref.iterations);
+
+  // 4. RC-SFISTA.
+  core::SolverOptions opts;
+  opts.max_iters = 500;
+  opts.sampling_rate = cli.get_double("b", 0.05);
+  opts.k = static_cast<int>(cli.get_int("k", 8));
+  opts.s = static_cast<int>(cli.get_int("s", 2));
+  opts.variance_reduction = true;  // the Eq. 9 estimator
+  opts.tol = 0.01;  // the paper's tolerance
+  opts.f_star = ref.objective;
+  opts.procs = 16;  // logical processors for the cost model
+
+  const core::SolveResult result = core::solve_rc_sfista(problem, opts);
+
+  std::printf("solver  : %s\n", result.solver.c_str());
+  std::printf("status  : %s after %d iterations (rel. error %.3g)\n",
+              result.converged ? "converged" : "max-iters", result.iterations,
+              result.rel_error);
+  std::printf("F(w)    : %.10f\n", result.objective);
+  std::printf("comm    : %.0f messages, %.3g words moved\n",
+              result.cost.messages(), result.cost.words());
+  std::printf("modeled : %.4f s on %s with P=%d\n", result.sim_seconds,
+              opts.machine.name.c_str(), opts.procs);
+
+  // Count the sparse support recovered.
+  int nonzeros = 0;
+  for (double v : result.w) {
+    nonzeros += v != 0.0;
+  }
+  std::printf("support : %d of %zu weights non-zero\n", nonzeros,
+              result.w.size());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Scaling study: modeled time-to-tolerance of SFISTA vs RC-SFISTA across
+// processor counts, on one dataset clone -- a condensed view of the paper's
+// Fig. 4 story with the parameter bounds of Eq. 25-28 printed alongside.
+#include <cstdio>
+
+#include "rcf.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rcf;
+
+  CliParser cli("scaling_study", "P x k scaling of RC-SFISTA vs SFISTA");
+  cli.add_flag("dataset", "paper dataset clone", "covtype");
+  cli.add_flag("scale", "row scale (0 = default)", "0");
+  cli.add_flag("b", "sampling rate", "0.01");
+  cli.add_flag("machine", "machine spec (comet|spark|ethernet|infiniband)",
+               "comet");
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+
+  const std::string name = cli.get_string("dataset", "covtype");
+  double scale = cli.get_double("scale", 0.0);
+  if (scale <= 0.0) {
+    scale = data::default_clone_scale(name);
+  }
+  const data::Dataset dataset = data::make_paper_clone(name, scale);
+  const model::MachineSpec machine =
+      model::machine_by_name(cli.get_string("machine", "comet"));
+  // lambda as a fraction of lambda_max keeps the problem non-trivial at any
+  // clone scale (the paper's absolute values are tied to its data scaling).
+  const double lambda =
+      0.01 * core::LassoProblem(dataset, 0.0).lambda_max();
+  std::printf("dataset: %s\nmachine: %s (alpha=%.2g, beta=%.2g, gamma=%.2g)\n",
+              data::describe(dataset).c_str(), machine.name.c_str(),
+              machine.alpha, machine.beta, machine.gamma);
+
+  const core::LassoProblem problem(dataset, lambda);
+  const auto ref = core::solve_reference(problem);
+
+  const double d = static_cast<double>(dataset.num_features());
+  std::printf("Eq.25 bound: k <= alpha/(beta d^2) = %.3g\n\n",
+              model::k_bound_latency_bandwidth(machine, d));
+
+  AsciiTable table({"P", "solver", "k", "iters", "modeled time (s)",
+                    "speedup vs SFISTA"});
+  for (int p : {16, 64, 256}) {
+    core::SolverOptions base;
+    base.max_iters = 400;
+    base.sampling_rate = cli.get_double("b", 0.05);
+    base.variance_reduction = true;
+    base.tol = 0.01;
+    base.f_star = ref.objective;
+    base.procs = p;
+    base.machine = machine;
+    base.track_history = false;
+
+    const auto sfista = core::solve_sfista(problem, base);
+    table.add_row({std::to_string(p), "sfista", "1",
+                   std::to_string(sfista.iterations),
+                   fmt_e(sfista.sim_seconds, 3), "1.00"});
+    for (int k : {4, 16}) {
+      core::SolverOptions opts = base;
+      opts.k = k;
+      const auto rc = core::solve_rc_sfista(problem, opts);
+      table.add_row({std::to_string(p), "rc-sfista", std::to_string(k),
+                     std::to_string(rc.iterations), fmt_e(rc.sim_seconds, 3),
+                     fmt_f(sfista.sim_seconds / rc.sim_seconds, 2)});
+    }
+  }
+  std::printf("%s", table.str().c_str());
+  return 0;
+}

@@ -1,0 +1,142 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace rcf {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_flag(const std::string& name, const std::string& help,
+                         const std::string& default_value) {
+  declared_[name] = FlagInfo{help, default_value};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    if (!declared_.empty() && declared_.find(key) == declared_.end()) {
+      RCF_LOG_WARN << program_ << ": unknown flag --" << key;
+    }
+  }
+  return true;
+}
+
+bool CliParser::has(const std::string& name) const {
+  return values_.find(name) != values_.end();
+}
+
+std::string CliParser::get_string(const std::string& name,
+                                  const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t CliParser::get_int(const std::string& name,
+                                std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw InvalidArgument("flag --" + name + " expects an integer, got '" +
+                          it->second + "'");
+  }
+}
+
+double CliParser::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw InvalidArgument("flag --" + name + " expects a number, got '" +
+                          it->second + "'");
+  }
+}
+
+bool CliParser::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  const std::string& v = it->second;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::vector<std::int64_t> CliParser::get_int_list(
+    const std::string& name, const std::vector<std::int64_t>& fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  std::vector<std::int64_t> out;
+  std::stringstream ss(it->second);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(std::stoll(item));
+    }
+  }
+  return out;
+}
+
+std::vector<double> CliParser::get_double_list(
+    const std::string& name, const std::vector<double>& fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  std::vector<double> out;
+  std::stringstream ss(it->second);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(std::stod(item));
+    }
+  }
+  return out;
+}
+
+void CliParser::print_help() const {
+  std::printf("%s - %s\n\nFlags:\n", program_.c_str(), description_.c_str());
+  for (const auto& [name, info] : declared_) {
+    std::printf("  --%-24s %s", name.c_str(), info.help.c_str());
+    if (!info.default_value.empty()) {
+      std::printf(" (default: %s)", info.default_value.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("  --%-24s %s\n", "help", "print this message");
+}
+
+}  // namespace rcf

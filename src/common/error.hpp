@@ -1,0 +1,71 @@
+// Error types and runtime checking macros.
+//
+// The library reports contract violations and environmental failures via
+// exceptions (C++ Core Guidelines E.2); hot kernels use RCF_DCHECK which
+// compiles away in release builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rcf {
+
+/// Base class for all errors thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Violated precondition / invalid argument.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Shape mismatch between linear-algebra operands.
+class DimensionMismatch : public Error {
+ public:
+  explicit DimensionMismatch(const std::string& what) : Error(what) {}
+};
+
+/// I/O failure (file missing, parse error, ...).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  throw InvalidArgument(std::string("check failed: ") + expr + " at " + file +
+                        ":" + std::to_string(line) +
+                        (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace rcf
+
+/// Always-on precondition check; throws rcf::InvalidArgument on failure.
+#define RCF_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::rcf::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+    }                                                                  \
+  } while (false)
+
+/// Always-on precondition check with a context message.
+#define RCF_CHECK_MSG(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::rcf::detail::throw_check_failure(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                     \
+  } while (false)
+
+/// Debug-only check for hot paths; disappears when NDEBUG is defined.
+#ifndef NDEBUG
+#define RCF_DCHECK(expr) RCF_CHECK(expr)
+#else
+#define RCF_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#endif

@@ -1,0 +1,60 @@
+// Minimal leveled logger (stderr).  Controlled globally or via the
+// RCF_LOG_LEVEL environment variable (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rcf {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Parses "debug", "INFO", ... ; returns kInfo for unknown strings.
+[[nodiscard]] LogLevel parse_log_level(const std::string& text);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace rcf
+
+#define RCF_LOG(level)                                  \
+  if (static_cast<int>(level) <                         \
+      static_cast<int>(::rcf::log_level())) {           \
+  } else                                                \
+    ::rcf::detail::LogLine(level)
+
+#define RCF_LOG_TRACE RCF_LOG(::rcf::LogLevel::kTrace)
+#define RCF_LOG_DEBUG RCF_LOG(::rcf::LogLevel::kDebug)
+#define RCF_LOG_INFO RCF_LOG(::rcf::LogLevel::kInfo)
+#define RCF_LOG_WARN RCF_LOG(::rcf::LogLevel::kWarn)
+#define RCF_LOG_ERROR RCF_LOG(::rcf::LogLevel::kError)

@@ -1,0 +1,51 @@
+// ASCII table / CSV emitters used by the paper-reproduction benches to print
+// the same rows and series the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rcf {
+
+/// Column-aligned ASCII table.  Cells are strings; numeric helpers format
+/// with sensible precision.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Appends one row; its size must match the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column alignment and a header rule.
+  [[nodiscard]] std::string str() const;
+
+  /// Renders as CSV (no alignment padding).
+  [[nodiscard]] std::string csv() const;
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (trailing zeros kept).
+[[nodiscard]] std::string fmt_g(double value, int digits = 4);
+
+/// Formats a double in fixed notation with `digits` decimals.
+[[nodiscard]] std::string fmt_f(double value, int digits = 3);
+
+/// Formats a double in scientific notation with `digits` decimals.
+[[nodiscard]] std::string fmt_e(double value, int digits = 3);
+
+/// Formats an integer with thousands separators (1,234,567).
+[[nodiscard]] std::string fmt_count(std::uint64_t value);
+
+/// Formats a byte count in human units (KB / MB / GB; paper Table 2 style).
+[[nodiscard]] std::string fmt_bytes(std::uint64_t bytes);
+
+}  // namespace rcf

@@ -1,0 +1,173 @@
+#include "core/distributed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/engine.hpp"
+#include "core/momentum.hpp"
+#include "data/partition.hpp"
+#include "la/blas.hpp"
+#include "prox/operators.hpp"
+#include "sparse/gram.hpp"
+
+namespace rcf::core {
+
+SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
+                                        const SolverOptions& opts,
+                                        dist::ThreadGroup& group) {
+  RCF_CHECK_MSG(opts.k >= 1 && opts.s >= 1, "distributed: k, s must be >= 1");
+  RCF_CHECK_MSG(opts.sampling_rate > 0.0 && opts.sampling_rate <= 1.0,
+                "distributed: sampling_rate in (0, 1]");
+  RCF_CHECK_MSG(!opts.variance_reduction,
+                "distributed: variance reduction is not supported here");
+
+  WallTimer wall;
+  const std::size_t d = problem.dim();
+  const std::size_t m = problem.num_samples();
+  const auto mbar = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::floor(
+             opts.sampling_rate * static_cast<double>(m))));
+  // Same automatic step size as the sequential engine (bit-identical
+  // trajectories require the identical gamma).  In a real deployment each
+  // rank would run the probe redundantly from the shared seed.
+  const double gamma = auto_step_size(problem, opts, mbar);
+  const double lambda_gamma = problem.lambda() * gamma;
+  const int k = opts.k;
+  const int s_iters = opts.s;
+  const data::Partition partition(m, group.size());
+
+  la::Vector final_w(d);
+
+  group.run([&](dist::ThreadComm& comm) {
+    const int rank = comm.rank();
+    // Rank-local data block (stage-0 of Fig. 1: X column-partitioned, y
+    // row-partitioned).
+    const std::size_t lo = partition.begin(rank);
+    const std::size_t hi = partition.end(rank);
+    const sparse::CsrMatrix local_xt = problem.xt().slice_rows(lo, hi);
+    const la::Vector local_y(std::vector<double>(
+        problem.y().raw().begin() + static_cast<std::ptrdiff_t>(lo),
+        problem.y().raw().begin() + static_cast<std::ptrdiff_t>(hi)));
+
+    const MomentumSchedule outer_mu(opts.momentum);
+
+    // Packed allreduce buffer: kk * (d*d + d) doubles ([H_j | R_j] blocks).
+    std::vector<double> pack(static_cast<std::size_t>(k) * (d * d + d));
+    la::Matrix h_local(d, d);
+    la::Vector r_local(d);
+
+    la::Vector w(d), dw_prev(d), v(d);
+    la::Vector grad(d), theta(d), u(d);
+    std::vector<std::uint32_t> local_idx;
+    int update_counter = 0;
+    int momentum_base = 0;
+
+    for (int block_start = 1; block_start <= opts.max_iters;
+         block_start += k) {
+      const int kk = std::min(k, opts.max_iters - block_start + 1);
+
+      // Stages A + B: every rank draws the *global* index set from the
+      // shared (seed, n) stream -- no communication needed to agree on it --
+      // and accumulates the outer products of its own samples.
+      for (int j = 0; j < kk; ++j) {
+        const int n = block_start + j;
+        Rng rng(opts.seed, static_cast<std::uint64_t>(n));
+        const auto idx = rng.sample_without_replacement(m, mbar);
+        local_idx.clear();
+        for (const auto i : idx) {
+          if (i >= lo && i < hi) {
+            local_idx.push_back(static_cast<std::uint32_t>(i - lo));
+          }
+        }
+        h_local.fill(0.0);
+        la::set_zero(r_local.span());
+        sparse::accumulate_sampled_gram(
+            local_xt, local_y.span(), local_idx,
+            1.0 / static_cast<double>(idx.size()), h_local, r_local.span());
+        la::symmetrize_from_upper(h_local);
+        double* dst = pack.data() + static_cast<std::size_t>(j) * (d * d + d);
+        std::copy(h_local.data(), h_local.data() + d * d, dst);
+        std::copy(r_local.data(), r_local.data() + d, dst + d * d);
+      }
+
+      // Stage C: one allreduce combines all ranks' partial blocks.
+      comm.allreduce_sum(
+          {pack.data(), static_cast<std::size_t>(kk) * (d * d + d)});
+
+      // Stage D: redundant update sweeps on every rank -- the identical
+      // S-reuse recurrence the sequential engine performs.
+      for (int j = 0; j < kk; ++j) {
+        const double* hj = pack.data() + static_cast<std::size_t>(j) * (d * d + d);
+        const double* rj = hj + d * d;
+        auto apply_grad = [&](std::span<const double> at,
+                              std::span<double> out) {
+          // out = H_j at - R_j (rows of H_j are contiguous in the pack).
+          for (std::size_t row = 0; row < d; ++row) {
+            const double* hrow = hj + row * d;
+            double acc = 0.0;
+            for (std::size_t c = 0; c < d; ++c) {
+              acc += hrow[c] * at[c];
+            }
+            out[row] = acc - rj[row];
+          }
+        };
+
+        for (int s2 = 1; s2 <= s_iters; ++s2) {
+          apply_grad(v.span(), grad.span());
+          la::waxpby(1.0, v.span(), -gamma, grad.span(), theta.span());
+          prox::soft_threshold(theta.span(), lambda_gamma, u.span());
+          ++update_counter;
+          bool restarted = false;
+          if (opts.adaptive_restart) {
+            double dot_restart = 0.0;
+            for (std::size_t i = 0; i < d; ++i) {
+              dot_restart += (v[i] - u[i]) * (u[i] - w[i]);
+            }
+            if (dot_restart > 0.0) {
+              momentum_base = update_counter;
+              la::copy(u.span(), v.span());
+              la::copy(u.span(), w.span());
+              dw_prev.fill(0.0);
+              restarted = true;
+            }
+          }
+          if (!restarted) {
+            const int nn = update_counter - momentum_base;
+            const double mu_next =
+                std::min(outer_mu.mu(nn + 1), opts.momentum_cap);
+            const double mu_cur =
+                std::min(outer_mu.mu(nn), opts.momentum_cap);
+            for (std::size_t i = 0; i < d; ++i) {
+              const double dw = u[i] - w[i];
+              v[i] += (1.0 + mu_next) * dw - mu_cur * dw_prev[i];
+              dw_prev[i] = dw;
+              w[i] = u[i];
+            }
+          }
+        }
+      }
+    }
+
+    if (rank == 0) {
+      la::copy(w.span(), final_w.span());
+    }
+  });
+
+  SolveResult result;
+  result.solver = "rc-sfista-distributed";
+  result.w = final_w;
+  result.iterations = opts.max_iters;
+  result.objective = problem.objective(result.w.span());
+  if (!std::isnan(opts.f_star) && opts.f_star != 0.0) {
+    result.rel_error = std::abs((result.objective - opts.f_star) / opts.f_star);
+  }
+  result.wall_seconds = wall.seconds();
+  result.comm_stats = group.last_run_stats();
+  return result;
+}
+
+}  // namespace rcf::core

@@ -1,0 +1,44 @@
+// The unified RC-SFISTA execution engine (paper Alg. 5).
+//
+// One engine implements the whole solver family because the communication-
+// avoiding reformulations are *schedules*, not different arithmetic:
+//
+//   * k = 1, S = 1, b = 1      -> distributed FISTA (Alg. 2)
+//   * k = 1, S = 1, b < 1      -> SFISTA (Alg. 4)
+//   * k > 1                    -> iteration-overlapping RC-SFISTA
+//   * S > 1                    -> Hessian-reuse RC-SFISTA
+//   * variance_reduction       -> the Eq. 9 gradient estimator (Alg. 3)
+//
+// Because the per-iteration update code and the (seed, iteration)-keyed
+// sampling are shared, runs with different k produce bitwise identical
+// iterates -- the exact-arithmetic identity behind Fig. 2(b), testable at
+// EXPECT_EQ level.
+#pragma once
+
+#include <string>
+
+#include "core/options.hpp"
+#include "core/problem.hpp"
+#include "core/result.hpp"
+
+namespace rcf::core {
+
+/// Runs the engine on `problem` under `opts`; `solver_name` labels the
+/// result.  Throws InvalidArgument for inconsistent options.
+SolveResult run_sfista_engine(const LassoProblem& problem,
+                              const SolverOptions& opts,
+                              const std::string& solver_name);
+
+/// Validates engine options against a problem (exposed for the wrappers).
+void validate_options(const LassoProblem& problem, const SolverOptions& opts);
+
+/// The engine's automatic step size: opts.step_size if set, otherwise
+/// step_scale over the larger of the full-Gram Lipschitz constant and a
+/// probed spectral norm of sampled Gram draws (individual H_S can exceed L
+/// substantially when mbar is small relative to d).  Shared by the
+/// sequential engine and the distributed SPMD path so both run the exact
+/// same trajectory.
+double auto_step_size(const LassoProblem& problem, const SolverOptions& opts,
+                      std::size_t mbar);
+
+}  // namespace rcf::core

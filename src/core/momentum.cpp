@@ -1,0 +1,44 @@
+#include "core/momentum.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rcf::core {
+
+MomentumSchedule::MomentumSchedule(MomentumRule rule) : rule_(rule) {
+  t_.push_back(1.0);  // t_0 = 1 (Alg. 2 line 1)
+}
+
+void MomentumSchedule::extend(int n) const {
+  while (static_cast<int>(t_.size()) <= n) {
+    const double prev = t_.back();
+    double next = 1.0;
+    switch (rule_) {
+      case MomentumRule::kFista:
+        next = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * prev * prev));
+        break;
+      case MomentumRule::kPaperTypo:
+        next = 0.5 * (1.0 + std::sqrt(1.0 + prev * prev));
+        break;
+      case MomentumRule::kNone:
+        next = 1.0;  // keeps mu == 0 forever
+        break;
+    }
+    t_.push_back(next);
+  }
+}
+
+double MomentumSchedule::t(int n) const {
+  RCF_CHECK_MSG(n >= 0, "MomentumSchedule::t: n must be >= 0");
+  extend(n);
+  return t_[n];
+}
+
+double MomentumSchedule::mu(int n) const {
+  RCF_CHECK_MSG(n >= 1, "MomentumSchedule::mu: n must be >= 1");
+  extend(n);
+  return (t_[n - 1] - 1.0) / t_[n];
+}
+
+}  // namespace rcf::core

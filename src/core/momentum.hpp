@@ -1,0 +1,35 @@
+// The FISTA momentum schedule t_n / mu_n.
+//
+// RC-SFISTA's unrolled recurrence (paper Eq. 17/20) needs mu at arbitrary
+// future indices (mu_{nk+j+1} is consumed one iteration ahead), so the
+// schedule is exposed as a random-access pure function of n rather than a
+// stateful generator.
+#pragma once
+
+#include <vector>
+
+#include "core/options.hpp"
+
+namespace rcf::core {
+
+class MomentumSchedule {
+ public:
+  explicit MomentumSchedule(MomentumRule rule);
+
+  /// t_n for n >= 0 (t_0 = 1).
+  [[nodiscard]] double t(int n) const;
+
+  /// mu_n = (t_{n-1} - 1) / t_n for n >= 1; the extrapolation weight of
+  /// iteration n (Alg. 4 line 6).  mu_1 == 0 for every rule.
+  [[nodiscard]] double mu(int n) const;
+
+  [[nodiscard]] MomentumRule rule() const { return rule_; }
+
+ private:
+  void extend(int n) const;
+
+  MomentumRule rule_;
+  mutable std::vector<double> t_;  // lazily grown table
+};
+
+}  // namespace rcf::core

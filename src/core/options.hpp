@@ -1,0 +1,145 @@
+// Solver configuration types.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "model/cost.hpp"
+#include "model/machine.hpp"
+
+namespace rcf::prox {
+class Regularizer;
+}
+
+namespace rcf::core {
+
+/// Momentum (acceleration) rule for the t_n / mu_n sequence.
+enum class MomentumRule {
+  /// Standard FISTA (Beck & Teboulle): t_n = (1 + sqrt(1 + 4 t_{n-1}^2)) / 2.
+  kFista,
+  /// The rule as literally printed in the paper's Alg. 2-4:
+  /// t_n = (1 + sqrt(1 + t_{n-1}^2)) / 2.  Converges to t = 4/3 and loses
+  /// acceleration; kept for the ablation study (see DESIGN.md).
+  kPaperTypo,
+  /// No momentum (mu = 0): plain proximal gradient / ISTA.
+  kNone,
+};
+
+/// Options shared by the FISTA-family solvers (FISTA / SFISTA / RC-SFISTA).
+///
+/// The defaults run RC-SFISTA with k = S = 1 and full sampling, which is
+/// exactly distributed FISTA.  Parameter names follow the paper: b is the
+/// sampling rate, k the iteration-overlapping depth, s the Hessian-reuse
+/// inner iterations.
+struct SolverOptions {
+  // -- iteration control ----------------------------------------------------
+  int max_iters = 500;  ///< N, total inner iterations.
+  /// Stop when the relative objective error |F(w)-F*|/|F*| <= tol; requires
+  /// f_star.  The paper uses tol = 0.01 for the speedup experiments.
+  double tol = 0.0;
+  /// Reference optimum F(w*) from the reference solver (the paper computes
+  /// it with TFOCS).  NaN disables the relative-error stopping criterion.
+  double f_star = std::numeric_limits<double>::quiet_NaN();
+
+  // -- step size ------------------------------------------------------------
+  /// Explicit step size gamma; 0 selects 1/L (L from power iteration)
+  /// scaled by step_scale.
+  double step_size = 0.0;
+  double step_scale = 1.0;
+  MomentumRule momentum = MomentumRule::kFista;
+  /// Upper bound on the extrapolation weight mu_n (1 = the unmodified
+  /// schedule).  FISTA's mu -> 1 amplifies sampled-gradient noise without
+  /// bound; with small batches relative to d (rank-deficient sampled
+  /// Hessians) a cap restores stability at a modest cost in acceleration.
+  double momentum_cap = 1.0;
+  /// O'Donoghue-Candes gradient-based adaptive restart: reset the momentum
+  /// counter whenever the momentum direction opposes the latest step.  A
+  /// trajectory-determined decision, so the k-invariance of RC-SFISTA is
+  /// preserved.
+  bool adaptive_restart = false;
+
+  // -- stochastic sampling (SFISTA, §3.1) ------------------------------------
+  double sampling_rate = 1.0;  ///< b in (0, 1]; mbar = max(1, floor(b*m)).
+  /// Variance reduction (Eq. 9): anchor the sampled gradient at a snapshot
+  /// refreshed every epoch_length iterations (Alg. 3's outer loop).
+  bool variance_reduction = false;
+  int epoch_length = 50;  ///< N of Alg. 3 when variance_reduction is on.
+  /// Alg. 3 as printed restarts the momentum sequence at every snapshot
+  /// (w_0 = w_hat, t_0 = 1).  On ill-conditioned problems the restart
+  /// forfeits the accumulated acceleration, so the default refreshes the
+  /// anchor while keeping the momentum recurrence running; set true for the
+  /// literal Alg. 3 behaviour.
+  bool vr_restart_momentum = false;
+
+  // -- communication-avoiding parameters (§3.2) ------------------------------
+  int k = 1;  ///< iteration-overlapping depth (k >= 1).
+  int s = 1;  ///< Hessian-reuse inner iterations (S >= 1).
+
+  // -- regularizer override ----------------------------------------------------
+  /// When non-null, replaces the problem's l1 term: the prox step applies
+  /// this operator and the reported objective is smooth_value + g(w).
+  /// Must outlive the solve.  Null keeps the paper's lambda ||w||_1.
+  const prox::Regularizer* regularizer = nullptr;
+
+  // -- reproducibility --------------------------------------------------------
+  std::uint64_t seed = 42;
+
+  // -- history ----------------------------------------------------------------
+  bool track_history = true;
+  int history_stride = 1;  ///< record every n-th iteration.
+
+  // -- cost model (simulated distributed execution) ---------------------------
+  int procs = 1;  ///< P, logical processor count for cost accounting.
+  model::CollectiveModel collective = model::CollectiveModel::kPaperLogP;
+  model::MachineSpec machine = model::comet();
+};
+
+/// Inner solver choice for the proximal Newton driver (Alg. 1).
+enum class PnInnerSolver {
+  /// Deterministic FISTA on the exact subproblem: one d^2 Hessian allreduce
+  /// per outer iteration, then local inner iterations (the Fig. 7 baseline).
+  kFista,
+  /// RC-SFISTA: resamples the Hessian every inner iteration with k-deep
+  /// iteration overlapping (the paper's proposal).
+  kRcSfista,
+};
+
+/// Options for the proximal Newton driver.
+struct PnOptions {
+  int max_outer = 30;             ///< outer Newton iterations.
+  int inner_iters = 40;           ///< inner-solver iterations per subproblem.
+  double hessian_sampling_rate = 0.1;  ///< b for the outer Hessian estimate.
+  double damping = 1.0;           ///< gamma_n of Alg. 1 line 6.
+  PnInnerSolver inner = PnInnerSolver::kFista;
+  int k = 1;                      ///< overlap depth for the RC-SFISTA inner.
+  int s = 1;                      ///< Hessian-reuse for the RC-SFISTA inner.
+  double tol = 0.0;
+  double f_star = std::numeric_limits<double>::quiet_NaN();
+  std::uint64_t seed = 42;
+  bool track_history = true;
+  int procs = 1;
+  model::CollectiveModel collective = model::CollectiveModel::kPaperLogP;
+  model::MachineSpec machine = model::comet();
+};
+
+/// Aggregation mode for the ProxCoCoA baseline.
+enum class CocoaAggregation {
+  kAverage,  ///< conservative averaging (sigma' = 1, scaled by 1/P)
+  kAdding,   ///< adding updates (sigma' = P subproblem scaling)
+};
+
+/// Options for the ProxCoCoA baseline (Smith et al. 2015).
+struct CocoaOptions {
+  int max_rounds = 200;     ///< communication rounds.
+  int local_epochs = 1;     ///< local coordinate-descent passes per round.
+  CocoaAggregation aggregation = CocoaAggregation::kAdding;
+  double tol = 0.0;
+  double f_star = std::numeric_limits<double>::quiet_NaN();
+  std::uint64_t seed = 42;
+  bool track_history = true;
+  int procs = 1;
+  model::CollectiveModel collective = model::CollectiveModel::kPaperLogP;
+  model::MachineSpec machine = model::comet();
+};
+
+}  // namespace rcf::core

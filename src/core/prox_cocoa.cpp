@@ -1,0 +1,176 @@
+#include "core/prox_cocoa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "data/partition.hpp"
+#include "la/blas.hpp"
+#include "prox/operators.hpp"
+
+namespace rcf::core {
+
+namespace {
+using model::Phase;
+}
+
+SolveResult solve_prox_cocoa(const LassoProblem& problem,
+                             const CocoaOptions& opts) {
+  RCF_CHECK_MSG(opts.max_rounds >= 1, "cocoa: max_rounds must be >= 1");
+  RCF_CHECK_MSG(opts.local_epochs >= 1, "cocoa: local_epochs must be >= 1");
+  RCF_CHECK_MSG(opts.procs >= 1, "cocoa: procs must be >= 1");
+  if (opts.tol > 0.0) {
+    RCF_CHECK_MSG(!std::isnan(opts.f_star), "cocoa: tol requires f_star");
+  }
+
+  WallTimer wall;
+  const std::size_t d = problem.dim();
+  const std::size_t m = problem.num_samples();
+  const auto md = static_cast<double>(m);
+  const double lambda = problem.lambda();
+
+  // Feature-major view: row j of `features` is column x_j of X^T.
+  const sparse::CsrMatrix features = problem.xt().transposed();
+  std::vector<double> col_sq_norm(d, 0.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    const auto row = features.row(j);
+    col_sq_norm[j] = la::dot(row.vals, row.vals);
+  }
+
+  const data::Partition fpart(d, opts.procs);
+  const double sigma_prime =
+      opts.aggregation == CocoaAggregation::kAdding
+          ? static_cast<double>(opts.procs)
+          : 1.0;
+  const double apply_scale =
+      opts.aggregation == CocoaAggregation::kAdding
+          ? 1.0
+          : 1.0 / static_cast<double>(opts.procs);
+
+  SolveResult result;
+  result.solver = "prox-cocoa";
+  result.cost = model::CostTracker(opts.collective);
+  model::CostTracker& cost = result.cost;
+  std::uint64_t comm_rounds = 0;
+
+  // Global state: w and the shared residual res = X^T w - y.
+  la::Vector w(d);
+  la::Vector res(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    res[i] = -problem.y()[i];
+  }
+
+  // Per-worker scratch.
+  la::Vector res_local(m);
+  la::Vector res_accum(m);  // sum over workers of scaled local updates
+  std::vector<double> w_stage(d);
+
+  bool done = false;
+  int round = 0;
+  for (round = 1; round <= opts.max_rounds && !done; ++round) {
+    la::set_zero(res_accum.span());
+    std::copy(w.begin(), w.end(), w_stage.begin());
+    double max_rank_flops = 0.0;
+
+    for (int p = 0; p < opts.procs; ++p) {
+      // Worker p starts from the round-stale shared residual.
+      la::copy(res.span(), res_local.span());
+      double rank_flops = 0.0;
+
+      // Local coordinate order reshuffled per (round, worker).
+      std::vector<std::uint32_t> order;
+      order.reserve(fpart.size(p));
+      for (std::size_t j = fpart.begin(p); j < fpart.end(p); ++j) {
+        order.push_back(static_cast<std::uint32_t>(j));
+      }
+      Rng rng(opts.seed,
+              (static_cast<std::uint64_t>(round) << 16) +
+                  static_cast<std::uint64_t>(p));
+      std::shuffle(order.begin(), order.end(), rng);
+
+      for (int epoch = 0; epoch < opts.local_epochs; ++epoch) {
+        for (const std::uint32_t j : order) {
+          const double q = col_sq_norm[j];
+          if (q == 0.0) {
+            continue;
+          }
+          const auto col = features.row(j);
+          // Local subproblem coordinate step with the sigma'-scaled
+          // quadratic term:
+          //   min_u (sigma' q / 2m)(u - w_j)^2 + (1/m) x_j^T res (u - w_j)
+          //         + lambda |u|
+          double b = 0.0;
+          for (std::size_t i = 0; i < col.nnz(); ++i) {
+            b += col.vals[i] * res_local[col.cols[i]];
+          }
+          b /= md;
+          const double a = sigma_prime * q / md;
+          const double u =
+              prox::soft_threshold(w_stage[j] - b / a, lambda / a);
+          const double delta = u - w_stage[j];
+          if (delta != 0.0) {
+            w_stage[j] = u;
+            for (std::size_t i = 0; i < col.nnz(); ++i) {
+              res_local[col.cols[i]] += delta * col.vals[i];
+            }
+          }
+          rank_flops += 4.0 * static_cast<double>(col.nnz()) + 6.0;
+        }
+      }
+
+      // Worker p's staged residual delta, scaled by the aggregation rule.
+      for (std::size_t i = 0; i < m; ++i) {
+        res_accum[i] += apply_scale * (res_local[i] - res[i]);
+      }
+      max_rank_flops = std::max(max_rank_flops, rank_flops);
+    }
+
+    // One allreduce of the m-word residual update per round.
+    la::axpy(1.0, res_accum.span(), res.span());
+    if (apply_scale != 1.0) {
+      // Averaging also scales the coordinate moves themselves.
+      for (std::size_t j = 0; j < d; ++j) {
+        w[j] += apply_scale * (w_stage[j] - w[j]);
+      }
+    } else {
+      std::copy(w_stage.begin(), w_stage.end(), w.begin());
+    }
+    cost.add_flops(Phase::kUpdate, max_rank_flops);
+    cost.add_allreduce(opts.procs, m);
+    ++comm_rounds;
+
+    // Objective from the maintained residual (exact by construction).
+    const double objective =
+        0.5 * la::dot(res.span(), res.span()) / md + lambda * la::asum(w.span());
+    double rel_error = std::numeric_limits<double>::quiet_NaN();
+    if (!std::isnan(opts.f_star) && opts.f_star != 0.0) {
+      rel_error = std::abs((objective - opts.f_star) / opts.f_star);
+    }
+    if (opts.track_history) {
+      result.history.push_back(IterationRecord{
+          round, objective, rel_error, cost.seconds(opts.machine),
+          comm_rounds});
+    }
+    if (opts.tol > 0.0 && !std::isnan(rel_error) && rel_error <= opts.tol) {
+      result.converged = true;
+      done = true;
+    }
+  }
+
+  result.w = w;
+  result.iterations = std::min(round, opts.max_rounds);
+  result.objective = problem.objective(result.w.span());
+  if (!std::isnan(opts.f_star) && opts.f_star != 0.0) {
+    result.rel_error = std::abs((result.objective - opts.f_star) / opts.f_star);
+  }
+  result.sim_seconds = cost.seconds(opts.machine);
+  result.wall_seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace rcf::core

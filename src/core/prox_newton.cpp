@@ -1,0 +1,287 @@
+#include "core/prox_newton.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/momentum.hpp"
+#include "data/partition.hpp"
+#include "la/blas.hpp"
+#include "la/eigen.hpp"
+#include "prox/operators.hpp"
+#include "sparse/gram.hpp"
+
+namespace rcf::core {
+
+namespace {
+
+using model::Phase;
+
+/// Charges the per-rank critical-path flops of one sampled Gram
+/// accumulation.
+void charge_gram(model::CostTracker& cost, const sparse::CsrMatrix& xt,
+                 std::span<const std::uint32_t> idx,
+                 const data::Partition& partition, int procs) {
+  if (procs == 1) {
+    cost.add_flops(Phase::kGram,
+                   static_cast<double>(sparse::sampled_gram_flops(xt, idx)));
+    return;
+  }
+  const auto splits = partition.split_sorted(idx);
+  std::uint64_t max_rank = 0;
+  for (const auto& span : splits) {
+    max_rank = std::max(max_rank, sparse::sampled_gram_flops(xt, span));
+  }
+  cost.add_flops(Phase::kGram, static_cast<double>(max_rank));
+}
+
+/// Applies the sampled-Hessian operator z -> (1/mbar) X_S (X_S^T z) using
+/// the row-sampled matrix (no d x d materialization).  This is the
+/// distributed baseline's gradient kernel: each rank applies its slice and
+/// the length-d partial sums are allreduced.
+struct SampledHessianOp {
+  const sparse::CsrMatrix* xs = nullptr;  // mbar x d
+  mutable std::vector<double> tmp;        // length mbar
+
+  void apply(std::span<const double> z, std::span<double> out) const {
+    tmp.resize(xs->rows());
+    xs->spmv(z, tmp);
+    xs->spmv_t(tmp, out);
+    la::scal(1.0 / static_cast<double>(xs->rows()), out);
+  }
+
+  /// Cost of one apply: two SpMVs.
+  [[nodiscard]] double flops() const {
+    return 4.0 * static_cast<double>(xs->nnz());
+  }
+};
+
+}  // namespace
+
+SolveResult solve_proximal_newton(const LassoProblem& problem,
+                                  const PnOptions& opts) {
+  RCF_CHECK_MSG(opts.max_outer >= 1, "pn: max_outer must be >= 1");
+  RCF_CHECK_MSG(opts.inner_iters >= 1, "pn: inner_iters must be >= 1");
+  RCF_CHECK_MSG(opts.k >= 1 && opts.s >= 1, "pn: k and s must be >= 1");
+  RCF_CHECK_MSG(opts.hessian_sampling_rate > 0.0 &&
+                    opts.hessian_sampling_rate <= 1.0,
+                "pn: hessian_sampling_rate must be in (0, 1]");
+  RCF_CHECK_MSG(opts.damping > 0.0 && opts.damping <= 1.0,
+                "pn: damping must be in (0, 1]");
+  if (opts.tol > 0.0) {
+    RCF_CHECK_MSG(!std::isnan(opts.f_star), "pn: tol requires f_star");
+  }
+
+  WallTimer wall;
+  const std::size_t d = problem.dim();
+  const std::size_t m = problem.num_samples();
+  const auto mbar = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::floor(opts.hessian_sampling_rate * static_cast<double>(m))));
+  const data::Partition partition(m, opts.procs);
+  const double lambda = problem.lambda();
+
+  SolveResult result;
+  result.solver = opts.inner == PnInnerSolver::kFista ? "pn-fista"
+                                                      : "pn-rc-sfista";
+  result.cost = model::CostTracker(opts.collective);
+  model::CostTracker& cost = result.cost;
+  std::uint64_t comm_rounds = 0;
+
+  la::Vector w(d), grad(d), z(d);
+
+  // RC-SFISTA inner blocks.
+  const int k = opts.k;
+  std::vector<la::Matrix> h_blocks;
+  std::vector<la::Vector> r_blocks;
+  if (opts.inner == PnInnerSolver::kRcSfista) {
+    for (int j = 0; j < k; ++j) {
+      h_blocks.emplace_back(d, d);
+      r_blocks.emplace_back(d);
+    }
+  }
+  const MomentumSchedule outer_mu(MomentumRule::kFista);
+  const MomentumSchedule inner_mu(MomentumRule::kFista);
+
+  double objective = problem.objective(w.span());
+
+  bool done = false;
+  int outer = 0;
+  for (outer = 1; outer <= opts.max_outer && !done; ++outer) {
+    // Exact gradient of f at w_n: two SpMVs over distributed data plus one
+    // allreduce of the length-d partial sums.
+    problem.full_gradient(w.span(), grad.span());
+    cost.add_flops(Phase::kGram, 4.0 * static_cast<double>(problem.xt().nnz()) /
+                                     static_cast<double>(opts.procs));
+    cost.add_allreduce(opts.procs, d);
+    ++comm_rounds;
+
+    // Line 3 of Alg. 1: the sampled-Hessian index set for this outer
+    // iteration (same stream on all ranks; paper §5.5 seeds all processors
+    // identically).
+    Rng hrng(opts.seed, static_cast<std::uint64_t>(outer) << 20);
+    const auto hidx = hrng.sample_without_replacement(m, mbar);
+    const sparse::CsrMatrix xs = problem.xt().select_rows(hidx);
+    SampledHessianOp hop{&xs, {}};
+
+    // Step size for the quadratic subproblem: the largest eigenvalue of the
+    // sampled Hessian, via distributed power iteration (each apply costs two
+    // SpMVs per rank and one d-word allreduce).
+    const auto power = la::power_iteration(
+        [&hop](std::span<const double> v, std::span<double> out) {
+          hop.apply(v, out);
+        },
+        d, /*max_iters=*/60, /*tol=*/1e-4,
+        derive_seed(opts.seed, static_cast<std::uint64_t>(outer)));
+    cost.add_flops(Phase::kGram, power.iterations * hop.flops() /
+                                     static_cast<double>(opts.procs));
+    cost.add_comm(
+        power.iterations *
+            model::allreduce_cost(opts.collective, opts.procs, d).messages,
+        power.iterations *
+            model::allreduce_cost(opts.collective, opts.procs, d).words);
+    comm_rounds += power.iterations;
+    // Safety margin: RC-SFISTA resamples the Hessian every inner iteration,
+    // so individual draws can exceed this estimate.
+    const double l_hat = std::max(power.eigenvalue, 1e-300);
+    const double gamma =
+        (opts.inner == PnInnerSolver::kRcSfista ? 1.0 / (1.5 * l_hat)
+                                                : 1.0 / l_hat);
+    const double lambda_gamma = lambda * gamma;
+
+    if (opts.inner == PnInnerSolver::kFista) {
+      // Baseline (Fig. 7 denominator): deterministic FISTA on the fixed
+      // sampled Hessian, with the subproblem gradient H~ (y - w) + grad
+      // computed distributed *every inner iteration*: two local SpMVs and
+      // one allreduce of a d-vector per iteration.
+      la::Vector u(d), u_prev(d), v(d), g(d), theta(d), tmp(d);
+      la::copy(w.span(), u.span());
+      la::copy(w.span(), u_prev.span());
+      for (int n = 1; n <= opts.inner_iters; ++n) {
+        const double m_n = outer_mu.mu(n);
+        la::waxpby(1.0 + m_n, u.span(), -m_n, u_prev.span(), v.span());
+        la::waxpby(1.0, v.span(), -1.0, w.span(), tmp.span());
+        hop.apply(tmp.span(), g.span());
+        la::axpy(1.0, grad.span(), g.span());
+        la::waxpby(1.0, v.span(), -gamma, g.span(), theta.span());
+        std::swap(u, u_prev);
+        prox::soft_threshold(theta.span(), lambda_gamma, u.span());
+        cost.add_flops(Phase::kUpdate,
+                       hop.flops() / static_cast<double>(opts.procs) +
+                           12.0 * static_cast<double>(d));
+        cost.add_allreduce(opts.procs, d);
+        ++comm_rounds;
+      }
+      la::copy(u.span(), z.span());
+    } else {
+      // RC-SFISTA inner solver: fresh sampled Hessian every inner iteration,
+      // k-overlapped allreduces of [H|R] blocks, S-deep Hessian reuse.
+      la::Vector u(d), dw_prev(d), v(d), g(d), theta(d), tmp(d), su(d);
+      la::copy(w.span(), u.span());
+      la::copy(w.span(), v.span());
+      int inner_done = 0;
+      int update_counter = 0;
+      while (inner_done < opts.inner_iters) {
+        const int kk = std::min(k, opts.inner_iters - inner_done);
+        for (int j = 0; j < kk; ++j) {
+          const auto stream =
+              (static_cast<std::uint64_t>(outer) << 20) +
+              static_cast<std::uint64_t>(inner_done + j + 1);
+          Rng rng(opts.seed, stream);
+          const auto idx = rng.sample_without_replacement(m, mbar);
+          sparse::sampled_gram(problem.xt(), problem.y().span(), idx,
+                               h_blocks[j], r_blocks[j]);
+          charge_gram(cost, problem.xt(), idx, partition, opts.procs);
+        }
+        cost.add_allreduce(opts.procs,
+                           static_cast<std::uint64_t>(kk) * d * d);
+        ++comm_rounds;
+        for (int j = 0; j < kk; ++j) {
+          const la::Matrix& hj = h_blocks[j];
+          // Subproblem gradient at a point: hj (point - w) + grad.
+          auto subgrad = [&](std::span<const double> at,
+                             std::span<double> out) {
+            la::waxpby(1.0, at, -1.0, w.span(), tmp.span());
+            la::gemv(1.0, hj, tmp.span(), 0.0, out);
+            la::axpy(1.0, grad.span(), out);
+          };
+          // S reuse steps per block, each a standard recurrence update on
+          // the shared momentum counter (same semantics as the engine).
+          for (int s2 = 1; s2 <= opts.s; ++s2) {
+            subgrad(v.span(), g.span());
+            la::waxpby(1.0, v.span(), -gamma, g.span(), theta.span());
+            prox::soft_threshold(theta.span(), lambda_gamma, su.span());
+            ++update_counter;
+            const double mu_next = inner_mu.mu(update_counter + 1);
+            const double mu_cur = inner_mu.mu(update_counter);
+            for (std::size_t i = 0; i < d; ++i) {
+              const double dw = su[i] - u[i];
+              v[i] += (1.0 + mu_next) * dw - mu_cur * dw_prev[i];
+              dw_prev[i] = dw;
+              u[i] = su[i];
+            }
+          }
+          const double dd = static_cast<double>(d);
+          cost.add_flops(Phase::kUpdate,
+                         static_cast<double>(opts.s) *
+                                 (2.0 * dd * dd + 10.0 * dd) +
+                             6.0 * dd);
+        }
+        inner_done += kk;
+      }
+      la::copy(u.span(), z.span());
+    }
+
+    // Lines 5-6 of Alg. 1 with a monotonicity safeguard: halve the damping
+    // until the objective does not increase (the subproblem Hessian is a
+    // random estimate, so an occasional bad direction is expected).
+    double step = opts.damping;
+    la::Vector trial(d);
+    double trial_obj = objective;
+    for (int attempt = 0; attempt < 30; ++attempt) {
+      for (std::size_t i = 0; i < d; ++i) {
+        trial[i] = w[i] + step * (z[i] - w[i]);
+      }
+      trial_obj = problem.objective(trial.span());
+      if (trial_obj <= objective) {
+        break;
+      }
+      step *= 0.5;
+    }
+    if (trial_obj <= objective) {
+      std::swap(w, trial);
+      objective = trial_obj;
+    }
+    cost.add_flops(Phase::kUpdate, 3.0 * static_cast<double>(d));
+
+    double rel_error = std::numeric_limits<double>::quiet_NaN();
+    if (!std::isnan(opts.f_star) && opts.f_star != 0.0) {
+      rel_error = std::abs((objective - opts.f_star) / opts.f_star);
+    }
+    if (opts.track_history) {
+      result.history.push_back(IterationRecord{
+          outer, objective, rel_error, cost.seconds(opts.machine),
+          comm_rounds});
+    }
+    if (opts.tol > 0.0 && !std::isnan(rel_error) && rel_error <= opts.tol) {
+      result.converged = true;
+      done = true;
+    }
+  }
+
+  result.w = w;
+  result.iterations = std::min(outer, opts.max_outer);
+  result.objective = objective;
+  if (!std::isnan(opts.f_star) && opts.f_star != 0.0) {
+    result.rel_error = std::abs((result.objective - opts.f_star) / opts.f_star);
+  }
+  result.sim_seconds = cost.seconds(opts.machine);
+  result.wall_seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace rcf::core

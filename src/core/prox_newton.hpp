@@ -1,0 +1,27 @@
+// Proximal Newton driver (paper Alg. 1).
+//
+// Each outer iteration approximates the Hessian by uniform sampling (line 3),
+// solves the quadratic subproblem
+//
+//   z_n = argmin_y  1/2 (y-w_n)^T H_n (y-w_n) + grad f(w_n)^T (y-w_n) + g(y)
+//
+// with a first-order inner solver (line 4), and takes a damped step.  Two
+// inner solvers are provided (paper §3.3 / Fig. 7):
+//
+//  * PnInnerSolver::kFista    -- one sampled-Hessian allreduce (d^2 words)
+//    per outer iteration, then purely local FISTA inner iterations.
+//  * PnInnerSolver::kRcSfista -- the inner solver re-estimates the Hessian
+//    by sampling at every inner iteration, overlapped k at a time: one
+//    allreduce of k*d^2 words per k inner iterations, plus Hessian-reuse S.
+#pragma once
+
+#include "core/options.hpp"
+#include "core/problem.hpp"
+#include "core/result.hpp"
+
+namespace rcf::core {
+
+SolveResult solve_proximal_newton(const LassoProblem& problem,
+                                  const PnOptions& opts);
+
+}  // namespace rcf::core

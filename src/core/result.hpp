@@ -1,0 +1,56 @@
+// Solver result types.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "dist/comm.hpp"
+#include "la/vector.hpp"
+#include "model/cost.hpp"
+
+namespace rcf::core {
+
+/// One point of the convergence history.
+struct IterationRecord {
+  int iteration = 0;        ///< global iteration index n (1-based).
+  double objective = 0.0;   ///< F(w_n).
+  /// Relative objective error e_n = |F(w_n) - F*| / |F*| (paper §5.1);
+  /// NaN if no reference optimum was supplied.
+  double rel_error = std::numeric_limits<double>::quiet_NaN();
+  /// Modeled wall-clock up to and including this iteration (seconds under
+  /// the options' MachineSpec).
+  double sim_seconds = 0.0;
+  /// Communication rounds performed so far.
+  std::uint64_t comm_rounds = 0;
+
+  // Raw machine-independent counters (cumulative), recorded so a single
+  // trajectory can be re-costed for any (P, machine, collective) without
+  // re-running -- the per-iteration numerics are P-independent (the
+  // allreduce always reconstructs the full Gram blocks).
+  double raw_gram_flops = 0.0;    ///< total Gram flops across all ranks.
+  double raw_update_flops = 0.0;  ///< per-rank redundant update flops.
+  double comm_payload_words = 0.0;  ///< allreduce payload (pre-collective).
+};
+
+/// Outcome of a solve.
+struct SolveResult {
+  la::Vector w;              ///< final iterate.
+  std::string solver;        ///< solver name ("rc-sfista", ...).
+  int iterations = 0;        ///< iterations actually executed.
+  bool converged = false;    ///< tol-based stop triggered.
+  double objective = 0.0;    ///< F at the final iterate.
+  double rel_error = std::numeric_limits<double>::quiet_NaN();
+  std::vector<IterationRecord> history;
+
+  /// alpha-beta-gamma counters accumulated by the run.
+  model::CostTracker cost;
+  /// Modeled runtime under the options' machine spec.
+  double sim_seconds = 0.0;
+  /// Real wall time of the (sequential or threaded) execution.
+  double wall_seconds = 0.0;
+  /// Collective-operation statistics (real backends only).
+  dist::CommStats comm_stats;
+};
+
+}  // namespace rcf::core

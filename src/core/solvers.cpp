@@ -1,0 +1,33 @@
+#include "core/solvers.hpp"
+
+namespace rcf::core {
+
+SolveResult solve_ista(const LassoProblem& problem, SolverOptions opts) {
+  opts.momentum = MomentumRule::kNone;
+  opts.sampling_rate = 1.0;
+  opts.k = 1;
+  opts.s = 1;
+  opts.variance_reduction = false;
+  return run_sfista_engine(problem, opts, "ista");
+}
+
+SolveResult solve_fista(const LassoProblem& problem, SolverOptions opts) {
+  opts.sampling_rate = 1.0;
+  opts.k = 1;
+  opts.s = 1;
+  opts.variance_reduction = false;
+  return run_sfista_engine(problem, opts, "fista");
+}
+
+SolveResult solve_sfista(const LassoProblem& problem, SolverOptions opts) {
+  opts.k = 1;
+  opts.s = 1;
+  return run_sfista_engine(problem, opts, "sfista");
+}
+
+SolveResult solve_rc_sfista(const LassoProblem& problem,
+                            const SolverOptions& opts) {
+  return run_sfista_engine(problem, opts, "rc-sfista");
+}
+
+}  // namespace rcf::core

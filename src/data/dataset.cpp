@@ -1,0 +1,78 @@
+#include "data/dataset.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace rcf::data {
+
+void Dataset::validate() const {
+  RCF_CHECK_MSG(xt.rows() == y.size(),
+                "dataset '" + name + "': label count != sample count");
+  RCF_CHECK_MSG(xt.rows() > 0 && xt.cols() > 0,
+                "dataset '" + name + "': empty shape");
+}
+
+void normalize_features(Dataset& dataset) {
+  dataset.validate();
+  const std::size_t m = dataset.num_samples();
+  const std::size_t d = dataset.num_features();
+
+  // Column 2-norms of X^T.
+  std::vector<double> col_norm_sq(d, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    const auto row = dataset.xt.row(r);
+    for (std::size_t i = 0; i < row.nnz(); ++i) {
+      col_norm_sq[row.cols[i]] += row.vals[i] * row.vals[i];
+    }
+  }
+  std::vector<double> inv_norm(d, 1.0);
+  for (std::size_t c = 0; c < d; ++c) {
+    if (col_norm_sq[c] > 0.0) {
+      inv_norm[c] = 1.0 / std::sqrt(col_norm_sq[c]);
+    }
+  }
+
+  // Rebuild the CSR values in place via from_parts (values are mutable only
+  // at construction; we copy the arrays).
+  std::vector<std::size_t> row_ptr(dataset.xt.row_ptr().begin(),
+                                   dataset.xt.row_ptr().end());
+  std::vector<std::uint32_t> col_idx(dataset.xt.col_idx().begin(),
+                                     dataset.xt.col_idx().end());
+  std::vector<double> values(dataset.xt.values().begin(),
+                             dataset.xt.values().end());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] *= inv_norm[col_idx[i]];
+  }
+  dataset.xt = sparse::CsrMatrix::from_parts(m, d, std::move(row_ptr),
+                                             std::move(col_idx),
+                                             std::move(values));
+
+  // Center the labels.
+  double mean = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    mean += dataset.y[i];
+  }
+  mean /= static_cast<double>(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    dataset.y[i] -= mean;
+  }
+}
+
+std::string describe(const Dataset& dataset) {
+  std::ostringstream os;
+  os << dataset.name << ": m=" << dataset.num_samples()
+     << " samples, d=" << dataset.num_features() << " features, nnz="
+     << dataset.nnz() << " (density " << fmt_f(100.0 * dataset.density(), 2)
+     << "%), " << fmt_bytes(dataset.size_bytes());
+  if (dataset.scale != 1.0) {
+    os << " [clone of " << dataset.paper_rows << "x" << dataset.paper_cols
+       << " at scale " << fmt_g(dataset.scale, 3) << "]";
+  }
+  return os.str();
+}
+
+}  // namespace rcf::data

@@ -1,0 +1,47 @@
+// Labelled dataset container.
+//
+// Follows the paper's convention: X in R^{d x m} with samples as columns;
+// we hold the transpose X^T as CSR (m rows of d features) plus labels y.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "la/vector.hpp"
+#include "sparse/csr.hpp"
+
+namespace rcf::data {
+
+struct Dataset {
+  std::string name;
+  sparse::CsrMatrix xt;  ///< X^T: one row per sample.
+  la::Vector y;          ///< one label per sample.
+
+  /// Shape of the original benchmark this clone reproduces (Table 2); equal
+  /// to the actual shape when scale == 1 or the data is not a clone.
+  std::size_t paper_rows = 0;
+  std::size_t paper_cols = 0;
+  double paper_density = 1.0;
+  /// Row scale factor actually used (rows = round(scale * paper_rows)).
+  double scale = 1.0;
+
+  [[nodiscard]] std::size_t num_samples() const { return xt.rows(); }  ///< m
+  [[nodiscard]] std::size_t num_features() const { return xt.cols(); }  ///< d
+  [[nodiscard]] std::size_t nnz() const { return xt.nnz(); }
+  [[nodiscard]] double density() const { return xt.density(); }
+
+  /// Bytes of the CSR payload (the paper's Table 2 "Size (nnz)" column).
+  [[nodiscard]] std::size_t size_bytes() const { return xt.memory_bytes(); }
+
+  /// Throws InvalidArgument if labels / matrix are inconsistent.
+  void validate() const;
+};
+
+/// Centers y and scales each feature column of X^T to unit 2-norm (a common
+/// preprocessing step for lasso; optional, never applied implicitly).
+void normalize_features(Dataset& dataset);
+
+/// One-line human-readable description.
+[[nodiscard]] std::string describe(const Dataset& dataset);
+
+}  // namespace rcf::data

@@ -1,0 +1,44 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rcf::data {
+
+Partition::Partition(std::size_t count, int parts) {
+  RCF_CHECK_MSG(parts >= 1, "Partition: parts must be >= 1");
+  offsets_.assign(parts + 1, 0);
+  const std::size_t base = count / parts;
+  const std::size_t extra = count % parts;
+  for (int p = 0; p < parts; ++p) {
+    offsets_[p + 1] =
+        offsets_[p] + base + (static_cast<std::size_t>(p) < extra ? 1 : 0);
+  }
+}
+
+int Partition::owner(std::size_t i) const {
+  RCF_CHECK_MSG(i < count(), "Partition::owner: index out of range");
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), i);
+  return static_cast<int>(it - offsets_.begin()) - 1;
+}
+
+std::vector<std::span<const std::uint32_t>> Partition::split_sorted(
+    std::span<const std::uint32_t> sorted_indices) const {
+  std::vector<std::span<const std::uint32_t>> out;
+  out.reserve(parts());
+  std::size_t pos = 0;
+  for (int p = 0; p < parts(); ++p) {
+    const std::size_t first = pos;
+    while (pos < sorted_indices.size() && sorted_indices[pos] < end(p)) {
+      RCF_DCHECK(sorted_indices[pos] >= begin(p));
+      ++pos;
+    }
+    out.push_back(sorted_indices.subspan(first, pos - first));
+  }
+  RCF_CHECK_MSG(pos == sorted_indices.size(),
+                "split_sorted: indices out of range or unsorted");
+  return out;
+}
+
+}  // namespace rcf::data

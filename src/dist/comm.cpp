@@ -1,0 +1,46 @@
+#include "dist/comm.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rcf::dist {
+
+double Communicator::allreduce_sum_scalar(double value) {
+  allreduce_sum({&value, 1});
+  return value;
+}
+
+double Communicator::allreduce_max_scalar(double value) {
+  allreduce_max({&value, 1});
+  return value;
+}
+
+void SeqComm::allreduce_sum(std::span<double> inout) {
+  ++stats_.allreduce_calls;
+  stats_.allreduce_words += inout.size();
+}
+
+void SeqComm::allreduce_max(std::span<double> inout) {
+  ++stats_.allreduce_calls;
+  stats_.allreduce_words += inout.size();
+}
+
+void SeqComm::broadcast(std::span<double> buffer, int root) {
+  RCF_CHECK_MSG(root == 0, "SeqComm: root must be 0");
+  ++stats_.broadcast_calls;
+  stats_.broadcast_words += buffer.size();
+}
+
+void SeqComm::allgather(std::span<const double> input,
+                        std::span<double> output) {
+  RCF_CHECK_MSG(output.size() == input.size(),
+                "SeqComm::allgather: output must equal input for 1 rank");
+  std::copy(input.begin(), input.end(), output.begin());
+  ++stats_.allgather_calls;
+  stats_.allgather_words += input.size();
+}
+
+void SeqComm::barrier() { ++stats_.barrier_calls; }
+
+}  // namespace rcf::dist

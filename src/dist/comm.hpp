@@ -1,0 +1,103 @@
+// MPI-like communicator abstraction.
+//
+// The paper's implementation uses MPI 2.1 (MPI_Allreduce in stage C of
+// Fig. 1).  MPI is not available in this build environment, so this module
+// substitutes it with an interface plus two backends:
+//
+//  * SeqComm    -- a single-rank world; collectives are identities.
+//  * ThreadComm -- P ranks as std::threads in one process with real
+//                  rendezvous collectives (see thread_comm.hpp).  Exercises
+//                  the genuine SPMD code path: partitioned data, partial
+//                  Gram sums, allreduce agreement.
+//
+// Timing for large P comes from the alpha-beta-gamma cost model in
+// src/model (see DESIGN.md "Substitutions"); the communicator interface
+// reports operation statistics so the model can be validated against the
+// actual number of collective calls.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace rcf::dist {
+
+/// Counts of collective operations performed through a communicator.
+/// `allreduce_words` is the total payload (in doubles) summed over calls.
+struct CommStats {
+  std::uint64_t allreduce_calls = 0;
+  std::uint64_t allreduce_words = 0;
+  std::uint64_t broadcast_calls = 0;
+  std::uint64_t broadcast_words = 0;
+  std::uint64_t allgather_calls = 0;
+  std::uint64_t allgather_words = 0;
+  std::uint64_t barrier_calls = 0;
+
+  CommStats& operator+=(const CommStats& o) {
+    allreduce_calls += o.allreduce_calls;
+    allreduce_words += o.allreduce_words;
+    broadcast_calls += o.broadcast_calls;
+    broadcast_words += o.broadcast_words;
+    allgather_calls += o.allgather_calls;
+    allgather_words += o.allgather_words;
+    barrier_calls += o.barrier_calls;
+    return *this;
+  }
+};
+
+/// Abstract SPMD communicator (subset of MPI semantics used by the paper).
+class Communicator {
+ public:
+  virtual ~Communicator() = default;
+
+  [[nodiscard]] virtual int rank() const = 0;
+  [[nodiscard]] virtual int size() const = 0;
+
+  /// In-place sum-allreduce over all ranks (MPI_Allreduce, MPI_SUM).
+  virtual void allreduce_sum(std::span<double> inout) = 0;
+
+  /// In-place max-allreduce.
+  virtual void allreduce_max(std::span<double> inout) = 0;
+
+  /// Broadcast from `root` to all ranks.
+  virtual void broadcast(std::span<double> buffer, int root) = 0;
+
+  /// Gathers each rank's `input` into `output` ordered by rank;
+  /// output.size() must equal size() * input.size().
+  virtual void allgather(std::span<const double> input,
+                         std::span<double> output) = 0;
+
+  /// Synchronization point for all ranks.
+  virtual void barrier() = 0;
+
+  /// Statistics accumulated by this rank's endpoint.
+  [[nodiscard]] virtual const CommStats& stats() const = 0;
+
+  [[nodiscard]] virtual std::string backend_name() const = 0;
+
+  /// Scalar allreduce helpers.
+  double allreduce_sum_scalar(double value);
+  double allreduce_max_scalar(double value);
+};
+
+/// Single-rank communicator: all collectives are local no-ops (but still
+/// counted, so sequential runs produce the same statistics a 1-rank
+/// distributed run would).
+class SeqComm final : public Communicator {
+ public:
+  [[nodiscard]] int rank() const override { return 0; }
+  [[nodiscard]] int size() const override { return 1; }
+  void allreduce_sum(std::span<double> inout) override;
+  void allreduce_max(std::span<double> inout) override;
+  void broadcast(std::span<double> buffer, int root) override;
+  void allgather(std::span<const double> input,
+                 std::span<double> output) override;
+  void barrier() override;
+  [[nodiscard]] const CommStats& stats() const override { return stats_; }
+  [[nodiscard]] std::string backend_name() const override { return "seq"; }
+
+ private:
+  CommStats stats_;
+};
+
+}  // namespace rcf::dist

@@ -1,0 +1,213 @@
+#include "dist/thread_comm.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rcf::dist {
+
+namespace detail {
+
+struct GroupState {
+  explicit GroupState(int size, AllreduceAlgo algo_in)
+      : world_size(size),
+        algo(algo_in),
+        rendezvous(size),
+        publish(size, nullptr),
+        publish_const(size, nullptr),
+        publish_len(size, 0),
+        work_a(size),
+        work_b(size),
+        exceptions(size) {}
+
+  int world_size;
+  AllreduceAlgo algo;
+  std::barrier<> rendezvous;
+  // Per-rank published buffer pointers for the collective in flight.
+  std::vector<double*> publish;
+  std::vector<const double*> publish_const;
+  std::vector<std::size_t> publish_len;
+  // Double-buffered per-rank workspaces for recursive doubling.
+  std::vector<std::vector<double>> work_a;
+  std::vector<std::vector<double>> work_b;
+  // Central-reduce scratch (owned by rank 0 during the collective).
+  std::vector<double> scratch;
+  std::vector<std::exception_ptr> exceptions;
+};
+
+}  // namespace detail
+
+using detail::GroupState;
+
+ThreadComm::ThreadComm(int rank, int size, GroupState* state)
+    : rank_(rank), size_(size), state_(state) {}
+
+void ThreadComm::barrier() {
+  ++stats_.barrier_calls;
+  state_->rendezvous.arrive_and_wait();
+}
+
+void ThreadComm::allreduce_sum(std::span<double> inout) {
+  ++stats_.allreduce_calls;
+  stats_.allreduce_words += inout.size();
+  if (state_->algo == AllreduceAlgo::kRecursiveDoubling &&
+      (size_ & (size_ - 1)) == 0) {
+    allreduce_recursive_doubling(inout, /*use_max=*/false);
+  } else {
+    allreduce_central(inout, /*use_max=*/false);
+  }
+}
+
+void ThreadComm::allreduce_max(std::span<double> inout) {
+  ++stats_.allreduce_calls;
+  stats_.allreduce_words += inout.size();
+  if (state_->algo == AllreduceAlgo::kRecursiveDoubling &&
+      (size_ & (size_ - 1)) == 0) {
+    allreduce_recursive_doubling(inout, /*use_max=*/true);
+  } else {
+    allreduce_central(inout, /*use_max=*/true);
+  }
+}
+
+void ThreadComm::allreduce_central(std::span<double> inout, bool use_max) {
+  GroupState& st = *state_;
+  st.publish[rank_] = inout.data();
+  st.publish_len[rank_] = inout.size();
+  st.rendezvous.arrive_and_wait();
+  if (rank_ == 0) {
+    const std::size_t n = inout.size();
+    for (int r = 1; r < size_; ++r) {
+      RCF_CHECK_MSG(st.publish_len[r] == n,
+                    "allreduce: ranks disagree on payload size");
+    }
+    st.scratch.assign(inout.begin(), inout.end());
+    for (int r = 1; r < size_; ++r) {
+      const double* src = st.publish[r];
+      for (std::size_t i = 0; i < n; ++i) {
+        if (use_max) {
+          st.scratch[i] = std::max(st.scratch[i], src[i]);
+        } else {
+          st.scratch[i] += src[i];
+        }
+      }
+    }
+  }
+  st.rendezvous.arrive_and_wait();
+  std::copy(st.scratch.begin(), st.scratch.end(), inout.begin());
+  st.rendezvous.arrive_and_wait();  // protect scratch until all have copied
+}
+
+void ThreadComm::allreduce_recursive_doubling(std::span<double> inout,
+                                              bool use_max) {
+  GroupState& st = *state_;
+  const std::size_t n = inout.size();
+  auto* cur = &st.work_a;
+  auto* nxt = &st.work_b;
+  (*cur)[rank_].assign(inout.begin(), inout.end());
+  st.rendezvous.arrive_and_wait();
+  for (int stride = 1; stride < size_; stride <<= 1) {
+    const int partner = rank_ ^ stride;
+    auto& mine = (*cur)[rank_];
+    auto& theirs = (*cur)[partner];
+    RCF_CHECK_MSG(theirs.size() == n, "recursive doubling: size mismatch");
+    auto& out = (*nxt)[rank_];
+    out.resize(n);
+    // Combine in (lower, upper) order on both sides so the pair agrees
+    // bitwise even for non-associative float addition.
+    const auto& lo = rank_ < partner ? mine : theirs;
+    const auto& hi = rank_ < partner ? theirs : mine;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = use_max ? std::max(lo[i], hi[i]) : lo[i] + hi[i];
+    }
+    st.rendezvous.arrive_and_wait();
+    std::swap(cur, nxt);
+  }
+  std::copy((*cur)[rank_].begin(), (*cur)[rank_].end(), inout.begin());
+  st.rendezvous.arrive_and_wait();
+}
+
+void ThreadComm::broadcast(std::span<double> buffer, int root) {
+  RCF_CHECK_MSG(root >= 0 && root < size_, "broadcast: bad root");
+  ++stats_.broadcast_calls;
+  stats_.broadcast_words += buffer.size();
+  GroupState& st = *state_;
+  if (rank_ == root) {
+    st.publish[root] = buffer.data();
+    st.publish_len[root] = buffer.size();
+  }
+  st.rendezvous.arrive_and_wait();
+  if (rank_ != root) {
+    RCF_CHECK_MSG(st.publish_len[root] == buffer.size(),
+                  "broadcast: payload size mismatch");
+    std::copy(st.publish[root], st.publish[root] + buffer.size(),
+              buffer.begin());
+  }
+  st.rendezvous.arrive_and_wait();
+}
+
+void ThreadComm::allgather(std::span<const double> input,
+                           std::span<double> output) {
+  RCF_CHECK_MSG(output.size() == input.size() * static_cast<std::size_t>(size_),
+                "allgather: output size must be size() * input size");
+  ++stats_.allgather_calls;
+  stats_.allgather_words += input.size();
+  GroupState& st = *state_;
+  st.publish_const[rank_] = input.data();
+  st.publish_len[rank_] = input.size();
+  st.rendezvous.arrive_and_wait();
+  const std::size_t n = input.size();
+  for (int r = 0; r < size_; ++r) {
+    RCF_CHECK_MSG(st.publish_len[r] == n, "allgather: ragged inputs");
+    std::copy(st.publish_const[r], st.publish_const[r] + n,
+              output.begin() + static_cast<std::ptrdiff_t>(r * n));
+  }
+  st.rendezvous.arrive_and_wait();
+}
+
+ThreadGroup::ThreadGroup(int size, AllreduceAlgo algo)
+    : size_(size), algo_(algo) {
+  RCF_CHECK_MSG(size >= 1, "ThreadGroup: size must be >= 1");
+  state_ = std::make_unique<GroupState>(size, algo);
+}
+
+ThreadGroup::~ThreadGroup() = default;
+
+void ThreadGroup::run(const std::function<void(ThreadComm&)>& body) {
+  std::fill(state_->exceptions.begin(), state_->exceptions.end(), nullptr);
+  last_stats_ = CommStats{};
+  std::vector<CommStats> rank_stats(size_);
+  std::vector<std::thread> threads;
+  threads.reserve(size_);
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([this, r, &body, &rank_stats]() {
+      ThreadComm comm(r, size_, state_.get());
+      try {
+        body(comm);
+      } catch (...) {
+        state_->exceptions[r] = std::current_exception();
+        // Keep participating in barriers would deadlock anyway; the SPMD
+        // contract is that a throwing body aborts the whole run.  We let
+        // the other ranks deadlock-free by dropping this thread's barrier
+        // participation only if the body throws outside a collective.
+      }
+      rank_stats[r] = comm.stats();
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (const auto& s : rank_stats) {
+    last_stats_ += s;
+  }
+  for (int r = 0; r < size_; ++r) {
+    if (state_->exceptions[r]) {
+      std::rethrow_exception(state_->exceptions[r]);
+    }
+  }
+}
+
+}  // namespace rcf::dist

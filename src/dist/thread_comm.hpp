@@ -1,0 +1,88 @@
+// Threaded SPMD communicator: P ranks as std::threads in one process.
+//
+// Collectives are real rendezvous operations over shared memory with two
+// selectable reduction schedules:
+//
+//  * kCentral           -- all ranks publish, rank 0 reduces in rank order,
+//                          everyone copies the result.  Deterministic, works
+//                          for any P.  (Default.)
+//  * kRecursiveDoubling -- log2(P) pairwise exchange stages, the schedule of
+//                          classic MPI_Allreduce; requires P a power of two.
+//                          Deterministic because each pair computes
+//                          lower + upper in the same order on both sides.
+//
+// Both schedules produce identical results for the same rank count, and are
+// bitwise deterministic run-to-run, which the convergence experiments rely
+// on.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "dist/comm.hpp"
+
+namespace rcf::dist {
+
+enum class AllreduceAlgo {
+  kCentral,
+  kRecursiveDoubling,
+};
+
+namespace detail {
+struct GroupState;
+}
+
+/// One rank's endpoint into a thread group.  Created by ThreadGroup::run;
+/// valid only inside the SPMD body.
+class ThreadComm final : public Communicator {
+ public:
+  ThreadComm(int rank, int size, detail::GroupState* state);
+
+  [[nodiscard]] int rank() const override { return rank_; }
+  [[nodiscard]] int size() const override { return size_; }
+  void allreduce_sum(std::span<double> inout) override;
+  void allreduce_max(std::span<double> inout) override;
+  void broadcast(std::span<double> buffer, int root) override;
+  void allgather(std::span<const double> input,
+                 std::span<double> output) override;
+  void barrier() override;
+  [[nodiscard]] const CommStats& stats() const override { return stats_; }
+  [[nodiscard]] std::string backend_name() const override { return "thread"; }
+
+ private:
+  void allreduce_central(std::span<double> inout, bool use_max);
+  void allreduce_recursive_doubling(std::span<double> inout, bool use_max);
+
+  int rank_;
+  int size_;
+  detail::GroupState* state_;
+  CommStats stats_;
+};
+
+/// Owns the shared state of a thread world and launches SPMD bodies.
+class ThreadGroup {
+ public:
+  explicit ThreadGroup(int size, AllreduceAlgo algo = AllreduceAlgo::kCentral);
+  ~ThreadGroup();
+
+  ThreadGroup(const ThreadGroup&) = delete;
+  ThreadGroup& operator=(const ThreadGroup&) = delete;
+
+  [[nodiscard]] int size() const { return size_; }
+
+  /// Runs `body(comm)` on `size` threads, one rank each, and joins them.
+  /// If any rank throws, the first exception (by rank order) is rethrown
+  /// after all ranks have been joined.
+  void run(const std::function<void(ThreadComm&)>& body);
+
+  /// Stats summed over all ranks of the last run().
+  [[nodiscard]] CommStats last_run_stats() const { return last_stats_; }
+
+ private:
+  int size_;
+  AllreduceAlgo algo_;
+  std::unique_ptr<detail::GroupState> state_;
+  CommStats last_stats_;
+};
+
+}  // namespace rcf::dist

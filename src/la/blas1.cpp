@@ -1,0 +1,85 @@
+#include <algorithm>
+#include <cmath>
+
+#include "la/blas.hpp"
+
+namespace rcf::la {
+
+namespace {
+inline void check_same_size(std::span<const double> a,
+                            std::span<const double> b, const char* op) {
+  if (a.size() != b.size()) {
+    throw DimensionMismatch(std::string(op) + ": size mismatch");
+  }
+}
+}  // namespace
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  check_same_size(x, y, "axpy");
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+void waxpby(double alpha, std::span<const double> x, double beta,
+            std::span<const double> y, std::span<double> w) {
+  check_same_size(x, y, "waxpby");
+  check_same_size(x, w, "waxpby");
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = alpha * x[i] + beta * y[i];
+  }
+}
+
+void scal(double alpha, std::span<double> x) {
+  for (auto& v : x) {
+    v *= alpha;
+  }
+}
+
+void copy(std::span<const double> src, std::span<double> dst) {
+  check_same_size(src, dst, "copy");
+  std::copy(src.begin(), src.end(), dst.begin());
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  check_same_size(x, y, "dot");
+  double acc = 0.0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += x[i] * y[i];
+  }
+  return acc;
+}
+
+double nrm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+double asum(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) {
+    acc += std::abs(v);
+  }
+  return acc;
+}
+
+double amax(std::span<const double> x) {
+  double m = 0.0;
+  for (double v : x) {
+    m = std::max(m, std::abs(v));
+  }
+  return m;
+}
+
+double max_abs_diff(std::span<const double> x, std::span<const double> y) {
+  check_same_size(x, y, "max_abs_diff");
+  double m = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    m = std::max(m, std::abs(x[i] - y[i]));
+  }
+  return m;
+}
+
+void set_zero(std::span<double> x) { std::fill(x.begin(), x.end(), 0.0); }
+
+}  // namespace rcf::la

@@ -1,0 +1,71 @@
+#include "la/blas.hpp"
+
+namespace rcf::la {
+
+void gemv(double alpha, const Matrix& a, std::span<const double> x, double beta,
+          std::span<double> y) {
+  if (a.cols() != x.size() || a.rows() != y.size()) {
+    throw DimensionMismatch("gemv: shape mismatch");
+  }
+  const std::size_t rows = a.rows();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto row = a.row(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      acc += row[c] * x[c];
+    }
+    y[r] = alpha * acc + beta * y[r];
+  }
+}
+
+void gemv_t(double alpha, const Matrix& a, std::span<const double> x,
+            double beta, std::span<double> y) {
+  if (a.rows() != x.size() || a.cols() != y.size()) {
+    throw DimensionMismatch("gemv_t: shape mismatch");
+  }
+  if (beta == 0.0) {
+    set_zero(y);
+  } else if (beta != 1.0) {
+    scal(beta, y);
+  }
+  // Accumulate row-wise (unit stride on both A and y).
+  const std::size_t rows = a.rows();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double xr = alpha * x[r];
+    if (xr == 0.0) {
+      continue;
+    }
+    const auto row = a.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      y[c] += xr * row[c];
+    }
+  }
+}
+
+void symv(double alpha, const Matrix& a, std::span<const double> x, double beta,
+          std::span<double> y) {
+  if (a.rows() != a.cols()) {
+    throw DimensionMismatch("symv: matrix must be square");
+  }
+  gemv(alpha, a, x, beta, y);  // full storage: plain gemv is correct
+}
+
+void ger(double alpha, std::span<const double> x, std::span<const double> y,
+         Matrix& a) {
+  if (a.rows() != x.size() || a.cols() != y.size()) {
+    throw DimensionMismatch("ger: shape mismatch");
+  }
+  const std::size_t rows = a.rows();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double xr = alpha * x[r];
+    if (xr == 0.0) {
+      continue;
+    }
+    auto row = a.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      row[c] += xr * y[c];
+    }
+  }
+}
+
+}  // namespace rcf::la

@@ -1,0 +1,74 @@
+#include <algorithm>
+
+#include "la/blas.hpp"
+
+namespace rcf::la {
+
+void gemm(double alpha, const Matrix& a, const Matrix& b, double beta,
+          Matrix& c) {
+  if (a.cols() != b.rows() || c.rows() != a.rows() || c.cols() != b.cols()) {
+    throw DimensionMismatch("gemm: shape mismatch");
+  }
+  if (beta == 0.0) {
+    c.fill(0.0);
+  } else if (beta != 1.0) {
+    scal(beta, c.flat());
+  }
+  // i-k-j loop order: streams B and C rows with unit stride.
+  const std::size_t m = a.rows(), k = a.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    auto crow = c.row(i);
+    const auto arow = a.row(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const double aip = alpha * arow[p];
+      if (aip == 0.0) {
+        continue;
+      }
+      const auto brow = b.row(p);
+      for (std::size_t j = 0; j < brow.size(); ++j) {
+        crow[j] += aip * brow[j];
+      }
+    }
+  }
+}
+
+void syrk(double alpha, const Matrix& a, double beta, Matrix& c) {
+  if (c.rows() != c.cols() || c.rows() != a.rows()) {
+    throw DimensionMismatch("syrk: shape mismatch");
+  }
+  const std::size_t n = a.rows(), k = a.cols();
+  if (beta == 0.0) {
+    c.fill(0.0);
+  } else if (beta != 1.0) {
+    scal(beta, c.flat());
+  }
+  // Upper triangle only, then mirror: halves the flops, matching the cost
+  // model's d^2*mbar count for the Gram update.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto ai = a.row(i);
+    auto ci = c.row(i);
+    for (std::size_t j = i; j < n; ++j) {
+      const auto aj = a.row(j);
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += ai[p] * aj[p];
+      }
+      ci[j] += alpha * acc;
+    }
+  }
+  symmetrize_from_upper(c);
+}
+
+void symmetrize_from_upper(Matrix& c) {
+  if (c.rows() != c.cols()) {
+    throw DimensionMismatch("symmetrize_from_upper: matrix must be square");
+  }
+  const std::size_t n = c.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      c(j, i) = c(i, j);
+    }
+  }
+}
+
+}  // namespace rcf::la

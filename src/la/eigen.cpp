@@ -1,0 +1,64 @@
+#include "la/eigen.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "la/blas.hpp"
+#include "la/matrix.hpp"
+
+namespace rcf::la {
+
+PowerIterationResult power_iteration(
+    const std::function<void(std::span<const double>, std::span<double>)>& apply,
+    std::size_t n, int max_iters, double tol, std::uint64_t seed) {
+  RCF_CHECK_MSG(n > 0, "power_iteration: dimension must be positive");
+  std::vector<double> v(n), av(n);
+  Rng rng(seed, /*stream=*/0xE16E);
+  for (auto& x : v) {
+    x = rng.normal();
+  }
+  double norm = nrm2(v);
+  if (norm == 0.0) {
+    v[0] = 1.0;
+    norm = 1.0;
+  }
+  scal(1.0 / norm, v);
+
+  PowerIterationResult result;
+  double prev = 0.0;
+  for (int it = 0; it < max_iters; ++it) {
+    apply(v, av);
+    const double lambda = dot(v, av);  // Rayleigh quotient
+    const double av_norm = nrm2(av);
+    result.iterations = it + 1;
+    result.eigenvalue = lambda;
+    if (av_norm == 0.0) {
+      // Operator annihilated the iterate: eigenvalue 0 along this direction.
+      result.eigenvalue = 0.0;
+      result.converged = true;
+      return result;
+    }
+    copy(av, v);
+    scal(1.0 / av_norm, v);
+    if (it > 0 && std::abs(lambda - prev) <= tol * std::abs(lambda)) {
+      result.converged = true;
+      return result;
+    }
+    prev = lambda;
+  }
+  return result;
+}
+
+PowerIterationResult power_iteration(const Matrix& a, int max_iters, double tol,
+                                     std::uint64_t seed) {
+  RCF_CHECK_MSG(a.rows() == a.cols(), "power_iteration: matrix must be square");
+  return power_iteration(
+      [&a](std::span<const double> x, std::span<double> y) {
+        gemv(1.0, a, x, 0.0, y);
+      },
+      a.rows(), max_iters, tol, seed);
+}
+
+}  // namespace rcf::la

@@ -1,0 +1,35 @@
+// Spectral helpers: power iteration for the largest eigenvalue of a
+// symmetric positive semi-definite operator.  Used to estimate the Lipschitz
+// constant L = lambda_max(H) of the least-squares gradient, which fixes the
+// FISTA step size gamma = 1/L (paper Theorem 1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+
+namespace rcf::la {
+
+class Matrix;
+
+/// Result of a power-iteration run.
+struct PowerIterationResult {
+  double eigenvalue = 0.0;  ///< Rayleigh-quotient estimate of lambda_max.
+  int iterations = 0;       ///< Iterations actually performed.
+  bool converged = false;   ///< Relative change fell below tolerance.
+};
+
+/// Largest eigenvalue of the SPSD operator `apply` (y = A x) of dimension n.
+/// `seed` fixes the random start vector for reproducibility.
+PowerIterationResult power_iteration(
+    const std::function<void(std::span<const double>, std::span<double>)>& apply,
+    std::size_t n, int max_iters = 200, double tol = 1e-7,
+    std::uint64_t seed = 12345);
+
+/// Convenience overload for an explicit symmetric matrix.
+PowerIterationResult power_iteration(const Matrix& a, int max_iters = 200,
+                                     double tol = 1e-7,
+                                     std::uint64_t seed = 12345);
+
+}  // namespace rcf::la

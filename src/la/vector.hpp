@@ -1,0 +1,68 @@
+// Dense vector type.
+//
+// A thin, contiguous owning vector of doubles; all numeric kernels operate on
+// std::span views so they compose with Matrix rows and raw buffers alike.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rcf::la {
+
+/// Owning dense vector of doubles.
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(std::size_t n, double fill = 0.0) : data_(n, fill) {}
+  Vector(std::initializer_list<double> init) : data_(init) {}
+  explicit Vector(std::vector<double> data) : data_(std::move(data)) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  double& operator[](std::size_t i) {
+    RCF_DCHECK(i < data_.size());
+    return data_[i];
+  }
+  double operator[](std::size_t i) const {
+    RCF_DCHECK(i < data_.size());
+    return data_[i];
+  }
+
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+
+  [[nodiscard]] std::span<double> span() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const double> span() const {
+    return {data_.data(), data_.size()};
+  }
+  operator std::span<double>() { return span(); }            // NOLINT
+  operator std::span<const double>() const { return span(); }  // NOLINT
+
+  [[nodiscard]] auto begin() { return data_.begin(); }
+  [[nodiscard]] auto end() { return data_.end(); }
+  [[nodiscard]] auto begin() const { return data_.begin(); }
+  [[nodiscard]] auto end() const { return data_.end(); }
+
+  /// Sets every entry to `value`.
+  void fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Resizes, zero-filling new entries.
+  void resize(std::size_t n) { data_.resize(n, 0.0); }
+
+  [[nodiscard]] const std::vector<double>& raw() const { return data_; }
+
+  friend bool operator==(const Vector& a, const Vector& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  std::vector<double> data_;
+};
+
+}  // namespace rcf::la

@@ -1,0 +1,65 @@
+#include "model/machine.hpp"
+
+#include "common/error.hpp"
+
+namespace rcf::model {
+
+MachineSpec comet() {
+  MachineSpec spec;
+  spec.name = "comet";
+  // Hardware constants quoted in paper §5.3.
+  spec.alpha = 1.0e-6;
+  spec.beta = 1.42e-10;
+  spec.gamma = 4.0e-10;
+  // Measured MPI_Allreduce calls at hundreds of ranks cost hundreds of
+  // microseconds (software stack + skew); charged per message on top of
+  // alpha (see MachineSpec::alpha_sync).
+  spec.alpha_sync = 2.5e-4;
+  spec.beta_mem = 4.0e-10;  // ~20 GB/s effective DRAM stream per core
+  spec.cache_doubles = 8.0e6;
+  return spec;
+}
+
+MachineSpec spark_like() {
+  MachineSpec spec = comet();
+  spec.name = "spark";
+  // Each communication round in Spark goes through driver scheduling,
+  // serialization and task launch; with log2(256)=8 "messages" per round
+  // this charges ~100 ms of overhead per round, the commonly reported
+  // floor for MLlib-style iterative jobs.
+  spec.alpha_sync = 1.25e-2;
+  spec.beta = 4.0e-10;  // serialization lowers effective bandwidth
+  return spec;
+}
+
+MachineSpec ethernet_cluster() {
+  MachineSpec spec;
+  spec.name = "ethernet";
+  spec.alpha = 5.0e-5;
+  spec.alpha_sync = 1.0e-3;
+  spec.beta = 8.0e-10;
+  spec.gamma = 4.0e-10;
+  spec.beta_mem = 4.0e-10;
+  return spec;
+}
+
+MachineSpec infiniband_cluster() {
+  MachineSpec spec;
+  spec.name = "infiniband";
+  spec.alpha = 6.0e-7;
+  spec.alpha_sync = 5.0e-5;
+  spec.beta = 8.0e-11;
+  spec.gamma = 4.0e-10;
+  spec.beta_mem = 4.0e-10;
+  return spec;
+}
+
+MachineSpec machine_by_name(const std::string& name) {
+  if (name == "comet") return comet();
+  if (name == "spark") return spark_like();
+  if (name == "ethernet") return ethernet_cluster();
+  if (name == "infiniband") return infiniband_cluster();
+  throw InvalidArgument("unknown machine spec: " + name);
+}
+
+}  // namespace rcf::model

@@ -1,0 +1,68 @@
+// Machine specifications for the alpha-beta-gamma performance model
+// (paper Eq. 7):  T = gamma*F + alpha*L + beta*W.
+//
+// alpha = seconds per message (latency), beta = seconds per word moved
+// (inverse bandwidth; a word is one double), gamma = seconds per flop.
+#pragma once
+
+#include <string>
+
+namespace rcf::model {
+
+struct MachineSpec {
+  std::string name;
+  double alpha = 0.0;  ///< s / message (hardware injection latency)
+  double beta = 0.0;   ///< s / word (8-byte double)
+  double gamma = 0.0;  ///< s / flop
+
+  /// Additional per-message software overhead charged by the *simulation*
+  /// on top of `alpha`: collective-call setup, synchronization skew /
+  /// stragglers.  The paper's analytic bounds (Eq. 25-28) use the pure
+  /// hardware `alpha`; measured collective times on real clusters are
+  /// dominated by this term, and it is what the iteration-overlapping
+  /// optimization actually amortizes at scale.
+  double alpha_sync = 0.0;
+
+  /// s / word streamed from DRAM when a working set spills the cache.
+  /// Extension of the paper's three-parameter model used to reproduce the
+  /// Fig. 4 behaviour where very large k degrades performance ("computation
+  /// cost dominates", epsilon dataset): the k Hessian blocks of d^2 words
+  /// stop fitting in cache and every reuse pays memory bandwidth.
+  double beta_mem = 0.0;
+
+  /// Cache capacity in doubles; the k*(d^2+d) block working set spills
+  /// beyond this.
+  double cache_doubles = 8.0e6;  ///< 64 MB of doubles
+
+  /// Effective per-message latency used by the time simulation.
+  [[nodiscard]] double alpha_effective() const { return alpha + alpha_sync; }
+
+  /// Latency-to-bandwidth ratio alpha/beta; the paper's Eq. 25 bound for the
+  /// overlap parameter is k <= (alpha/beta) / d^2.
+  [[nodiscard]] double alpha_beta_ratio() const { return alpha / beta; }
+
+  /// beta/gamma ratio used by the S bound (Eq. 28).
+  [[nodiscard]] double beta_gamma_ratio() const { return beta / gamma; }
+};
+
+/// XSEDE Comet-like cluster, using the constants quoted in paper §5.3:
+/// alpha = 1e-6 s, beta = 1.42e-10 s/word, gamma = 4e-10 s/flop.
+[[nodiscard]] MachineSpec comet();
+
+/// Spark-like execution: same interconnect as comet() but every
+/// communication round pays the scheduler / task-dispatch overhead
+/// (tens of milliseconds), which is what makes per-iteration communication
+/// so expensive in MLlib (paper §5.4).
+[[nodiscard]] MachineSpec spark_like();
+
+/// Commodity 10GbE cluster: higher latency and lower bandwidth than Comet.
+[[nodiscard]] MachineSpec ethernet_cluster();
+
+/// Aggressive InfiniBand system: lower alpha, higher bandwidth.
+[[nodiscard]] MachineSpec infiniband_cluster();
+
+/// Looks up a preset by name ("comet", "spark", "ethernet", "infiniband").
+/// Throws InvalidArgument for unknown names.
+[[nodiscard]] MachineSpec machine_by_name(const std::string& name);
+
+}  // namespace rcf::model

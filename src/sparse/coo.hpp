@@ -1,0 +1,32 @@
+// Coordinate-format (triplet) sparse matrix builder.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rcf::sparse {
+
+/// One (row, col, value) entry.
+struct Triplet {
+  std::uint32_t row;
+  std::uint32_t col;
+  double value;
+
+  friend bool operator==(const Triplet&, const Triplet&) = default;
+};
+
+/// Unordered triplet collection; convert with CsrMatrix::from_triplets.
+/// Duplicate (row, col) entries are summed during conversion.
+struct CooMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<Triplet> entries;
+
+  void add(std::uint32_t row, std::uint32_t col, double value) {
+    entries.push_back({row, col, value});
+  }
+
+  [[nodiscard]] std::size_t nnz() const { return entries.size(); }
+};
+
+}  // namespace rcf::sparse

@@ -1,0 +1,219 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace rcf::sparse {
+
+CsrMatrix CsrMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                   std::vector<Triplet> triplets) {
+  for (const auto& t : triplets) {
+    RCF_CHECK_MSG(t.row < rows && t.col < cols,
+                  "from_triplets: entry out of bounds");
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  for (std::size_t i = 0; i < triplets.size();) {
+    const std::uint32_t r = triplets[i].row;
+    const std::uint32_t c = triplets[i].col;
+    double v = 0.0;
+    while (i < triplets.size() && triplets[i].row == r &&
+           triplets[i].col == c) {
+      v += triplets[i].value;  // sum duplicates
+      ++i;
+    }
+    if (v != 0.0) {
+      m.col_idx_.push_back(c);
+      m.values_.push_back(v);
+      ++m.row_ptr_[r + 1];
+    }
+  }
+  std::partial_sum(m.row_ptr_.begin(), m.row_ptr_.end(), m.row_ptr_.begin());
+  return m;
+}
+
+CsrMatrix CsrMatrix::from_parts(std::size_t rows, std::size_t cols,
+                                std::vector<std::size_t> row_ptr,
+                                std::vector<std::uint32_t> col_idx,
+                                std::vector<double> values) {
+  RCF_CHECK_MSG(row_ptr.size() == rows + 1, "from_parts: bad row_ptr length");
+  RCF_CHECK_MSG(row_ptr.front() == 0, "from_parts: row_ptr[0] != 0");
+  RCF_CHECK_MSG(row_ptr.back() == col_idx.size(),
+                "from_parts: row_ptr back != nnz");
+  RCF_CHECK_MSG(col_idx.size() == values.size(),
+                "from_parts: col/val length mismatch");
+  for (std::size_t r = 0; r < rows; ++r) {
+    RCF_CHECK_MSG(row_ptr[r] <= row_ptr[r + 1],
+                  "from_parts: row_ptr not monotone");
+    for (std::size_t i = row_ptr[r]; i + 1 < row_ptr[r + 1]; ++i) {
+      RCF_CHECK_MSG(col_idx[i] < col_idx[i + 1],
+                    "from_parts: columns not strictly ascending in row");
+    }
+  }
+  for (auto c : col_idx) {
+    RCF_CHECK_MSG(c < cols, "from_parts: column index out of range");
+  }
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  return m;
+}
+
+CsrMatrix CsrMatrix::from_dense(std::size_t rows, std::size_t cols,
+                                std::span<const double> row_major) {
+  RCF_CHECK_MSG(row_major.size() == rows * cols,
+                "from_dense: buffer size mismatch");
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double v = row_major[r * cols + c];
+      if (v != 0.0) {
+        m.col_idx_.push_back(static_cast<std::uint32_t>(c));
+        m.values_.push_back(v);
+      }
+    }
+    m.row_ptr_[r + 1] = m.values_.size();
+  }
+  return m;
+}
+
+double CsrMatrix::density() const {
+  if (rows_ == 0 || cols_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(nnz()) /
+         (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+void CsrMatrix::spmv(std::span<const double> x, std::span<double> y) const {
+  if (x.size() != cols_ || y.size() != rows_) {
+    throw DimensionMismatch("spmv: shape mismatch");
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      acc += values_[i] * x[col_idx_[i]];
+    }
+    y[r] = acc;
+  }
+}
+
+void CsrMatrix::spmv_t(std::span<const double> x, std::span<double> y) const {
+  if (x.size() != rows_ || y.size() != cols_) {
+    throw DimensionMismatch("spmv_t: shape mismatch");
+  }
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) {
+      continue;
+    }
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      y[col_idx_[i]] += xr * values_[i];
+    }
+  }
+}
+
+CsrMatrix CsrMatrix::select_rows(std::span<const std::uint32_t> rows) const {
+  CsrMatrix m;
+  m.rows_ = rows.size();
+  m.cols_ = cols_;
+  m.row_ptr_.assign(rows.size() + 1, 0);
+  std::size_t total = 0;
+  for (auto r : rows) {
+    RCF_CHECK_MSG(r < rows_, "select_rows: row out of range");
+    total += row_nnz(r);
+  }
+  m.col_idx_.reserve(total);
+  m.values_.reserve(total);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::size_t r = rows[i];
+    m.col_idx_.insert(m.col_idx_.end(), col_idx_.begin() + row_ptr_[r],
+                      col_idx_.begin() + row_ptr_[r + 1]);
+    m.values_.insert(m.values_.end(), values_.begin() + row_ptr_[r],
+                     values_.begin() + row_ptr_[r + 1]);
+    m.row_ptr_[i + 1] = m.values_.size();
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::slice_rows(std::size_t begin, std::size_t end) const {
+  RCF_CHECK_MSG(begin <= end && end <= rows_, "slice_rows: bad range");
+  CsrMatrix m;
+  m.rows_ = end - begin;
+  m.cols_ = cols_;
+  m.row_ptr_.assign(m.rows_ + 1, 0);
+  const std::size_t base = row_ptr_[begin];
+  m.col_idx_.assign(col_idx_.begin() + base, col_idx_.begin() + row_ptr_[end]);
+  m.values_.assign(values_.begin() + base, values_.begin() + row_ptr_[end]);
+  for (std::size_t r = 0; r <= m.rows_; ++r) {
+    m.row_ptr_[r] = row_ptr_[begin + r] - base;
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  CsrMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.row_ptr_.assign(cols_ + 1, 0);
+  t.col_idx_.resize(nnz());
+  t.values_.resize(nnz());
+  // Counting sort on column index.
+  for (auto c : col_idx_) {
+    ++t.row_ptr_[c + 1];
+  }
+  std::partial_sum(t.row_ptr_.begin(), t.row_ptr_.end(), t.row_ptr_.begin());
+  std::vector<std::size_t> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      const std::size_t pos = cursor[col_idx_[i]]++;
+      t.col_idx_[pos] = static_cast<std::uint32_t>(r);
+      t.values_[pos] = values_[i];
+    }
+  }
+  return t;
+}
+
+std::vector<double> CsrMatrix::to_dense() const {
+  std::vector<double> dense(rows_ * cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      dense[r * cols_ + col_idx_[i]] = values_[i];
+    }
+  }
+  return dense;
+}
+
+std::size_t CsrMatrix::memory_bytes() const {
+  return row_ptr_.size() * sizeof(std::size_t) +
+         col_idx_.size() * sizeof(std::uint32_t) +
+         values_.size() * sizeof(double);
+}
+
+std::uint64_t CsrMatrix::sum_row_nnz_squared() const {
+  std::uint64_t total = 0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const std::uint64_t k = row_nnz(r);
+    total += k * k;
+  }
+  return total;
+}
+
+}  // namespace rcf::sparse

@@ -1,0 +1,43 @@
+#include "sparse/generate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rcf::sparse {
+
+CsrMatrix generate_random(const GenerateOptions& opts) {
+  RCF_CHECK_MSG(opts.rows > 0 && opts.cols > 0, "generate: empty shape");
+  RCF_CHECK_MSG(opts.density > 0.0 && opts.density <= 1.0,
+                "generate: density must be in (0, 1]");
+  const auto per_row = static_cast<std::size_t>(std::max(
+      1.0, std::round(opts.density * static_cast<double>(opts.cols))));
+
+  std::vector<std::size_t> row_ptr(opts.rows + 1, 0);
+  std::vector<std::uint32_t> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(opts.rows * per_row);
+  values.reserve(opts.rows * per_row);
+
+  for (std::size_t r = 0; r < opts.rows; ++r) {
+    // One independent stream per row: generation is order-independent and
+    // reproducible under row-partitioned parallel generation.
+    Rng rng(opts.seed, /*stream=*/r);
+    auto cols = rng.sample_without_replacement(opts.cols, per_row);
+    for (auto c : cols) {
+      col_idx.push_back(c);
+      double v = rng.normal(0.0, opts.value_stddev);
+      if (v == 0.0) {
+        v = opts.value_stddev;  // keep structural nnz actual non-zeros
+      }
+      values.push_back(v);
+    }
+    row_ptr[r + 1] = values.size();
+  }
+  return CsrMatrix::from_parts(opts.rows, opts.cols, std::move(row_ptr),
+                               std::move(col_idx), std::move(values));
+}
+
+}  // namespace rcf::sparse

@@ -1,0 +1,26 @@
+// Random sparse matrix generation.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace rcf::sparse {
+
+/// Options for random CSR generation.
+struct GenerateOptions {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  /// Target fill-in f in (0, 1]; each row gets round(f * cols) non-zeros at
+  /// uniformly random column positions (so overall density is ~f, matching
+  /// the paper's "fdm non-zeros uniformly distributed" assumption).
+  double density = 1.0;
+  /// Values ~ Normal(0, value_stddev).
+  double value_stddev = 1.0;
+  std::uint64_t seed = 42;
+};
+
+/// Generates a random CSR matrix per `opts`.
+[[nodiscard]] CsrMatrix generate_random(const GenerateOptions& opts);
+
+}  // namespace rcf::sparse

@@ -1,0 +1,120 @@
+#include "sparse/gram.hpp"
+
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "la/blas.hpp"
+
+namespace rcf::sparse {
+
+namespace {
+
+/// Accumulates one weighted sparse outer product h += w * x x^T (upper
+/// triangle) and r += (w * yi) * x.  Returns madds done.
+inline std::uint64_t outer_product_row(const SparseRowView& row, double w,
+                                       double yi, la::Matrix& h,
+                                       std::span<double> r) {
+  const std::size_t k = row.nnz();
+  if (k == h.cols()) {
+    // Dense row: column indices are 0..d-1, so skip the indirection and let
+    // the inner loop vectorize (the hot path for dense datasets such as
+    // epsilon, where this kernel is d^2 work per sample).
+    for (std::size_t a = 0; a < k; ++a) {
+      const double va = w * row.vals[a];
+      auto hrow = h.row(a);
+      for (std::size_t b = a; b < k; ++b) {
+        hrow[b] += va * row.vals[b];
+      }
+      r[a] += yi * w * row.vals[a];
+    }
+  } else {
+    for (std::size_t a = 0; a < k; ++a) {
+      const std::uint32_t ca = row.cols[a];
+      const double va = w * row.vals[a];
+      auto hrow = h.row(ca);
+      for (std::size_t b = a; b < k; ++b) {
+        hrow[row.cols[b]] += va * row.vals[b];
+      }
+      r[ca] += yi * w * row.vals[a];
+    }
+  }
+  // upper-triangle madds + rhs madds
+  return k * (k + 1) / 2 + k;
+}
+
+}  // namespace
+
+std::uint64_t accumulate_sampled_gram(const CsrMatrix& xt,
+                                      std::span<const double> y,
+                                      std::span<const std::uint32_t> idx,
+                                      double scale, la::Matrix& h,
+                                      std::span<double> r) {
+  const std::size_t d = xt.cols();
+  RCF_CHECK_MSG(h.rows() == d && h.cols() == d, "gram: H must be d x d");
+  RCF_CHECK_MSG(r.size() == d, "gram: R must have length d");
+  RCF_CHECK_MSG(y.size() == xt.rows(), "gram: y must have length m");
+  std::uint64_t madds = 0;
+  for (const std::uint32_t i : idx) {
+    RCF_DCHECK(i < xt.rows());
+    madds += outer_product_row(xt.row(i), scale, y[i], h, r);
+  }
+  return 2 * madds;
+}
+
+std::uint64_t sampled_gram(const CsrMatrix& xt, std::span<const double> y,
+                           std::span<const std::uint32_t> idx, la::Matrix& h,
+                           std::span<double> r) {
+  RCF_CHECK_MSG(!idx.empty(), "sampled_gram: empty sample set");
+  h.fill(0.0);
+  la::set_zero(r);
+  const double scale = 1.0 / static_cast<double>(idx.size());
+  const std::uint64_t flops =
+      accumulate_sampled_gram(xt, y, idx, scale, h, r);
+  la::symmetrize_from_upper(h);
+  return flops;
+}
+
+std::uint64_t full_gram(const CsrMatrix& xt, std::span<const double> y,
+                        la::Matrix& h, std::span<double> r) {
+  const std::size_t m = xt.rows();
+  RCF_CHECK_MSG(m > 0, "full_gram: empty matrix");
+  std::vector<std::uint32_t> all(m);
+  std::iota(all.begin(), all.end(), 0u);
+  return sampled_gram(xt, y, all, h, r);
+}
+
+std::uint64_t weighted_sampled_gram(const CsrMatrix& xt,
+                                    std::span<const double> weights,
+                                    std::span<const std::uint32_t> idx,
+                                    la::Matrix& h) {
+  const std::size_t d = xt.cols();
+  RCF_CHECK_MSG(h.rows() == d && h.cols() == d,
+                "weighted_gram: H must be d x d");
+  RCF_CHECK_MSG(weights.size() == xt.rows(),
+                "weighted_gram: weights must have length m");
+  RCF_CHECK_MSG(!idx.empty(), "weighted_gram: empty sample set");
+  h.fill(0.0);
+  const double scale = 1.0 / static_cast<double>(idx.size());
+  std::vector<double> r_unused(d, 0.0);
+  std::uint64_t madds = 0;
+  for (const std::uint32_t i : idx) {
+    RCF_DCHECK(i < xt.rows());
+    madds += outer_product_row(xt.row(i), scale * weights[i], 0.0, h,
+                               r_unused);
+  }
+  la::symmetrize_from_upper(h);
+  return 2 * madds;
+}
+
+std::uint64_t sampled_gram_flops(const CsrMatrix& xt,
+                                 std::span<const std::uint32_t> idx) {
+  std::uint64_t madds = 0;
+  for (const std::uint32_t i : idx) {
+    const std::uint64_t k = xt.row_nnz(i);
+    madds += k * (k + 1) / 2 + k;
+  }
+  return 2 * madds;
+}
+
+}  // namespace rcf::sparse

@@ -1,0 +1,156 @@
+#include "sparse/io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rcf::sparse {
+
+LabelledMatrix read_libsvm_stream(std::istream& in, std::size_t num_features) {
+  std::vector<Triplet> triplets;
+  std::vector<double> labels;
+  std::size_t max_feature = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and blank lines.
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    double label;
+    if (!(ls >> label)) {
+      continue;  // blank line
+    }
+    const auto row = static_cast<std::uint32_t>(labels.size());
+    labels.push_back(label);
+    std::string token;
+    while (ls >> token) {
+      const auto colon = token.find(':');
+      if (colon == std::string::npos) {
+        throw IoError("libsvm parse error at line " + std::to_string(line_no) +
+                      ": token '" + token + "' lacks ':'");
+      }
+      std::size_t idx;
+      double value;
+      try {
+        idx = std::stoull(token.substr(0, colon));
+        value = std::stod(token.substr(colon + 1));
+      } catch (const std::exception&) {
+        throw IoError("libsvm parse error at line " + std::to_string(line_no) +
+                      ": bad token '" + token + "'");
+      }
+      if (idx == 0) {
+        throw IoError("libsvm parse error at line " + std::to_string(line_no) +
+                      ": indices are 1-based");
+      }
+      max_feature = std::max(max_feature, idx);
+      triplets.push_back({row, static_cast<std::uint32_t>(idx - 1), value});
+    }
+  }
+  const std::size_t d = num_features == 0 ? max_feature : num_features;
+  if (num_features != 0 && max_feature > num_features) {
+    throw IoError("libsvm: file has feature index " +
+                  std::to_string(max_feature) + " > requested dimension " +
+                  std::to_string(num_features));
+  }
+  LabelledMatrix out;
+  out.xt = CsrMatrix::from_triplets(labels.size(), d, std::move(triplets));
+  out.y = la::Vector(std::move(labels));
+  return out;
+}
+
+LabelledMatrix read_libsvm(const std::string& path, std::size_t num_features) {
+  std::ifstream in(path);
+  if (!in) {
+    throw IoError("cannot open LIBSVM file: " + path);
+  }
+  return read_libsvm_stream(in, num_features);
+}
+
+void write_libsvm(const std::string& path, const LabelledMatrix& data) {
+  RCF_CHECK_MSG(data.y.size() == data.xt.rows(),
+                "write_libsvm: label count mismatch");
+  std::ofstream out(path);
+  if (!out) {
+    throw IoError("cannot open for writing: " + path);
+  }
+  char buf[64];
+  for (std::size_t r = 0; r < data.xt.rows(); ++r) {
+    std::snprintf(buf, sizeof buf, "%.17g", data.y[r]);
+    out << buf;
+    const auto row = data.xt.row(r);
+    for (std::size_t i = 0; i < row.nnz(); ++i) {
+      std::snprintf(buf, sizeof buf, " %u:%.17g", row.cols[i] + 1, row.vals[i]);
+      out << buf;
+    }
+    out << '\n';
+  }
+  if (!out) {
+    throw IoError("write failed: " + path);
+  }
+}
+
+CsrMatrix read_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw IoError("cannot open MatrixMarket file: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("%%MatrixMarket", 0) != 0) {
+    throw IoError("not a MatrixMarket file: " + path);
+  }
+  const bool symmetric = line.find("symmetric") != std::string::npos;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') {
+      break;
+    }
+  }
+  std::istringstream header(line);
+  std::size_t rows, cols, nnz;
+  if (!(header >> rows >> cols >> nnz)) {
+    throw IoError("MatrixMarket: bad size line in " + path);
+  }
+  std::vector<Triplet> triplets;
+  triplets.reserve(symmetric ? 2 * nnz : nnz);
+  for (std::size_t i = 0; i < nnz; ++i) {
+    std::size_t r, c;
+    double v;
+    if (!(in >> r >> c >> v)) {
+      throw IoError("MatrixMarket: truncated entry list in " + path);
+    }
+    triplets.push_back({static_cast<std::uint32_t>(r - 1),
+                        static_cast<std::uint32_t>(c - 1), v});
+    if (symmetric && r != c) {
+      triplets.push_back({static_cast<std::uint32_t>(c - 1),
+                          static_cast<std::uint32_t>(r - 1), v});
+    }
+  }
+  return CsrMatrix::from_triplets(rows, cols, std::move(triplets));
+}
+
+void write_matrix_market(const std::string& path, const CsrMatrix& m) {
+  std::ofstream out(path);
+  if (!out) {
+    throw IoError("cannot open for writing: " + path);
+  }
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << m.rows() << ' ' << m.cols() << ' ' << m.nnz() << '\n';
+  char buf[64];
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto row = m.row(r);
+    for (std::size_t i = 0; i < row.nnz(); ++i) {
+      std::snprintf(buf, sizeof buf, "%zu %u %.17g\n", r + 1, row.cols[i] + 1,
+                    row.vals[i]);
+      out << buf;
+    }
+  }
+  if (!out) {
+    throw IoError("write failed: " + path);
+  }
+}
+
+}  // namespace rcf::sparse

@@ -1,0 +1,43 @@
+// Sparse matrix / dataset file I/O.
+//
+// Two formats:
+//  * LIBSVM  -- "<label> <idx>:<val> ..." one sample per line, 1-based
+//    feature indices; the format of the paper's benchmark datasets [9].
+//  * MatrixMarket coordinate -- generic sparse matrix exchange.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "la/vector.hpp"
+#include "sparse/csr.hpp"
+
+namespace rcf::sparse {
+
+/// A labelled sample matrix: X^T (m samples x d features) plus labels y.
+struct LabelledMatrix {
+  CsrMatrix xt;
+  la::Vector y;
+};
+
+/// Reads a LIBSVM file.  `num_features` forces the feature dimension (0 =
+/// infer from the maximum index seen).
+[[nodiscard]] LabelledMatrix read_libsvm(const std::string& path,
+                                         std::size_t num_features = 0);
+
+/// Parses LIBSVM content from a stream (exposed for testing).
+[[nodiscard]] LabelledMatrix read_libsvm_stream(std::istream& in,
+                                                std::size_t num_features = 0);
+
+/// Writes a LIBSVM file (1-based indices, %.17g values).
+void write_libsvm(const std::string& path, const LabelledMatrix& data);
+
+/// Reads a MatrixMarket coordinate file (general, real).
+[[nodiscard]] CsrMatrix read_matrix_market(const std::string& path);
+
+/// Writes a MatrixMarket coordinate file.
+void write_matrix_market(const std::string& path, const CsrMatrix& m);
+
+}  // namespace rcf::sparse

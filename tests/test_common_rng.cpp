@@ -1,0 +1,200 @@
+// Tests for the counter-based RNG: determinism, stream independence,
+// statistical sanity, and the sampling primitives the solvers depend on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rcf {
+namespace {
+
+TEST(Philox, KnownStructure) {
+  // The block function must be a pure function of (counter, key).
+  const auto a = Philox4x32::block({1, 2, 3, 4}, {5, 6});
+  const auto b = Philox4x32::block({1, 2, 3, 4}, {5, 6});
+  EXPECT_EQ(a, b);
+  // Different counters / keys must give different blocks.
+  EXPECT_NE(a, Philox4x32::block({1, 2, 3, 5}, {5, 6}));
+  EXPECT_NE(a, Philox4x32::block({1, 2, 3, 4}, {5, 7}));
+}
+
+TEST(Rng, DeterministicPerSeedAndStream) {
+  Rng a(42, 7), b(42, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Rng a(42, 1), b(42, 2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.next_u32() == b.next_u32();
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SeedsAreIndependent) {
+  Rng a(1, 0), b(2, 0);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.next_u32() == b.next_u32();
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(123, 0);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(9, 0);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexUnbiased) {
+  Rng rng(7, 0);
+  constexpr std::uint64_t kBuckets = 7;
+  std::vector<int> counts(kBuckets, 0);
+  constexpr int kN = 70000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[rng.uniform_index(kBuckets)];
+  }
+  for (auto c : counts) {
+    EXPECT_NEAR(c, kN / kBuckets, 0.05 * kN / kBuckets);
+  }
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(7, 0);
+  EXPECT_THROW(rng.uniform_index(0), InvalidArgument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(99, 0);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(99, 1);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.normal(10.0, 2.0);
+  }
+  EXPECT_NEAR(sum / kN, 10.0, 0.1);
+}
+
+TEST(SampleWithoutReplacement, BasicContract) {
+  Rng rng(5, 3);
+  const auto sample = rng.sample_without_replacement(1000, 100);
+  EXPECT_EQ(sample.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  std::set<std::uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (auto v : sample) {
+    EXPECT_LT(v, 1000u);
+  }
+}
+
+TEST(SampleWithoutReplacement, FullRange) {
+  Rng rng(5, 3);
+  const auto sample = rng.sample_without_replacement(50, 50);
+  EXPECT_EQ(sample.size(), 50u);
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(sample[i], i);  // sorted permutation of 0..49
+  }
+}
+
+TEST(SampleWithoutReplacement, DenseAndSparseRegimesAgreeOnContract) {
+  // count*3 >= n triggers Fisher-Yates; smaller counts use Floyd.
+  for (std::uint64_t count : {5ull, 400ull}) {
+    Rng rng(11, count);
+    const auto sample = rng.sample_without_replacement(1000, count);
+    EXPECT_EQ(sample.size(), count);
+    std::set<std::uint32_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), count);
+  }
+}
+
+TEST(SampleWithoutReplacement, CountZero) {
+  Rng rng(5, 3);
+  EXPECT_TRUE(rng.sample_without_replacement(10, 0).empty());
+}
+
+TEST(SampleWithoutReplacement, CountGreaterThanNThrows) {
+  Rng rng(5, 3);
+  EXPECT_THROW(rng.sample_without_replacement(10, 11), InvalidArgument);
+}
+
+TEST(SampleWithoutReplacement, UniformCoverage) {
+  // Every index should be sampled with roughly equal frequency.
+  constexpr std::uint64_t kN = 50, kCount = 10;
+  std::vector<int> hits(kN, 0);
+  constexpr int kTrials = 5000;
+  for (int t = 0; t < kTrials; ++t) {
+    Rng rng(13, static_cast<std::uint64_t>(t));
+    for (auto v : rng.sample_without_replacement(kN, kCount)) {
+      ++hits[v];
+    }
+  }
+  const double expected = kTrials * static_cast<double>(kCount) / kN;
+  for (auto h : hits) {
+    EXPECT_NEAR(h, expected, 0.15 * expected);
+  }
+}
+
+TEST(SampleWithReplacement, Range) {
+  Rng rng(21, 0);
+  const auto sample = rng.sample_with_replacement(10, 1000);
+  EXPECT_EQ(sample.size(), 1000u);
+  for (auto v : sample) {
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(DeriveSeed, Decorrelates) {
+  const auto a = derive_seed(42, 1);
+  const auto b = derive_seed(42, 2);
+  const auto c = derive_seed(43, 1);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a, derive_seed(42, 1));
+}
+
+TEST(Rng, UniformRandomBitGeneratorConcept) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  Rng rng(1, 2);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  std::shuffle(v.begin(), v.end(), rng);  // must compile and terminate
+  EXPECT_EQ(v.size(), 5u);
+}
+
+}  // namespace
+}  // namespace rcf

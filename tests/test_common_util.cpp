@@ -1,0 +1,147 @@
+// Tests for CLI parsing, tables, logging plumbing, and error types.
+#include <gtest/gtest.h>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+
+namespace rcf {
+namespace {
+
+TEST(Cli, ParsesKeyValueForms) {
+  CliParser cli("t", "test");
+  // Note: a bare "--flag" greedily consumes a following non-flag token as
+  // its value, so positionals go before bare boolean flags.
+  const char* argv[] = {"t", "--a=1", "--b", "2", "pos", "--flag"};
+  ASSERT_TRUE(cli.parse(6, argv));
+  EXPECT_EQ(cli.get_int("a", 0), 1);
+  EXPECT_EQ(cli.get_int("b", 0), 2);
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos");
+}
+
+TEST(Cli, Defaults) {
+  CliParser cli("t", "test");
+  const char* argv[] = {"t"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(cli.get_string("missing", "x"), "x");
+  EXPECT_FALSE(cli.get_bool("missing", false));
+  EXPECT_FALSE(cli.has("missing"));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli("t", "test");
+  const char* argv[] = {"t", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, IntList) {
+  CliParser cli("t", "test");
+  const char* argv[] = {"t", "--ks=1,2,8"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  const auto ks = cli.get_int_list("ks", {});
+  ASSERT_EQ(ks.size(), 3u);
+  EXPECT_EQ(ks[2], 8);
+  const auto fallback = cli.get_int_list("missing", {4, 5});
+  EXPECT_EQ(fallback.size(), 2u);
+}
+
+TEST(Cli, DoubleList) {
+  CliParser cli("t", "test");
+  const char* argv[] = {"t", "--bs=0.5,0.25"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  const auto bs = cli.get_double_list("bs", {});
+  ASSERT_EQ(bs.size(), 2u);
+  EXPECT_DOUBLE_EQ(bs[1], 0.25);
+}
+
+TEST(Cli, BadIntThrows) {
+  CliParser cli("t", "test");
+  const char* argv[] = {"t", "--a=xyz"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_THROW(cli.get_int("a", 0), InvalidArgument);
+  EXPECT_THROW(cli.get_double("a", 0.0), InvalidArgument);
+}
+
+TEST(Cli, NegativeNumberAsValue) {
+  CliParser cli("t", "test");
+  const char* argv[] = {"t", "--a=-3"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EQ(cli.get_int("a", 0), -3);
+}
+
+TEST(Table, AlignedRendering) {
+  AsciiTable t({"col", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "2"});
+  const auto s = t.str();
+  EXPECT_NE(s.find("| col"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvRendering) {
+  AsciiTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(Format, Numbers) {
+  EXPECT_EQ(fmt_f(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(fmt_count(12), "12");
+  EXPECT_EQ(fmt_count(123), "123");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_bytes(512), "512B");
+  EXPECT_NE(fmt_bytes(2'500'000).find("MB"), std::string::npos);
+}
+
+TEST(Log, LevelParsing) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("WARN"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kInfo);
+}
+
+TEST(Log, ThresholdFilters) {
+  const auto saved = log_level();
+  set_log_level(LogLevel::kError);
+  // Should not crash and should be filtered (no observable side effect to
+  // assert beyond not emitting; exercise the macro path).
+  RCF_LOG_DEBUG << "invisible " << 42;
+  RCF_LOG_ERROR << "visible";
+  set_log_level(saved);
+}
+
+TEST(Checks, ThrowWithContext) {
+  try {
+    RCF_CHECK_MSG(false, "ctx");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("ctx"), std::string::npos);
+  }
+}
+
+TEST(Timer, MeasuresElapsed) {
+  WallTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + i;
+  }
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.millis(), 0.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace rcf

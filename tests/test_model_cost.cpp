@@ -1,0 +1,134 @@
+// Tests for the alpha-beta-gamma cost tracker and machine specs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "model/cost.hpp"
+#include "model/machine.hpp"
+
+namespace rcf::model {
+namespace {
+
+TEST(Machine, PresetsMatchPaperConstants) {
+  const auto spec = comet();
+  EXPECT_DOUBLE_EQ(spec.alpha, 1.0e-6);
+  EXPECT_DOUBLE_EQ(spec.beta, 1.42e-10);
+  EXPECT_DOUBLE_EQ(spec.gamma, 4.0e-10);
+  EXPECT_GT(spec.alpha_effective(), spec.alpha);
+  EXPECT_GT(spec.alpha_beta_ratio(), 0.0);
+  EXPECT_GT(spec.beta_gamma_ratio(), 0.0);
+}
+
+TEST(Machine, LookupByName) {
+  EXPECT_EQ(machine_by_name("comet").name, "comet");
+  EXPECT_EQ(machine_by_name("spark").name, "spark");
+  EXPECT_EQ(machine_by_name("ethernet").name, "ethernet");
+  EXPECT_EQ(machine_by_name("infiniband").name, "infiniband");
+  EXPECT_THROW(machine_by_name("cray"), InvalidArgument);
+}
+
+TEST(Machine, SparkHasHigherPerRoundOverhead) {
+  EXPECT_GT(spark_like().alpha_effective(), comet().alpha_effective());
+}
+
+TEST(Collective, PaperModelCounts) {
+  const auto c = allreduce_cost(CollectiveModel::kPaperLogP, 8, 100);
+  EXPECT_DOUBLE_EQ(c.messages, 3.0);
+  EXPECT_DOUBLE_EQ(c.words, 300.0);
+}
+
+TEST(Collective, SingleRankIsFree) {
+  for (auto m : {CollectiveModel::kPaperLogP, CollectiveModel::kRabenseifner,
+                 CollectiveModel::kTree}) {
+    const auto c = allreduce_cost(m, 1, 1000);
+    EXPECT_DOUBLE_EQ(c.messages, 0.0);
+    EXPECT_DOUBLE_EQ(c.words, 0.0);
+  }
+}
+
+TEST(Collective, NonPowerOfTwoUsesCeiling) {
+  const auto c = allreduce_cost(CollectiveModel::kPaperLogP, 5, 10);
+  EXPECT_DOUBLE_EQ(c.messages, 3.0);  // ceil(log2 5)
+}
+
+TEST(Collective, RabenseifnerBandwidthOptimal) {
+  // 2n(P-1)/P < n log P for P >= 8: the bandwidth-optimal algorithm moves
+  // fewer words.
+  const auto paper = allreduce_cost(CollectiveModel::kPaperLogP, 64, 1000);
+  const auto rab = allreduce_cost(CollectiveModel::kRabenseifner, 64, 1000);
+  EXPECT_LT(rab.words, paper.words);
+  EXPECT_GT(rab.messages, paper.messages);
+}
+
+TEST(Collective, NameRoundTrip) {
+  EXPECT_EQ(collective_model_by_name("paper"), CollectiveModel::kPaperLogP);
+  EXPECT_EQ(collective_model_by_name("rabenseifner"),
+            CollectiveModel::kRabenseifner);
+  EXPECT_EQ(collective_model_by_name("tree"), CollectiveModel::kTree);
+  EXPECT_THROW((void)collective_model_by_name("bogus"), InvalidArgument);
+  EXPECT_EQ(to_string(CollectiveModel::kPaperLogP), "paper-logP");
+}
+
+TEST(CostTracker, AccumulatesAndConverts) {
+  CostTracker t(CollectiveModel::kPaperLogP);
+  t.add_flops(Phase::kGram, 1e6);
+  t.add_flops(Phase::kUpdate, 2e6);
+  t.add_allreduce(4, 100);  // 2 msgs, 200 words
+  EXPECT_DOUBLE_EQ(t.flops(), 3e6);
+  EXPECT_DOUBLE_EQ(t.flops(Phase::kGram), 1e6);
+  EXPECT_DOUBLE_EQ(t.messages(), 2.0);
+  EXPECT_DOUBLE_EQ(t.words(), 200.0);
+
+  MachineSpec spec;
+  spec.alpha = 1.0;
+  spec.beta = 0.5;
+  spec.gamma = 1e-6;
+  const double expected = 1e-6 * 3e6 + 1.0 * 2.0 + 0.5 * 200.0;
+  EXPECT_DOUBLE_EQ(t.seconds(spec), expected);
+  EXPECT_DOUBLE_EQ(t.compute_seconds(spec), 3.0);
+  EXPECT_DOUBLE_EQ(t.latency_seconds(spec), 2.0);
+  EXPECT_DOUBLE_EQ(t.bandwidth_seconds(spec), 100.0);
+}
+
+TEST(CostTracker, AlphaSyncChargedPerMessage) {
+  CostTracker t;
+  t.add_allreduce(2, 10);  // 1 msg
+  MachineSpec spec;
+  spec.alpha = 1.0;
+  spec.alpha_sync = 2.0;
+  EXPECT_DOUBLE_EQ(t.latency_seconds(spec), 3.0);
+}
+
+TEST(CostTracker, MemoryTrafficTerm) {
+  CostTracker t;
+  t.add_mem_words(Phase::kUpdate, 1000.0);
+  MachineSpec spec;
+  spec.beta_mem = 0.01;
+  EXPECT_DOUBLE_EQ(t.memory_seconds(spec), 10.0);
+  EXPECT_DOUBLE_EQ(t.mem_words(), 1000.0);
+}
+
+TEST(CostTracker, ResetAndAccumulate) {
+  CostTracker a, b;
+  a.add_flops(Phase::kGram, 5.0);
+  b.add_flops(Phase::kGram, 7.0);
+  b.add_comm(1.0, 2.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.flops(), 12.0);
+  EXPECT_DOUBLE_EQ(a.messages(), 1.0);
+  a.reset();
+  EXPECT_DOUBLE_EQ(a.flops(), 0.0);
+  EXPECT_DOUBLE_EQ(a.words(), 0.0);
+}
+
+TEST(CostTracker, PhaseNames) {
+  EXPECT_STREQ(phase_name(Phase::kGram), "gram");
+  EXPECT_STREQ(phase_name(Phase::kComm), "comm");
+  EXPECT_STREQ(phase_name(Phase::kSampling), "sampling");
+  EXPECT_STREQ(phase_name(Phase::kUpdate), "update");
+  EXPECT_STREQ(phase_name(Phase::kOther), "other");
+}
+
+}  // namespace
+}  // namespace rcf::model

@@ -1,0 +1,119 @@
+// Tests for the Table 1 cost formulas and the Eq. 25-28 parameter bounds,
+// including the paper's own worked examples.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "model/formulas.hpp"
+
+namespace rcf::model {
+namespace {
+
+AlgorithmShape base_shape() {
+  AlgorithmShape s;
+  s.n_iters = 100;
+  s.d = 50;
+  s.m_bar = 500;
+  s.fill = 0.2;
+  s.p = 16;
+  s.k = 4;
+  s.s = 2;
+  return s;
+}
+
+TEST(Table1, SfistaCosts) {
+  auto s = base_shape();
+  const auto cost = sfista_cost(s);
+  EXPECT_DOUBLE_EQ(cost.latency_msgs, 100 * 4.0);  // N log2(16)
+  EXPECT_DOUBLE_EQ(cost.flops, 100.0 * 2500 * 500 * 0.2 / 16);
+  EXPECT_DOUBLE_EQ(cost.bandwidth_words, 100.0 * 2500 * 4.0);
+}
+
+TEST(Table1, RcSfistaLatencyDividedByK) {
+  auto s = base_shape();
+  const auto rc = rcsfista_cost(s);
+  const auto base = sfista_cost(s);
+  EXPECT_DOUBLE_EQ(rc.latency_msgs, base.latency_msgs / s.k);
+  // Bandwidth unchanged (the paper's headline claim).
+  EXPECT_DOUBLE_EQ(rc.bandwidth_words, base.bandwidth_words);
+  // Flops pick up the S d^2 term.
+  EXPECT_DOUBLE_EQ(rc.flops, base.flops + s.s * s.d * s.d);
+}
+
+TEST(Table1, SingleProcessorNoCommunication) {
+  auto s = base_shape();
+  s.p = 1;
+  EXPECT_DOUBLE_EQ(sfista_cost(s).latency_msgs, 0.0);
+  EXPECT_DOUBLE_EQ(sfista_cost(s).bandwidth_words, 0.0);
+}
+
+TEST(Eq24, RuntimeCombinesTerms) {
+  auto s = base_shape();
+  MachineSpec spec;
+  spec.alpha = 1.0;
+  spec.beta = 1.0;
+  spec.gamma = 1.0;
+  const auto cost = rcsfista_cost(s);
+  EXPECT_DOUBLE_EQ(rcsfista_runtime(s, spec),
+                   cost.flops + cost.latency_msgs + cost.bandwidth_words);
+}
+
+TEST(Eq25, PaperWorkedExample) {
+  // §5.3: Comet alpha = 1e-6, beta = 1.42e-10 => covtype (d = 54) bound
+  // k <= alpha/(beta d^2) ~ 2.
+  const auto spec = comet();
+  const double bound = k_bound_latency_bandwidth(spec, 54.0);
+  EXPECT_NEAR(bound, 2.0, 0.5);
+}
+
+TEST(Eq25, ScalesInverselyWithDSquared) {
+  const auto spec = comet();
+  EXPECT_NEAR(k_bound_latency_bandwidth(spec, 10.0) /
+                  k_bound_latency_bandwidth(spec, 20.0),
+              4.0, 1e-9);
+  EXPECT_THROW(k_bound_latency_bandwidth(spec, 0.0), InvalidArgument);
+}
+
+TEST(Eq26, MonotoneInAlpha) {
+  auto s = base_shape();
+  auto spec = comet();
+  const double b1 = k_bound_latency_flops(s, spec);
+  spec.alpha *= 10.0;
+  EXPECT_NEAR(k_bound_latency_flops(s, spec) / b1, 10.0, 1e-9);
+}
+
+TEST(Eq27, PaperWorkedExample) {
+  // §5.3: mnist with k = 1, P = 256, N = 200, gamma = 4e-10: S <~ 7.
+  AlgorithmShape s;
+  s.n_iters = 200;
+  s.d = 780;
+  s.p = 256;
+  const auto spec = comet();
+  const double bound = ks_bound_sparse(s, spec);
+  EXPECT_GT(bound, 4.0);
+  EXPECT_LT(bound, 10.0);
+}
+
+TEST(Eq28, DependsOnBetaGammaRatio) {
+  AlgorithmShape s;
+  s.n_iters = 100;
+  s.p = 16;
+  auto spec = comet();
+  const double b1 = s_bound(s, spec);
+  spec.beta *= 2.0;
+  EXPECT_NEAR(s_bound(s, spec) / b1, 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(b1, spec.beta / 2.0 * 100.0 * 4.0 / spec.gamma);
+}
+
+TEST(Bounds, DegenerateShapesRejected) {
+  AlgorithmShape s = base_shape();
+  s.p = 0.5;
+  EXPECT_THROW(sfista_cost(s), InvalidArgument);
+  s = base_shape();
+  s.k = 0.0;
+  EXPECT_THROW(rcsfista_cost(s), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rcf::model

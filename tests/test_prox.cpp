@@ -1,0 +1,179 @@
+// Tests for the proximal operators, including the defining variational
+// property prox(w) = argmin (1/2t)||x-w||^2 + g(x) checked numerically.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "la/vector.hpp"
+#include "prox/operators.hpp"
+
+namespace rcf::prox {
+namespace {
+
+TEST(SoftThreshold, ScalarCases) {
+  EXPECT_DOUBLE_EQ(soft_threshold(3.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(soft_threshold(-3.0, 1.0), -2.0);
+  EXPECT_DOUBLE_EQ(soft_threshold(0.5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(soft_threshold(-0.5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(soft_threshold(1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(soft_threshold(2.0, 0.0), 2.0);
+}
+
+TEST(SoftThreshold, VectorForm) {
+  la::Vector in{2.0, -0.1, -3.0}, out(3);
+  soft_threshold(in.span(), 1.0, out.span());
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+  EXPECT_DOUBLE_EQ(out[2], -2.0);
+}
+
+/// Numerically verifies the prox definition: for the returned point p,
+/// (1/2t)||p - w||^2 + g(p) must not exceed the objective at nearby
+/// perturbations.
+void check_prox_optimality(const Regularizer& reg, la::Vector w, double t) {
+  la::Vector p = w;
+  reg.apply(p.span(), t);
+  auto objective = [&](const la::Vector& x) {
+    double q = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      q += (x[i] - w[i]) * (x[i] - w[i]);
+    }
+    return q / (2.0 * t) + reg.value(x.span());
+  };
+  const double at_p = objective(p);
+  Rng rng(17, 0);
+  for (int trial = 0; trial < 200; ++trial) {
+    la::Vector q = p;
+    for (auto& v : q) {
+      v += 0.05 * rng.normal();
+    }
+    EXPECT_GE(objective(q), at_p - 1e-9);
+  }
+}
+
+TEST(L1, ValueAndProx) {
+  L1Regularizer reg(0.5);
+  la::Vector w{1.0, -2.0, 0.0};
+  EXPECT_DOUBLE_EQ(reg.value(w.span()), 1.5);
+  reg.apply(w.span(), 2.0);  // threshold = 1.0
+  EXPECT_DOUBLE_EQ(w[0], 0.0);
+  EXPECT_DOUBLE_EQ(w[1], -1.0);
+  EXPECT_EQ(reg.name(), "l1");
+  EXPECT_DOUBLE_EQ(reg.lambda(), 0.5);
+}
+
+TEST(L1, ProxOptimality) {
+  check_prox_optimality(L1Regularizer(0.3), la::Vector{1.0, -0.2, 2.0, 0.05},
+                        0.7);
+}
+
+TEST(L1, RejectsNegativeLambda) {
+  EXPECT_THROW(L1Regularizer(-1.0), rcf::InvalidArgument);
+}
+
+TEST(L2, ValueAndProx) {
+  L2Regularizer reg(2.0);
+  la::Vector w{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(reg.value(w.span()), 25.0);
+  reg.apply(w.span(), 0.5);  // shrink by 1/(1+1) = 0.5
+  EXPECT_DOUBLE_EQ(w[0], 1.5);
+  EXPECT_DOUBLE_EQ(w[1], -2.0);
+}
+
+TEST(L2, ProxOptimality) {
+  check_prox_optimality(L2Regularizer(1.3), la::Vector{0.4, -1.0, 2.0}, 0.9);
+}
+
+TEST(ElasticNet, ReducesToComponents) {
+  // lambda2 = 0 -> pure l1.
+  ElasticNetRegularizer en(0.5, 0.0);
+  L1Regularizer l1(0.5);
+  la::Vector a{2.0, -0.3}, b{2.0, -0.3};
+  en.apply(a.span(), 1.0);
+  l1.apply(b.span(), 1.0);
+  EXPECT_EQ(a.raw(), b.raw());
+  // lambda1 = 0 -> pure l2.
+  ElasticNetRegularizer en2(0.0, 2.0);
+  L2Regularizer l2(2.0);
+  la::Vector c{2.0, -0.3}, d{2.0, -0.3};
+  en2.apply(c.span(), 1.0);
+  l2.apply(d.span(), 1.0);
+  EXPECT_EQ(c.raw(), d.raw());
+}
+
+TEST(ElasticNet, ProxOptimality) {
+  check_prox_optimality(ElasticNetRegularizer(0.2, 0.8),
+                        la::Vector{1.0, -2.0, 0.1}, 0.6);
+}
+
+TEST(Box, ClampsAndValues) {
+  BoxRegularizer reg(-1.0, 2.0);
+  la::Vector w{-3.0, 0.5, 7.0};
+  EXPECT_TRUE(std::isinf(reg.value(w.span())));
+  reg.apply(w.span(), 1.0);
+  EXPECT_DOUBLE_EQ(w[0], -1.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.5);
+  EXPECT_DOUBLE_EQ(w[2], 2.0);
+  EXPECT_DOUBLE_EQ(reg.value(w.span()), 0.0);
+  EXPECT_THROW(BoxRegularizer(2.0, 1.0), rcf::InvalidArgument);
+}
+
+TEST(Zero, Identity) {
+  ZeroRegularizer reg;
+  la::Vector w{1.0, -5.0};
+  EXPECT_DOUBLE_EQ(reg.value(w.span()), 0.0);
+  reg.apply(w.span(), 10.0);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], -5.0);
+}
+
+// Parameterized prox property sweep: nonexpansiveness of the prox operator
+// ||prox(a) - prox(b)|| <= ||a - b|| for all the convex regularizers.
+class ProxNonexpansive : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProxNonexpansive, Holds) {
+  std::unique_ptr<Regularizer> reg;
+  switch (GetParam()) {
+    case 0:
+      reg = std::make_unique<L1Regularizer>(0.4);
+      break;
+    case 1:
+      reg = std::make_unique<L2Regularizer>(1.2);
+      break;
+    case 2:
+      reg = std::make_unique<ElasticNetRegularizer>(0.3, 0.7);
+      break;
+    case 3:
+      reg = std::make_unique<BoxRegularizer>(-1.0, 1.0);
+      break;
+    default:
+      reg = std::make_unique<ZeroRegularizer>();
+  }
+  Rng rng(23, GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    la::Vector a(6), b(6);
+    for (std::size_t i = 0; i < 6; ++i) {
+      a[i] = rng.normal(0.0, 2.0);
+      b[i] = rng.normal(0.0, 2.0);
+    }
+    double dist_before = 0.0;
+    for (std::size_t i = 0; i < 6; ++i) {
+      dist_before += (a[i] - b[i]) * (a[i] - b[i]);
+    }
+    reg->apply(a.span(), 0.8);
+    reg->apply(b.span(), 0.8);
+    double dist_after = 0.0;
+    for (std::size_t i = 0; i < 6; ++i) {
+      dist_after += (a[i] - b[i]) * (a[i] - b[i]);
+    }
+    ASSERT_LE(dist_after, dist_before + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegularizers, ProxNonexpansive,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace rcf::prox

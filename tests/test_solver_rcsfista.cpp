@@ -1,0 +1,308 @@
+// Tests for RC-SFISTA: the k-invariance identity (Fig. 2b), Hessian-reuse
+// behaviour (Fig. 3), communication accounting (Table 1), and agreement of
+// the genuinely distributed SPMD execution with the sequential engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/distributed.hpp"
+#include "core/problem.hpp"
+#include "core/solvers.hpp"
+#include "data/synthetic.hpp"
+#include "la/blas.hpp"
+#include "prox/operators.hpp"
+
+namespace rcf::core {
+namespace {
+
+data::Dataset test_dataset(std::size_t m = 1200, std::size_t d = 32,
+                           double condition = 30.0, std::uint64_t seed = 13) {
+  data::SyntheticOptions opts;
+  opts.num_samples = m;
+  opts.num_features = d;
+  opts.density = 0.4;
+  opts.condition = condition;
+  opts.noise_stddev = 0.05;
+  opts.seed = seed;
+  return data::make_regression(opts);
+}
+
+class RcSfistaTest : public ::testing::Test {
+ protected:
+  RcSfistaTest() : dataset_(test_dataset()), problem_(dataset_, 0.005) {}
+
+  data::Dataset dataset_;
+  LassoProblem problem_;
+};
+
+// ---------------------------------------------------------------------------
+// The Fig. 2(b) identity: k is a schedule, not an algorithm change.
+// ---------------------------------------------------------------------------
+
+class OverlapInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(OverlapInvariance, IteratesAreBitwiseIdenticalToK1) {
+  const auto dataset = test_dataset();
+  const LassoProblem problem(dataset, 0.005);
+  SolverOptions base;
+  base.max_iters = 96;
+  base.sampling_rate = 0.1;
+  base.seed = 42;
+
+  SolverOptions k1 = base;
+  k1.k = 1;
+  const auto ref = solve_rc_sfista(problem, k1);
+
+  SolverOptions kx = base;
+  kx.k = GetParam();
+  const auto run = solve_rc_sfista(problem, kx);
+
+  EXPECT_EQ(ref.w, run.w) << "k = " << GetParam();
+  EXPECT_EQ(ref.objective, run.objective);
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, OverlapInvariance,
+                         ::testing::Values(2, 3, 4, 8, 16, 32, 96, 128));
+
+TEST_F(RcSfistaTest, OverlapInvarianceHoldsWithHessianReuse) {
+  SolverOptions base;
+  base.max_iters = 60;
+  base.sampling_rate = 0.1;
+  base.s = 4;
+  base.k = 1;
+  const auto a = solve_rc_sfista(problem_, base);
+  base.k = 8;
+  const auto b = solve_rc_sfista(problem_, base);
+  EXPECT_EQ(a.w, b.w);
+}
+
+TEST_F(RcSfistaTest, PartialFinalBlockHandled) {
+  // max_iters not a multiple of k: the last block is short.
+  SolverOptions opts;
+  opts.max_iters = 50;
+  opts.sampling_rate = 0.1;
+  opts.k = 8;
+  const auto run = solve_rc_sfista(problem_, opts);
+  EXPECT_EQ(run.iterations, 50);
+  opts.k = 1;
+  const auto ref = solve_rc_sfista(problem_, opts);
+  EXPECT_EQ(ref.w, run.w);
+}
+
+// ---------------------------------------------------------------------------
+// Communication accounting (Table 1 structure).
+// ---------------------------------------------------------------------------
+
+TEST_F(RcSfistaTest, LatencyFallsAsOneOverK) {
+  SolverOptions opts;
+  opts.max_iters = 64;
+  opts.sampling_rate = 0.1;
+  opts.procs = 16;  // log2 = 4 messages per round
+  opts.k = 1;
+  const auto k1 = solve_rc_sfista(problem_, opts);
+  opts.k = 8;
+  const auto k8 = solve_rc_sfista(problem_, opts);
+  EXPECT_DOUBLE_EQ(k1.cost.messages(), 64.0 * 4.0);
+  EXPECT_DOUBLE_EQ(k8.cost.messages(), 8.0 * 4.0);
+  // Bandwidth identical (the headline claim).
+  EXPECT_DOUBLE_EQ(k1.cost.words(), k8.cost.words());
+  // Gram flops identical.
+  EXPECT_DOUBLE_EQ(k1.cost.flops(model::Phase::kGram),
+                   k8.cost.flops(model::Phase::kGram));
+}
+
+TEST_F(RcSfistaTest, CommRoundsAreCeilNOverK) {
+  SolverOptions opts;
+  opts.max_iters = 50;
+  opts.sampling_rate = 0.1;
+  opts.k = 8;
+  const auto run = solve_rc_sfista(problem_, opts);
+  EXPECT_EQ(run.history.back().comm_rounds, 7u);  // ceil(50/8)
+}
+
+TEST_F(RcSfistaTest, HessianReuseAddsUpdateFlopsOnly) {
+  SolverOptions opts;
+  opts.max_iters = 40;
+  opts.sampling_rate = 0.1;
+  opts.s = 1;
+  const auto s1 = solve_rc_sfista(problem_, opts);
+  opts.s = 4;
+  const auto s4 = solve_rc_sfista(problem_, opts);
+  EXPECT_DOUBLE_EQ(s1.cost.flops(model::Phase::kGram),
+                   s4.cost.flops(model::Phase::kGram));
+  // Ratio is slightly below 4 because of the per-iteration O(d) overhead
+  // outside the s-loop.
+  EXPECT_NEAR(s4.cost.flops(model::Phase::kUpdate) /
+                  s1.cost.flops(model::Phase::kUpdate),
+              4.0, 0.4);
+  EXPECT_DOUBLE_EQ(s1.cost.words(), s4.cost.words());
+}
+
+TEST_F(RcSfistaTest, CacheSpillChargesMemoryTraffic) {
+  SolverOptions opts;
+  opts.max_iters = 16;
+  opts.sampling_rate = 0.1;
+  opts.k = 8;
+  opts.machine.cache_doubles = 10.0;  // force a spill
+  const auto spilled = solve_rc_sfista(problem_, opts);
+  EXPECT_GT(spilled.cost.mem_words(), 0.0);
+  opts.machine.cache_doubles = 1e12;
+  const auto cached = solve_rc_sfista(problem_, opts);
+  EXPECT_DOUBLE_EQ(cached.cost.mem_words(), 0.0);
+  EXPECT_GT(spilled.sim_seconds, cached.sim_seconds);
+}
+
+TEST_F(RcSfistaTest, PerRankGramCriticalPathScalesDown) {
+  SolverOptions opts;
+  opts.max_iters = 30;
+  opts.sampling_rate = 0.2;
+  opts.procs = 1;
+  const auto p1 = solve_rc_sfista(problem_, opts);
+  opts.procs = 8;
+  const auto p8 = solve_rc_sfista(problem_, opts);
+  const double ratio = p1.cost.flops(model::Phase::kGram) /
+                       p8.cost.flops(model::Phase::kGram);
+  // Per-rank max of a balanced partition: close to 8x less, never more.
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LE(ratio, 8.0 + 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Hessian-reuse improves per-iteration progress (Fig. 3 direction).
+// ---------------------------------------------------------------------------
+
+TEST_F(RcSfistaTest, ModerateSImprovesProgress) {
+  // The Fig. 3 shape on a covtype-like clone: S = 3 clearly beats S = 1 at
+  // the same number of communicated blocks, while S = 10 with a small batch
+  // over-solves the stale sampled model and falls behind S = 3.
+  const auto ds = data::make_paper_clone("covtype", 0.02);
+  const LassoProblem problem(ds, 0.01 * LassoProblem(ds, 0.0).lambda_max());
+  const auto ref = solve_reference(problem);
+  SolverOptions opts;
+  opts.max_iters = 120;
+  opts.sampling_rate = 0.05;
+  opts.variance_reduction = true;
+  opts.f_star = ref.objective;
+  auto run = [&](int s) {
+    SolverOptions o = opts;
+    o.s = s;
+    return solve_rc_sfista(problem, o).history.back().rel_error;
+  };
+  const double e1 = run(1), e3 = run(3), e10 = run(10);
+  EXPECT_LT(e3, e1);
+  EXPECT_GT(e10, e3);
+}
+
+// ---------------------------------------------------------------------------
+// Distributed (threaded SPMD) execution agrees with the sequential engine.
+// ---------------------------------------------------------------------------
+
+class DistributedAgreement
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DistributedAgreement, MatchesSequentialEngine) {
+  const auto [ranks, k, s] = GetParam();
+  const auto dataset = test_dataset(600, 24);
+  const LassoProblem problem(dataset, 0.01);
+  SolverOptions opts;
+  opts.max_iters = 40;
+  opts.sampling_rate = 0.2;
+  opts.k = k;
+  opts.s = s;
+  opts.track_history = false;
+
+  const auto seq = solve_rc_sfista(problem, opts);
+  dist::ThreadGroup group(ranks);
+  const auto par = solve_rc_sfista_distributed(problem, opts, group);
+
+  EXPECT_LT(la::max_abs_diff(seq.w.span(), par.w.span()), 1e-10)
+      << "ranks=" << ranks << " k=" << k << " s=" << s;
+  // Allreduce rounds: ceil(N/k) per rank.
+  const auto rounds = (40 + k - 1) / k;
+  EXPECT_EQ(par.comm_stats.allreduce_calls,
+            static_cast<std::uint64_t>(rounds * ranks));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DistributedAgreement,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{2, 1, 1},
+                      std::tuple{2, 4, 1}, std::tuple{3, 4, 1},
+                      std::tuple{4, 8, 1}, std::tuple{4, 4, 3},
+                      std::tuple{2, 16, 2}));
+
+TEST_F(RcSfistaTest, DistributedRejectsVarianceReduction) {
+  SolverOptions opts;
+  opts.variance_reduction = true;
+  dist::ThreadGroup group(2);
+  EXPECT_THROW(solve_rc_sfista_distributed(problem_, opts, group),
+               InvalidArgument);
+}
+
+TEST_F(RcSfistaTest, RecursiveDoublingBackendAgrees) {
+  SolverOptions opts;
+  opts.max_iters = 24;
+  opts.sampling_rate = 0.2;
+  opts.k = 4;
+  opts.track_history = false;
+  const auto seq = solve_rc_sfista(problem_, opts);
+  dist::ThreadGroup group(4, dist::AllreduceAlgo::kRecursiveDoubling);
+  const auto par = solve_rc_sfista_distributed(problem_, opts, group);
+  EXPECT_LT(la::max_abs_diff(seq.w.span(), par.w.span()), 1e-10);
+}
+
+
+// ---------------------------------------------------------------------------
+// Generic regularizer support (engine option).
+// ---------------------------------------------------------------------------
+
+TEST_F(RcSfistaTest, ElasticNetRegularizerSatisfiesOptimality) {
+  // Run the engine with an elastic-net regularizer override and verify the
+  // stationarity conditions of min f(w) + l1|w|_1 + (l2/2)||w||_2^2:
+  //   grad f + l2 w = -l1 sign(w_j) on the support, |.| <= l1 off it.
+  const double l1 = 0.01, l2 = 0.05;
+  const prox::ElasticNetRegularizer reg(l1, l2);
+  SolverOptions opts;
+  opts.max_iters = 3000;
+  opts.sampling_rate = 1.0;  // deterministic
+  opts.regularizer = &reg;
+  const auto result = solve_rc_sfista(problem_, opts);
+  la::Vector grad(problem_.dim());
+  problem_.full_gradient(result.w.span(), grad.span());
+  for (std::size_t j = 0; j < problem_.dim(); ++j) {
+    const double g = grad[j] + l2 * result.w[j];
+    if (result.w[j] != 0.0) {
+      EXPECT_NEAR(g + l1 * (result.w[j] > 0 ? 1.0 : -1.0), 0.0, 1e-5);
+    } else {
+      EXPECT_LE(std::abs(g), l1 + 1e-5);
+    }
+  }
+}
+
+TEST_F(RcSfistaTest, ZeroRegularizerSolvesLeastSquares) {
+  const prox::ZeroRegularizer reg;
+  SolverOptions opts;
+  opts.max_iters = 3000;
+  opts.sampling_rate = 1.0;
+  opts.regularizer = &reg;
+  const auto result = solve_rc_sfista(problem_, opts);
+  la::Vector grad(problem_.dim());
+  problem_.full_gradient(result.w.span(), grad.span());
+  EXPECT_LT(la::amax(grad.span()), 1e-5);  // unregularized stationarity
+}
+
+TEST_F(RcSfistaTest, RegularizerOverrideKeepsKInvariance) {
+  const prox::ElasticNetRegularizer reg(0.01, 0.02);
+  SolverOptions opts;
+  opts.max_iters = 48;
+  opts.sampling_rate = 0.1;
+  opts.regularizer = &reg;
+  opts.k = 1;
+  const auto a = solve_rc_sfista(problem_, opts);
+  opts.k = 8;
+  const auto b = solve_rc_sfista(problem_, opts);
+  EXPECT_EQ(a.w, b.w);
+}
+
+}  // namespace
+}  // namespace rcf::core
