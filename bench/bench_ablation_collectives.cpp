@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) {
     return 0;
   }
+  const auto obs_session = bench::start_observability(cli);
   bench::print_banner(
       "Ablation: allreduce cost model (paper logP vs Rabenseifner vs tree)",
       "the k-fold latency reduction is model-independent; bandwidth shares "

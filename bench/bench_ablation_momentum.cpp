@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) {
     return 0;
   }
+  const auto obs_session = bench::start_observability(cli);
   bench::print_banner(
       "Ablation: momentum rule (standard FISTA vs the paper's printed rule "
       "vs ISTA)",

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) {
     return 0;
   }
+  const auto obs_session = bench::start_observability(cli);
   bench::print_banner(
       "Ablation: the Eq. 9 variance-reduced gradient estimator on vs off",
       "VR removes the sampling-noise error floor of plain SFISTA (Alg. 4)");

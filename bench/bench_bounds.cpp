@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) {
     return 0;
   }
+  const auto obs_session = bench::start_observability(cli);
   bench::print_banner(
       "Eq. 25-28: upper bounds for the overlap parameter k and inner loop "
       "parameter S",

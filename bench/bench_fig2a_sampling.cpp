@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) {
     return 0;
   }
+  const auto obs_session = bench::start_observability(cli);
   bench::print_banner(
       "Fig. 2(a): Convergence of RC-SFISTA for different sampling rates b",
       "convergence nearly identical to FISTA for b down to a few percent");

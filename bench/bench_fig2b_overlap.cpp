@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) {
     return 0;
   }
+  const auto obs_session = bench::start_observability(cli);
   bench::print_banner(
       "Fig. 2(b): Convergence of RC-SFISTA for different overlap depths k",
       "k does not affect stability or relative objective error (tested to "

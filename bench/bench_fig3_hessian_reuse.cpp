@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) {
     return 0;
   }
+  const auto obs_session = bench::start_observability(cli);
   bench::print_banner(
       "Fig. 3: Convergence of RC-SFISTA for different inner loop parameter S",
       "small S reduces iterations-to-tolerance; S = 10 over-solves and "

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) {
     return 0;
   }
+  const auto obs_session = bench::start_observability(cli);
   bench::print_banner(
       "Fig. 4: Speedup of RC-SFISTA vs SFISTA for different k (S = 1)",
       "up to ~4x from latency reduction; epsilon degrades at large k as "

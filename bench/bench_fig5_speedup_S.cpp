@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) {
     return 0;
   }
+  const auto obs_session = bench::start_observability(cli);
   bench::print_banner(
       "Fig. 5: Speedup of RC-SFISTA vs SFISTA for different S (P = 256)",
       "speedup peaks at moderate S, then redundant flops overwhelm the "

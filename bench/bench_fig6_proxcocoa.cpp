@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) {
     return 0;
   }
+  const auto obs_session = bench::start_observability(cli);
   bench::print_banner(
       "Fig. 6: Relative objective error vs wall-clock, RC-SFISTA vs "
       "ProxCoCoA (256 workers, Spark-like machine)",

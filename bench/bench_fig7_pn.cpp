@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) {
     return 0;
   }
+  const auto obs_session = bench::start_observability(cli);
   bench::print_banner(
       "Fig. 7: Speedup of PN with RC-SFISTA inner solver vs PN with FISTA "
       "inner solver (P = 512)",

@@ -103,6 +103,28 @@ void BM_ThreadAllreduce(benchmark::State& state) {
 }
 BENCHMARK(BM_ThreadAllreduce)->Arg(2)->Arg(4);
 
+void BM_TraceScopeDisabled(benchmark::State& state) {
+  // The promised no-op cost of an instrumented scope with tracing off: one
+  // relaxed atomic load and a branch (compare against BM_TraceScopeEnabled).
+  for (auto _ : state) {
+    RCF_TRACE_SCOPE("bench");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TraceScopeDisabled);
+
+void BM_TraceScopeEnabled(benchmark::State& state) {
+  auto& session = obs::TraceSession::global();
+  session.start();
+  for (auto _ : state) {
+    RCF_TRACE_SCOPE("bench");
+    benchmark::ClobberMemory();
+  }
+  session.stop();
+  session.clear();
+}
+BENCHMARK(BM_TraceScopeEnabled);
+
 void BM_SolverIteration(benchmark::State& state) {
   // One full RC-SFISTA iteration on a covtype-scale problem.
   data::SyntheticOptions gen;

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) {
     return 0;
   }
+  const auto obs_session = bench::start_observability(cli);
   bench::print_banner(
       "Table 1: Latency, flops, and bandwidth costs for N iterations",
       "SFISTA: L=N logP, F=N d^2 mbar f / P, W=N d^2 logP; RC-SFISTA "

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) {
     return 0;
   }
+  const auto obs_session = bench::start_observability(cli);
   bench::print_banner(
       "Table 2: The datasets for experimental study",
       "five LIBSVM benchmarks spanning dense/sparse, 4K..5M samples");

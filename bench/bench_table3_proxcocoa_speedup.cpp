@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) {
     return 0;
   }
+  const auto obs_session = bench::start_observability(cli);
   bench::print_banner(
       "Table 3: Speedup of RC-SFISTA compared to ProxCoCoA (256 workers)",
       "paper: SUSY 1.57x, covtype 4.74x, mnist 12.15x, epsilon 3.53x");

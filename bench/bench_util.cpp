@@ -96,6 +96,15 @@ void add_common_flags(CliParser& cli) {
   cli.add_flag("machine", "machine spec: comet|spark|ethernet|infiniband",
                "comet");
   cli.add_flag("csv-dir", "directory for CSV copies of the tables", "");
+  cli.add_flag("trace-out", "Chrome trace-event JSON output path", "");
+  cli.add_flag("trace-jsonl", "flat JSONL trace output path", "");
+  cli.add_flag("metrics-out", "metrics registry JSON output path", "");
+}
+
+obs::ScopedSession start_observability(const CliParser& cli) {
+  return obs::ScopedSession(cli.get_string("trace-out", ""),
+                            cli.get_string("trace-jsonl", ""),
+                            cli.get_string("metrics-out", ""));
 }
 
 void maybe_write_csv(const CliParser& cli, const std::string& stem,

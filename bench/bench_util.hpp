@@ -46,6 +46,12 @@ class BenchProblem {
 /// Standard bench flags registered on every parser.
 void add_common_flags(CliParser& cli);
 
+/// Starts the global trace session from --trace-out / --trace-jsonl /
+/// --metrics-out (registered by add_common_flags).  Keep the returned guard
+/// alive for the whole run; it writes the outputs on destruction.  Inert
+/// when none of the flags were given.
+[[nodiscard]] obs::ScopedSession start_observability(const CliParser& cli);
+
 /// Datasets requested by --datasets (default: the four Fig. 4-7 benchmarks,
 /// or the bench-specific `fallback` list).
 [[nodiscard]] std::vector<std::string> requested_datasets(

@@ -17,9 +17,15 @@ int main(int argc, char** argv) {
   cli.add_flag("d", "features", "64");
   cli.add_flag("k", "overlap depth", "4");
   cli.add_flag("algo", "allreduce algorithm (central|rd)", "central");
+  cli.add_flag("trace-out", "Chrome trace-event JSON output path", "");
+  cli.add_flag("trace-jsonl", "flat JSONL trace output path", "");
+  cli.add_flag("metrics-out", "metrics registry JSON output path", "");
   if (!cli.parse(argc, argv)) {
     return 0;
   }
+  const obs::ScopedSession obs_session(cli.get_string("trace-out", ""),
+                                       cli.get_string("trace-jsonl", ""),
+                                       cli.get_string("metrics-out", ""));
 
   data::SyntheticOptions gen;
   gen.num_samples = cli.get_int("m", 8000);
@@ -46,7 +52,12 @@ int main(int argc, char** argv) {
 
   const auto distributed =
       core::solve_rc_sfista_distributed(problem, opts, group);
-  const auto sequential = core::solve_rc_sfista(problem, opts);
+  // The sequential verification run opts out of tracing so the captured
+  // trace holds exactly the distributed execution's spans (one "allreduce"
+  // per ThreadComm collective, matching CommStats::allreduce_calls).
+  core::SolverOptions seq_opts = opts;
+  seq_opts.trace = false;
+  const auto sequential = core::solve_rc_sfista(problem, seq_opts);
 
   const double diff =
       la::max_abs_diff(distributed.w.span(), sequential.w.span());
@@ -57,11 +68,22 @@ int main(int argc, char** argv) {
   std::printf("F(w) seq     : %.12f\n", sequential.objective);
   std::printf("||w_d - w_s||_inf = %.3e (reduction-order rounding only)\n",
               diff);
-  std::printf("allreduces   : %llu calls, %llu words (all ranks)\n",
+  std::printf("allreduces   : %llu calls, %llu words (all ranks), "
+              "max payload %llu words\n",
               static_cast<unsigned long long>(
                   distributed.comm_stats.allreduce_calls),
               static_cast<unsigned long long>(
-                  distributed.comm_stats.allreduce_words));
+                  distributed.comm_stats.allreduce_words),
+              static_cast<unsigned long long>(
+                  distributed.comm_stats.max_payload_words));
   std::printf("wall         : %.3f s\n", distributed.wall_seconds);
+  if (!distributed.phases.empty()) {
+    std::printf("\nrank-0 phases (times measured when tracing is on):\n%s",
+                obs::phase_table(distributed.phases).c_str());
+  }
+  if (obs_session.active()) {
+    std::printf("\ntrace outputs written (open --trace-out in "
+                "chrome://tracing or https://ui.perfetto.dev)\n");
+  }
   return diff < 1e-8 ? 0 : 1;
 }

@@ -14,9 +14,15 @@ int main(int argc, char** argv) {
   cli.add_flag("b", "sampling rate", "0.01");
   cli.add_flag("machine", "machine spec (comet|spark|ethernet|infiniband)",
                "comet");
+  cli.add_flag("trace-out", "Chrome trace-event JSON output path", "");
+  cli.add_flag("trace-jsonl", "flat JSONL trace output path", "");
+  cli.add_flag("metrics-out", "metrics registry JSON output path", "");
   if (!cli.parse(argc, argv)) {
     return 0;
   }
+  const obs::ScopedSession obs_session(cli.get_string("trace-out", ""),
+                                       cli.get_string("trace-jsonl", ""),
+                                       cli.get_string("metrics-out", ""));
 
   const std::string name = cli.get_string("dataset", "covtype");
   double scale = cli.get_double("scale", 0.0);

@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <mutex>
 
 namespace rcf {
@@ -13,8 +15,9 @@ namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::once_flag g_env_once;
 std::mutex g_emit_mutex;
+thread_local int t_log_rank = 0;
 
-const char* level_name(LogLevel level) {
+const char* level_tag(LogLevel level) {
   switch (level) {
     case LogLevel::kTrace:
       return "TRACE";
@@ -39,6 +42,61 @@ void init_from_env() {
   }
 }
 
+bool json_mode() {
+  // Cached once; -1 = unknown.
+  static std::atomic<int> cached{-1};
+  int mode = cached.load(std::memory_order_relaxed);
+  if (mode < 0) {
+    const char* env = std::getenv("RCF_LOG_JSON");
+    mode = (env != nullptr && env[0] == '1') ? 1 : 0;
+    cached.store(mode, std::memory_order_relaxed);
+  }
+  return mode == 1;
+}
+
+/// ISO-8601 UTC timestamp with millisecond precision.
+void format_timestamp(char* buf, std::size_t len) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto millis =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000;
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char date[32];
+  std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S", &tm_utc);
+  std::snprintf(buf, len, "%s.%03dZ", date, static_cast<int>(millis));
+}
+
+void append_json_escaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+          out += esc;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) {
@@ -48,6 +106,24 @@ void set_log_level(LogLevel level) {
 LogLevel log_level() {
   std::call_once(g_env_once, init_from_env);
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "trace";
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
 }
 
 LogLevel parse_log_level(const std::string& text) {
@@ -62,14 +138,51 @@ LogLevel parse_log_level(const std::string& text) {
   if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
   if (lower == "error") return LogLevel::kError;
   if (lower == "off" || lower == "none") return LogLevel::kOff;
+  // Plain fprintf: this can run from inside log_level()'s call_once (env
+  // parsing), where re-entering the log macros would deadlock.
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    std::fprintf(stderr,
+                 "[rcf] warning: unknown log level \"%s\", defaulting to "
+                 "\"info\" (valid: trace|debug|info|warn|error|off)\n",
+                 text.c_str());
+  }
   return LogLevel::kInfo;
 }
+
+void set_log_rank(int rank) { t_log_rank = rank; }
+
+int log_rank() { return t_log_rank; }
 
 namespace detail {
 
 void log_emit(LogLevel level, const std::string& message) {
+  char ts[48];
+  format_timestamp(ts, sizeof(ts));
+  // Format the complete line first, then emit it with one write under the
+  // mutex so concurrent ranks never interleave mid-line.
+  std::string line;
+  line.reserve(message.size() + 64);
+  if (json_mode()) {
+    line += "{\"ts\":\"";
+    line += ts;
+    line += "\",\"level\":\"";
+    line += log_level_name(level);
+    line += "\",\"rank\":";
+    line += std::to_string(t_log_rank);
+    line += ",\"msg\":\"";
+    append_json_escaped(line, message);
+    line += "\"}\n";
+  } else {
+    char prefix[96];
+    std::snprintf(prefix, sizeof(prefix), "[%s r%d %-5s] ", ts, t_log_rank,
+                  level_tag(level));
+    line += prefix;
+    line += message;
+    line += '\n';
+  }
   std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "[rcf %-5s] %s\n", level_name(level), message.c_str());
+  std::fputs(line.c_str(), stderr);
 }
 
 }  // namespace detail

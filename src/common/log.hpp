@@ -1,5 +1,16 @@
 // Minimal leveled logger (stderr).  Controlled globally or via the
 // RCF_LOG_LEVEL environment variable (trace|debug|info|warn|error|off).
+//
+// Each line is emitted with a single thread-safe write, prefixed with an
+// ISO-8601 UTC timestamp and the calling thread's SPMD rank (set per
+// thread by set_log_rank; ThreadGroup assigns ranks automatically), so
+// concurrent ranks never interleave within a line:
+//
+//   [2026-08-05T12:34:56.789Z r2 WARN ] message
+//
+// RCF_LOG_JSON=1 switches to one JSON object per line instead:
+//
+//   {"ts":"2026-08-05T12:34:56.789Z","level":"warn","rank":2,"msg":"..."}
 #pragma once
 
 #include <sstream>
@@ -20,8 +31,16 @@ enum class LogLevel : int {
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
-/// Parses "debug", "INFO", ... ; returns kInfo for unknown strings.
+/// Parses "debug", "INFO", "off", ... ; returns kInfo for unknown strings
+/// (emitting a one-time warning to stderr).
 [[nodiscard]] LogLevel parse_log_level(const std::string& text);
+
+/// Canonical lower-case name; round-trips through parse_log_level.
+[[nodiscard]] const char* log_level_name(LogLevel level);
+
+/// SPMD rank prefixed to this thread's log lines (default 0).
+void set_log_rank(int rank);
+[[nodiscard]] int log_rank();
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message);

@@ -11,6 +11,7 @@
 #include "core/momentum.hpp"
 #include "data/partition.hpp"
 #include "la/blas.hpp"
+#include "obs/trace.hpp"
 #include "prox/operators.hpp"
 #include "sparse/gram.hpp"
 
@@ -42,6 +43,14 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
 
   la::Vector final_w(d);
 
+  // Rank-0 phase aggregates (all ranks execute the identical schedule, so
+  // one rank's counts describe every rank); written before the join in
+  // group.run, read after it.  The "allreduce" wall time is measured here
+  // but the *span* is emitted by ThreadComm itself, keeping the trace's
+  // allreduce span count equal to CommStats::allreduce_calls per rank.
+  const bool tracing = opts.trace && obs::TraceSession::global().enabled();
+  obs::PhaseAgg ph_sampling, ph_gram, ph_allreduce, ph_update;
+
   group.run([&](dist::ThreadComm& comm) {
     const int rank = comm.rank();
     // Rank-local data block (stage-0 of Fig. 1: X column-partitioned, y
@@ -62,9 +71,14 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
 
     la::Vector w(d), dw_prev(d), v(d);
     la::Vector grad(d), theta(d), u(d);
+    std::vector<std::uint32_t> idx;
     std::vector<std::uint32_t> local_idx;
     int update_counter = 0;
     int momentum_base = 0;
+
+    // Per-rank aggregates; rank 0 publishes its copy after the loop.
+    obs::PhaseAgg lp_sampling, lp_gram, lp_allreduce, lp_update;
+    auto& session = obs::TraceSession::global();
 
     for (int block_start = 1; block_start <= opts.max_iters;
          block_start += k) {
@@ -75,28 +89,43 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
       // and accumulates the outer products of its own samples.
       for (int j = 0; j < kk; ++j) {
         const int n = block_start + j;
-        Rng rng(opts.seed, static_cast<std::uint64_t>(n));
-        const auto idx = rng.sample_without_replacement(m, mbar);
-        local_idx.clear();
-        for (const auto i : idx) {
-          if (i >= lo && i < hi) {
-            local_idx.push_back(static_cast<std::uint32_t>(i - lo));
+        obs::timed_phase(tracing, lp_sampling, "sampling", 0.0, [&] {
+          Rng rng(opts.seed, static_cast<std::uint64_t>(n));
+          idx = rng.sample_without_replacement(m, mbar);
+          local_idx.clear();
+          for (const auto i : idx) {
+            if (i >= lo && i < hi) {
+              local_idx.push_back(static_cast<std::uint32_t>(i - lo));
+            }
           }
-        }
-        h_local.fill(0.0);
-        la::set_zero(r_local.span());
-        sparse::accumulate_sampled_gram(
-            local_xt, local_y.span(), local_idx,
-            1.0 / static_cast<double>(idx.size()), h_local, r_local.span());
-        la::symmetrize_from_upper(h_local);
-        double* dst = pack.data() + static_cast<std::size_t>(j) * (d * d + d);
-        std::copy(h_local.data(), h_local.data() + d * d, dst);
-        std::copy(r_local.data(), r_local.data() + d, dst + d * d);
+        });
+        obs::timed_phase(tracing, lp_gram, "gram", 0.0, [&] {
+          h_local.fill(0.0);
+          la::set_zero(r_local.span());
+          sparse::accumulate_sampled_gram(
+              local_xt, local_y.span(), local_idx,
+              1.0 / static_cast<double>(idx.size()), h_local, r_local.span());
+          la::symmetrize_from_upper(h_local);
+          double* dst =
+              pack.data() + static_cast<std::size_t>(j) * (d * d + d);
+          std::copy(h_local.data(), h_local.data() + d * d, dst);
+          std::copy(r_local.data(), r_local.data() + d, dst + d * d);
+        });
       }
 
-      // Stage C: one allreduce combines all ranks' partial blocks.
-      comm.allreduce_sum(
-          {pack.data(), static_cast<std::size_t>(kk) * (d * d + d)});
+      // Stage C: one allreduce combines all ranks' partial blocks.  Counted
+      // and timed as the "allreduce" phase, but the span itself is emitted
+      // inside ThreadComm (one per collective call, matching CommStats).
+      {
+        const std::size_t payload = static_cast<std::size_t>(kk) * (d * d + d);
+        ++lp_allreduce.count;
+        lp_allreduce.words += static_cast<double>(payload);
+        const std::int64_t t0 = tracing ? session.now_us() : 0;
+        comm.allreduce_sum({pack.data(), payload});
+        if (tracing) {
+          lp_allreduce.us += session.now_us() - t0;
+        }
+      }
 
       // Stage D: redundant update sweeps on every rank -- the identical
       // S-reuse recurrence the sequential engine performs.
@@ -116,44 +145,51 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
           }
         };
 
-        for (int s2 = 1; s2 <= s_iters; ++s2) {
-          apply_grad(v.span(), grad.span());
-          la::waxpby(1.0, v.span(), -gamma, grad.span(), theta.span());
-          prox::soft_threshold(theta.span(), lambda_gamma, u.span());
-          ++update_counter;
-          bool restarted = false;
-          if (opts.adaptive_restart) {
-            double dot_restart = 0.0;
-            for (std::size_t i = 0; i < d; ++i) {
-              dot_restart += (v[i] - u[i]) * (u[i] - w[i]);
+        obs::timed_phase(tracing, lp_update, "update",
+                         static_cast<double>(s_iters), [&] {
+          for (int s2 = 1; s2 <= s_iters; ++s2) {
+            apply_grad(v.span(), grad.span());
+            la::waxpby(1.0, v.span(), -gamma, grad.span(), theta.span());
+            prox::soft_threshold(theta.span(), lambda_gamma, u.span());
+            ++update_counter;
+            bool restarted = false;
+            if (opts.adaptive_restart) {
+              double dot_restart = 0.0;
+              for (std::size_t i = 0; i < d; ++i) {
+                dot_restart += (v[i] - u[i]) * (u[i] - w[i]);
+              }
+              if (dot_restart > 0.0) {
+                momentum_base = update_counter;
+                la::copy(u.span(), v.span());
+                la::copy(u.span(), w.span());
+                dw_prev.fill(0.0);
+                restarted = true;
+              }
             }
-            if (dot_restart > 0.0) {
-              momentum_base = update_counter;
-              la::copy(u.span(), v.span());
-              la::copy(u.span(), w.span());
-              dw_prev.fill(0.0);
-              restarted = true;
+            if (!restarted) {
+              const int nn = update_counter - momentum_base;
+              const double mu_next =
+                  std::min(outer_mu.mu(nn + 1), opts.momentum_cap);
+              const double mu_cur =
+                  std::min(outer_mu.mu(nn), opts.momentum_cap);
+              for (std::size_t i = 0; i < d; ++i) {
+                const double dw = u[i] - w[i];
+                v[i] += (1.0 + mu_next) * dw - mu_cur * dw_prev[i];
+                dw_prev[i] = dw;
+                w[i] = u[i];
+              }
             }
           }
-          if (!restarted) {
-            const int nn = update_counter - momentum_base;
-            const double mu_next =
-                std::min(outer_mu.mu(nn + 1), opts.momentum_cap);
-            const double mu_cur =
-                std::min(outer_mu.mu(nn), opts.momentum_cap);
-            for (std::size_t i = 0; i < d; ++i) {
-              const double dw = u[i] - w[i];
-              v[i] += (1.0 + mu_next) * dw - mu_cur * dw_prev[i];
-              dw_prev[i] = dw;
-              w[i] = u[i];
-            }
-          }
-        }
+        });
       }
     }
 
     if (rank == 0) {
       la::copy(w.span(), final_w.span());
+      ph_sampling = lp_sampling;
+      ph_gram = lp_gram;
+      ph_allreduce = lp_allreduce;
+      ph_update = lp_update;
     }
   });
 
@@ -167,6 +203,10 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
   }
   result.wall_seconds = wall.seconds();
   result.comm_stats = group.last_run_stats();
+  obs::append_phase(result.phases, "sampling", ph_sampling);
+  obs::append_phase(result.phases, "gram", ph_gram);
+  obs::append_phase(result.phases, "allreduce", ph_allreduce);
+  obs::append_phase(result.phases, "update", ph_update);
   return result;
 }
 

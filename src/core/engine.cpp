@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "core/momentum.hpp"
+#include "obs/trace.hpp"
 #include "data/partition.hpp"
 #include "la/blas.hpp"
 #include "la/eigen.hpp"
@@ -163,6 +164,13 @@ SolveResult run_sfista_engine(const LassoProblem& problem,
   result.cost = model::CostTracker(opts.collective);
   model::CostTracker& cost = result.cost;
 
+  // Phase observation (counts always, spans + wall time when the global
+  // trace session is on).  The "allreduce" phase mirrors the stage-C
+  // rounds the SPMD path would execute, so its count validates against
+  // CommStats on the real threaded backend.
+  const bool tracing = opts.trace && obs::TraceSession::global().enabled();
+  obs::PhaseAgg ph_sampling, ph_gram, ph_allreduce, ph_update;
+
   // Per-block Hessian / RHS storage: G = [H_1 | ... | H_k], R likewise
   // (Alg. 5 line 6).  Allocated once.
   std::vector<la::Matrix> h_blocks;
@@ -186,13 +194,17 @@ SolveResult run_sfista_engine(const LassoProblem& problem,
   int update_counter = 0;
   auto refresh_anchor = [&](int iter_base) {
     la::copy(st.w.span(), anchor.span());
-    problem.full_gradient(anchor.span(), anchor_grad.span());
+    obs::timed_phase(tracing, ph_gram, "gram", 0.0, [&] {
+      problem.full_gradient(anchor.span(), anchor_grad.span());
+    });
     // Exact gradient: two SpMVs over the distributed data + an allreduce of
     // the d-vector of partial sums.
     cost.add_flops(Phase::kGram,
                    4.0 * static_cast<double>(problem.xt().nnz()) /
                        static_cast<double>(opts.procs));
-    cost.add_allreduce(opts.procs, d);
+    obs::timed_phase(tracing, ph_allreduce, "allreduce",
+                     static_cast<double>(d),
+                     [&] { cost.add_allreduce(opts.procs, d); });
     last_anchor_iter = iter_base;
     if (opts.vr_restart_momentum) {
       // Literal Alg. 3: restart the inner loop from the snapshot (w_0 =
@@ -242,23 +254,28 @@ SolveResult run_sfista_engine(const LassoProblem& problem,
       // k, every S, every P (paper §5.2, "random sampling is fixed by using
       // the same random generator seed").
       Rng rng(opts.seed, static_cast<std::uint64_t>(n));
-      const auto idx = rng.sample_without_replacement(m, mbar);
-      if (mbar == m) {
-        // Full batch: the "sampled" Gram is the constant (H, R) pair, so we
-        // compute it once and reuse the values (bitwise identical to
-        // recomputation).  Costs are still charged per iteration exactly as
-        // the oblivious algorithm of Table 1 would incur them.
-        if (j == 0 && block_start == 1) {
+      std::vector<std::uint32_t> idx;
+      obs::timed_phase(tracing, ph_sampling, "sampling", 0.0, [&] {
+        idx = rng.sample_without_replacement(m, mbar);
+      });
+      obs::timed_phase(tracing, ph_gram, "gram", 0.0, [&] {
+        if (mbar == m) {
+          // Full batch: the "sampled" Gram is the constant (H, R) pair, so
+          // we compute it once and reuse the values (bitwise identical to
+          // recomputation).  Costs are still charged per iteration exactly
+          // as the oblivious algorithm of Table 1 would incur them.
+          if (j == 0 && block_start == 1) {
+            sparse::sampled_gram(problem.xt(), problem.y().span(), idx,
+                                 h_blocks[0], r_blocks[0]);
+          } else if (j > 0) {
+            h_blocks[j] = h_blocks[0];
+            r_blocks[j] = r_blocks[0];
+          }
+        } else {
           sparse::sampled_gram(problem.xt(), problem.y().span(), idx,
-                               h_blocks[0], r_blocks[0]);
-        } else if (j > 0) {
-          h_blocks[j] = h_blocks[0];
-          r_blocks[j] = r_blocks[0];
+                               h_blocks[j], r_blocks[j]);
         }
-      } else {
-        sparse::sampled_gram(problem.xt(), problem.y().span(), idx,
-                             h_blocks[j], r_blocks[j]);
-      }
+      });
       raw_gram_flops +=
           static_cast<double>(sparse::sampled_gram_flops(problem.xt(), idx));
       // Cost: each rank accumulates only its own samples; the critical path
@@ -279,8 +296,15 @@ SolveResult run_sfista_engine(const LassoProblem& problem,
     }
 
     // -- stage C: one allreduce of [H_1|..|H_kk | R_1|..|R_kk] --------------
-    cost.add_allreduce(opts.procs,
-                       static_cast<std::uint64_t>(kk) * (d * d + d));
+    // Modeled (zero wall time here; the SPMD path in distributed.cpp
+    // performs the real collective), but counted as one "allreduce" span
+    // so the schedule shape is observable from SolveResult::phases.
+    obs::timed_phase(
+        tracing, ph_allreduce, "allreduce",
+        static_cast<double>(kk) * (static_cast<double>(d) * d + d), [&] {
+          cost.add_allreduce(opts.procs,
+                             static_cast<std::uint64_t>(kk) * (d * d + d));
+        });
     ++comm_rounds;
     comm_payload_words += static_cast<double>(kk) *
                           (static_cast<double>(d) * d + d);
@@ -305,44 +329,48 @@ SolveResult run_sfista_engine(const LassoProblem& problem,
       const la::Matrix& h = h_blocks[j];
       const la::Vector& r = r_blocks[j];
 
-      for (int s2 = 1; s2 <= s_iters; ++s2) {
-        estimate_gradient(h, r, st.v.span(), opts.variance_reduction,
-                          anchor.span(), anchor_grad.span(), scratch);
-        la::waxpby(1.0, st.v.span(), -gamma, scratch.grad.span(),
-                   scratch.theta.span());
-        apply_prox(scratch.theta.span(), scratch.u.span());
+      obs::timed_phase(tracing, ph_update, "update",
+                       static_cast<double>(s_iters), [&] {
+        for (int s2 = 1; s2 <= s_iters; ++s2) {
+          estimate_gradient(h, r, st.v.span(), opts.variance_reduction,
+                            anchor.span(), anchor_grad.span(), scratch);
+          la::waxpby(1.0, st.v.span(), -gamma, scratch.grad.span(),
+                     scratch.theta.span());
+          apply_prox(scratch.theta.span(), scratch.u.span());
 
-        // Recurrence: dw = w_new - w; dv = (1 + mu_{u+1}) dw - mu_u dw_prev.
-        ++update_counter;
-        bool restarted = false;
-        if (opts.adaptive_restart) {
-          // Restart test: <v - w_new, w_new - w_old> > 0.
-          double dot_restart = 0.0;
-          for (std::size_t i = 0; i < d; ++i) {
-            dot_restart +=
-                (st.v[i] - scratch.u[i]) * (scratch.u[i] - st.w[i]);
+          // Recurrence: dw = w_new - w; dv = (1+mu_{u+1}) dw - mu_u dw_prev.
+          ++update_counter;
+          bool restarted = false;
+          if (opts.adaptive_restart) {
+            // Restart test: <v - w_new, w_new - w_old> > 0.
+            double dot_restart = 0.0;
+            for (std::size_t i = 0; i < d; ++i) {
+              dot_restart +=
+                  (st.v[i] - scratch.u[i]) * (scratch.u[i] - st.w[i]);
+            }
+            if (dot_restart > 0.0) {
+              momentum_base = update_counter;
+              la::copy(scratch.u.span(), st.v.span());
+              la::copy(scratch.u.span(), st.w.span());
+              st.dw_prev.fill(0.0);
+              restarted = true;
+            }
           }
-          if (dot_restart > 0.0) {
-            momentum_base = update_counter;
-            la::copy(scratch.u.span(), st.v.span());
-            la::copy(scratch.u.span(), st.w.span());
-            st.dw_prev.fill(0.0);
-            restarted = true;
+          if (!restarted) {
+            const int nn = mu_index(update_counter);
+            const double mu_next =
+                std::min(outer_mu.mu(nn + 1), opts.momentum_cap);
+            const double mu_cur =
+                std::min(outer_mu.mu(nn), opts.momentum_cap);
+            for (std::size_t i = 0; i < d; ++i) {
+              const double dw = scratch.u[i] - st.w[i];
+              st.v[i] += (1.0 + mu_next) * dw - mu_cur * st.dw_prev[i];
+              st.dw_prev[i] = dw;
+              st.w[i] = scratch.u[i];
+            }
           }
         }
-        if (!restarted) {
-          const int nn = mu_index(update_counter);
-          const double mu_next =
-              std::min(outer_mu.mu(nn + 1), opts.momentum_cap);
-          const double mu_cur = std::min(outer_mu.mu(nn), opts.momentum_cap);
-          for (std::size_t i = 0; i < d; ++i) {
-            const double dw = scratch.u[i] - st.w[i];
-            st.v[i] += (1.0 + mu_next) * dw - mu_cur * st.dw_prev[i];
-            st.dw_prev[i] = dw;
-            st.w[i] = scratch.u[i];
-          }
-        }
-      }
+      });
 
       // Update-phase flops: S gradient gemvs (2 d^2 each) plus O(d) vector
       // work, performed redundantly on every rank (so not divided by P).
@@ -385,6 +413,10 @@ SolveResult run_sfista_engine(const LassoProblem& problem,
   }
   result.sim_seconds = cost.seconds(opts.machine);
   result.wall_seconds = wall.seconds();
+  obs::append_phase(result.phases, "sampling", ph_sampling);
+  obs::append_phase(result.phases, "gram", ph_gram);
+  obs::append_phase(result.phases, "allreduce", ph_allreduce);
+  obs::append_phase(result.phases, "update", ph_update);
   return result;
 }
 

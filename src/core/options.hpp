@@ -88,6 +88,12 @@ struct SolverOptions {
   bool track_history = true;
   int history_stride = 1;  ///< record every n-th iteration.
 
+  // -- observability ----------------------------------------------------------
+  /// When false, this solve skips span emission and per-phase wall-time
+  /// measurement even if the global obs::TraceSession is enabled (the
+  /// phase *counts* in SolveResult::phases are maintained regardless).
+  bool trace = true;
+
   // -- cost model (simulated distributed execution) ---------------------------
   int procs = 1;  ///< P, logical processor count for cost accounting.
   model::CollectiveModel collective = model::CollectiveModel::kPaperLogP;
@@ -117,6 +123,7 @@ struct PnOptions {
   double f_star = std::numeric_limits<double>::quiet_NaN();
   std::uint64_t seed = 42;
   bool track_history = true;
+  bool trace = true;  ///< see SolverOptions::trace
   int procs = 1;
   model::CollectiveModel collective = model::CollectiveModel::kPaperLogP;
   model::MachineSpec machine = model::comet();
@@ -137,6 +144,7 @@ struct CocoaOptions {
   double f_star = std::numeric_limits<double>::quiet_NaN();
   std::uint64_t seed = 42;
   bool track_history = true;
+  bool trace = true;  ///< see SolverOptions::trace
   int procs = 1;
   model::CollectiveModel collective = model::CollectiveModel::kPaperLogP;
   model::MachineSpec machine = model::comet();

@@ -11,6 +11,7 @@
 #include "common/timer.hpp"
 #include "data/partition.hpp"
 #include "la/blas.hpp"
+#include "obs/trace.hpp"
 #include "prox/operators.hpp"
 
 namespace rcf::core {
@@ -58,6 +59,11 @@ SolveResult solve_prox_cocoa(const LassoProblem& problem,
   model::CostTracker& cost = result.cost;
   std::uint64_t comm_rounds = 0;
 
+  // Round phases: the local coordinate-descent sweeps and the m-word
+  // residual aggregation.
+  const bool tracing = opts.trace && obs::TraceSession::global().enabled();
+  obs::PhaseAgg ph_local, ph_allreduce;
+
   // Global state: w and the shared residual res = X^T w - y.
   la::Vector w(d);
   la::Vector res(m);
@@ -76,6 +82,13 @@ SolveResult solve_prox_cocoa(const LassoProblem& problem,
     la::set_zero(res_accum.span());
     std::copy(w.begin(), w.end(), w_stage.begin());
     double max_rank_flops = 0.0;
+
+    // All P workers' sweeps, timed as one "local_solve" span per round
+    // (manual timing; the worker loop is too large to read inside a
+    // lambda).
+    ++ph_local.count;
+    const std::int64_t local_t0 =
+        tracing ? obs::TraceSession::global().now_us() : 0;
 
     for (int p = 0; p < opts.procs; ++p) {
       // Worker p starts from the round-stale shared residual.
@@ -130,18 +143,28 @@ SolveResult solve_prox_cocoa(const LassoProblem& problem,
       max_rank_flops = std::max(max_rank_flops, rank_flops);
     }
 
-    // One allreduce of the m-word residual update per round.
-    la::axpy(1.0, res_accum.span(), res.span());
-    if (apply_scale != 1.0) {
-      // Averaging also scales the coordinate moves themselves.
-      for (std::size_t j = 0; j < d; ++j) {
-        w[j] += apply_scale * (w_stage[j] - w[j]);
-      }
-    } else {
-      std::copy(w_stage.begin(), w_stage.end(), w.begin());
+    if (tracing) {
+      auto& session = obs::TraceSession::global();
+      const std::int64_t local_t1 = session.now_us();
+      ph_local.us += local_t1 - local_t0;
+      session.record("local_solve", local_t0, local_t1 - local_t0);
     }
-    cost.add_flops(Phase::kUpdate, max_rank_flops);
-    cost.add_allreduce(opts.procs, m);
+
+    // One allreduce of the m-word residual update per round.
+    obs::timed_phase(tracing, ph_allreduce, "allreduce",
+                     static_cast<double>(m), [&] {
+      la::axpy(1.0, res_accum.span(), res.span());
+      if (apply_scale != 1.0) {
+        // Averaging also scales the coordinate moves themselves.
+        for (std::size_t j = 0; j < d; ++j) {
+          w[j] += apply_scale * (w_stage[j] - w[j]);
+        }
+      } else {
+        std::copy(w_stage.begin(), w_stage.end(), w.begin());
+      }
+      cost.add_flops(Phase::kUpdate, max_rank_flops);
+      cost.add_allreduce(opts.procs, m);
+    });
     ++comm_rounds;
 
     // Objective from the maintained residual (exact by construction).
@@ -170,6 +193,8 @@ SolveResult solve_prox_cocoa(const LassoProblem& problem,
   }
   result.sim_seconds = cost.seconds(opts.machine);
   result.wall_seconds = wall.seconds();
+  obs::append_phase(result.phases, "local_solve", ph_local);
+  obs::append_phase(result.phases, "allreduce", ph_allreduce);
   return result;
 }
 

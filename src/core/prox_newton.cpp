@@ -12,6 +12,7 @@
 #include "data/partition.hpp"
 #include "la/blas.hpp"
 #include "la/eigen.hpp"
+#include "obs/trace.hpp"
 #include "prox/operators.hpp"
 #include "sparse/gram.hpp"
 
@@ -92,6 +93,11 @@ SolveResult solve_proximal_newton(const LassoProblem& problem,
   model::CostTracker& cost = result.cost;
   std::uint64_t comm_rounds = 0;
 
+  // Outer-loop phase observation (Alg. 1 lines: gradient, step-size power
+  // iteration, inner subproblem solve, damped line search).
+  const bool tracing = opts.trace && obs::TraceSession::global().enabled();
+  obs::PhaseAgg ph_gradient, ph_power, ph_inner, ph_linesearch;
+
   la::Vector w(d), grad(d), z(d);
 
   // RC-SFISTA inner blocks.
@@ -114,10 +120,14 @@ SolveResult solve_proximal_newton(const LassoProblem& problem,
   for (outer = 1; outer <= opts.max_outer && !done; ++outer) {
     // Exact gradient of f at w_n: two SpMVs over distributed data plus one
     // allreduce of the length-d partial sums.
-    problem.full_gradient(w.span(), grad.span());
-    cost.add_flops(Phase::kGram, 4.0 * static_cast<double>(problem.xt().nnz()) /
-                                     static_cast<double>(opts.procs));
-    cost.add_allreduce(opts.procs, d);
+    obs::timed_phase(tracing, ph_gradient, "gradient",
+                     static_cast<double>(d), [&] {
+      problem.full_gradient(w.span(), grad.span());
+      cost.add_flops(Phase::kGram,
+                     4.0 * static_cast<double>(problem.xt().nnz()) /
+                         static_cast<double>(opts.procs));
+      cost.add_allreduce(opts.procs, d);
+    });
     ++comm_rounds;
 
     // Line 3 of Alg. 1: the sampled-Hessian index set for this outer
@@ -131,19 +141,25 @@ SolveResult solve_proximal_newton(const LassoProblem& problem,
     // Step size for the quadratic subproblem: the largest eigenvalue of the
     // sampled Hessian, via distributed power iteration (each apply costs two
     // SpMVs per rank and one d-word allreduce).
-    const auto power = la::power_iteration(
-        [&hop](std::span<const double> v, std::span<double> out) {
-          hop.apply(v, out);
-        },
-        d, /*max_iters=*/60, /*tol=*/1e-4,
-        derive_seed(opts.seed, static_cast<std::uint64_t>(outer)));
-    cost.add_flops(Phase::kGram, power.iterations * hop.flops() /
-                                     static_cast<double>(opts.procs));
-    cost.add_comm(
-        power.iterations *
-            model::allreduce_cost(opts.collective, opts.procs, d).messages,
-        power.iterations *
-            model::allreduce_cost(opts.collective, opts.procs, d).words);
+    la::PowerIterationResult power;
+    obs::timed_phase(tracing, ph_power, "power_iter", 0.0, [&] {
+      power = la::power_iteration(
+          [&hop](std::span<const double> v, std::span<double> out) {
+            hop.apply(v, out);
+          },
+          d, /*max_iters=*/60, /*tol=*/1e-4,
+          derive_seed(opts.seed, static_cast<std::uint64_t>(outer)));
+      cost.add_flops(Phase::kGram, power.iterations * hop.flops() /
+                                       static_cast<double>(opts.procs));
+      cost.add_comm(
+          power.iterations *
+              model::allreduce_cost(opts.collective, opts.procs, d).messages,
+          power.iterations *
+              model::allreduce_cost(opts.collective, opts.procs, d).words);
+    });
+    // One d-word allreduce per performed power iteration.
+    ph_power.words += static_cast<double>(power.iterations) *
+                      static_cast<double>(d);
     comm_rounds += power.iterations;
     // Safety margin: RC-SFISTA resamples the Hessian every inner iteration,
     // so individual draws can exceed this estimate.
@@ -152,6 +168,18 @@ SolveResult solve_proximal_newton(const LassoProblem& problem,
         (opts.inner == PnInnerSolver::kRcSfista ? 1.0 / (1.5 * l_hat)
                                                 : 1.0 / l_hat);
     const double lambda_gamma = lambda * gamma;
+
+    // Inner subproblem solve, timed as one "inner" span (manual timing --
+    // wrapping the two ~40-line branches in a lambda would bury them).
+    // Payload: per inner iteration the baseline allreduces a d-vector,
+    // RC-SFISTA a d x d Hessian block.
+    ++ph_inner.count;
+    ph_inner.words += static_cast<double>(opts.inner_iters) *
+                      (opts.inner == PnInnerSolver::kFista
+                           ? static_cast<double>(d)
+                           : static_cast<double>(d) * static_cast<double>(d));
+    const std::int64_t inner_t0 =
+        tracing ? obs::TraceSession::global().now_us() : 0;
 
     if (opts.inner == PnInnerSolver::kFista) {
       // Baseline (Fig. 7 denominator): deterministic FISTA on the fixed
@@ -236,27 +264,36 @@ SolveResult solve_proximal_newton(const LassoProblem& problem,
       la::copy(u.span(), z.span());
     }
 
+    if (tracing) {
+      auto& session = obs::TraceSession::global();
+      const std::int64_t inner_t1 = session.now_us();
+      ph_inner.us += inner_t1 - inner_t0;
+      session.record("inner", inner_t0, inner_t1 - inner_t0);
+    }
+
     // Lines 5-6 of Alg. 1 with a monotonicity safeguard: halve the damping
     // until the objective does not increase (the subproblem Hessian is a
     // random estimate, so an occasional bad direction is expected).
-    double step = opts.damping;
-    la::Vector trial(d);
-    double trial_obj = objective;
-    for (int attempt = 0; attempt < 30; ++attempt) {
-      for (std::size_t i = 0; i < d; ++i) {
-        trial[i] = w[i] + step * (z[i] - w[i]);
+    obs::timed_phase(tracing, ph_linesearch, "linesearch", 0.0, [&] {
+      double step = opts.damping;
+      la::Vector trial(d);
+      double trial_obj = objective;
+      for (int attempt = 0; attempt < 30; ++attempt) {
+        for (std::size_t i = 0; i < d; ++i) {
+          trial[i] = w[i] + step * (z[i] - w[i]);
+        }
+        trial_obj = problem.objective(trial.span());
+        if (trial_obj <= objective) {
+          break;
+        }
+        step *= 0.5;
       }
-      trial_obj = problem.objective(trial.span());
       if (trial_obj <= objective) {
-        break;
+        std::swap(w, trial);
+        objective = trial_obj;
       }
-      step *= 0.5;
-    }
-    if (trial_obj <= objective) {
-      std::swap(w, trial);
-      objective = trial_obj;
-    }
-    cost.add_flops(Phase::kUpdate, 3.0 * static_cast<double>(d));
+      cost.add_flops(Phase::kUpdate, 3.0 * static_cast<double>(d));
+    });
 
     double rel_error = std::numeric_limits<double>::quiet_NaN();
     if (!std::isnan(opts.f_star) && opts.f_star != 0.0) {
@@ -281,6 +318,10 @@ SolveResult solve_proximal_newton(const LassoProblem& problem,
   }
   result.sim_seconds = cost.seconds(opts.machine);
   result.wall_seconds = wall.seconds();
+  obs::append_phase(result.phases, "gradient", ph_gradient);
+  obs::append_phase(result.phases, "power_iter", ph_power);
+  obs::append_phase(result.phases, "inner", ph_inner);
+  obs::append_phase(result.phases, "linesearch", ph_linesearch);
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include "dist/comm.hpp"
 #include "la/vector.hpp"
 #include "model/cost.hpp"
+#include "obs/trace.hpp"
 
 namespace rcf::core {
 
@@ -51,6 +52,12 @@ struct SolveResult {
   double wall_seconds = 0.0;
   /// Collective-operation statistics (real backends only).
   dist::CommStats comm_stats;
+  /// Per-phase span counts (always) and wall times / payloads (when the
+  /// global obs::TraceSession is enabled).  The "allreduce" entry counts
+  /// the communication rounds the schedule performed, so it must agree
+  /// with comm_stats on real backends and shrink ~k-fold with overlap
+  /// depth k (see obs::find_phase and tests/test_obs_trace.cpp).
+  obs::PhaseSummary phases;
 };
 
 }  // namespace rcf::core

@@ -3,8 +3,41 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rcf::dist {
+
+namespace {
+
+/// Latency histograms shared by all communicator endpoints (created on
+/// first touch, live for the process lifetime -- MetricsRegistry::reset
+/// zeroes them without invalidating these references).
+obs::Histogram& allreduce_latency() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("allreduce_latency_us");
+  return h;
+}
+
+}  // namespace
+
+void publish_comm_stats(const CommStats& stats, const std::string& backend) {
+  auto& registry = obs::MetricsRegistry::global();
+  const std::string prefix = "comm." + backend + ".";
+  registry.counter(prefix + "allreduce_calls").add(stats.allreduce_calls);
+  registry.counter(prefix + "allreduce_max_calls")
+      .add(stats.allreduce_max_calls);
+  registry.counter(prefix + "allreduce_words").add(stats.allreduce_words);
+  registry.counter(prefix + "broadcast_calls").add(stats.broadcast_calls);
+  registry.counter(prefix + "broadcast_words").add(stats.broadcast_words);
+  registry.counter(prefix + "allgather_calls").add(stats.allgather_calls);
+  registry.counter(prefix + "allgather_words").add(stats.allgather_words);
+  registry.counter(prefix + "barrier_calls").add(stats.barrier_calls);
+  auto& high_water = registry.gauge(prefix + "max_payload_words");
+  if (static_cast<double>(stats.max_payload_words) > high_water.value()) {
+    high_water.set(static_cast<double>(stats.max_payload_words));
+  }
+}
 
 double Communicator::allreduce_sum_scalar(double value) {
   allreduce_sum({&value, 1});
@@ -17,30 +50,47 @@ double Communicator::allreduce_max_scalar(double value) {
 }
 
 void SeqComm::allreduce_sum(std::span<double> inout) {
+  obs::TraceScope span("allreduce", static_cast<double>(inout.size()),
+                       &allreduce_latency());
   ++stats_.allreduce_calls;
   stats_.allreduce_words += inout.size();
+  stats_.max_payload_words = std::max<std::uint64_t>(stats_.max_payload_words,
+                                                     inout.size());
 }
 
 void SeqComm::allreduce_max(std::span<double> inout) {
-  ++stats_.allreduce_calls;
+  obs::TraceScope span("allreduce", static_cast<double>(inout.size()),
+                       &allreduce_latency());
+  ++stats_.allreduce_max_calls;
   stats_.allreduce_words += inout.size();
+  stats_.max_payload_words = std::max<std::uint64_t>(stats_.max_payload_words,
+                                                     inout.size());
 }
 
 void SeqComm::broadcast(std::span<double> buffer, int root) {
   RCF_CHECK_MSG(root == 0, "SeqComm: root must be 0");
+  obs::TraceScope span("broadcast", static_cast<double>(buffer.size()));
   ++stats_.broadcast_calls;
   stats_.broadcast_words += buffer.size();
+  stats_.max_payload_words = std::max<std::uint64_t>(stats_.max_payload_words,
+                                                     buffer.size());
 }
 
 void SeqComm::allgather(std::span<const double> input,
                         std::span<double> output) {
   RCF_CHECK_MSG(output.size() == input.size(),
                 "SeqComm::allgather: output must equal input for 1 rank");
+  obs::TraceScope span("allgather", static_cast<double>(input.size()));
   std::copy(input.begin(), input.end(), output.begin());
   ++stats_.allgather_calls;
   stats_.allgather_words += input.size();
+  stats_.max_payload_words = std::max<std::uint64_t>(stats_.max_payload_words,
+                                                     input.size());
 }
 
-void SeqComm::barrier() { ++stats_.barrier_calls; }
+void SeqComm::barrier() {
+  obs::TraceScope span("barrier_wait");
+  ++stats_.barrier_calls;
+}
 
 }  // namespace rcf::dist

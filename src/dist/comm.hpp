@@ -23,27 +23,44 @@
 namespace rcf::dist {
 
 /// Counts of collective operations performed through a communicator.
-/// `allreduce_words` is the total payload (in doubles) summed over calls.
+/// `allreduce_words` is the total payload (in doubles) summed over calls
+/// (sum- and max-allreduce together); `allreduce_calls` counts only
+/// sum-allreduces, with max-allreduces split into `allreduce_max_calls`
+/// (the cost model charges the two identically, but the engine schedule
+/// only predicts the sum-allreduce count, so validation needs them
+/// separate).  `max_payload_words` is the high-water single-call payload.
 struct CommStats {
-  std::uint64_t allreduce_calls = 0;
+  std::uint64_t allreduce_calls = 0;      ///< sum-allreduce count
+  std::uint64_t allreduce_max_calls = 0;  ///< max-allreduce count
   std::uint64_t allreduce_words = 0;
   std::uint64_t broadcast_calls = 0;
   std::uint64_t broadcast_words = 0;
   std::uint64_t allgather_calls = 0;
   std::uint64_t allgather_words = 0;
   std::uint64_t barrier_calls = 0;
+  /// Largest payload (doubles) of any single collective call.
+  std::uint64_t max_payload_words = 0;
 
   CommStats& operator+=(const CommStats& o) {
     allreduce_calls += o.allreduce_calls;
+    allreduce_max_calls += o.allreduce_max_calls;
     allreduce_words += o.allreduce_words;
     broadcast_calls += o.broadcast_calls;
     broadcast_words += o.broadcast_words;
     allgather_calls += o.allgather_calls;
     allgather_words += o.allgather_words;
     barrier_calls += o.barrier_calls;
+    max_payload_words = max_payload_words > o.max_payload_words
+                            ? max_payload_words
+                            : o.max_payload_words;
     return *this;
   }
 };
+
+/// Adds `stats` totals to the global obs::MetricsRegistry under
+/// "comm.<backend>.*" counters/gauges (called by ThreadGroup::run after a
+/// traced run; callable from benches for SeqComm too).
+void publish_comm_stats(const CommStats& stats, const std::string& backend);
 
 /// Abstract SPMD communicator (subset of MPI semantics used by the paper).
 class Communicator {

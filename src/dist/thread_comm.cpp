@@ -7,8 +7,38 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rcf::dist {
+
+namespace {
+
+// Shared latency histograms (same registry entries as SeqComm's; the
+// references stay valid across MetricsRegistry::reset).
+obs::Histogram& allreduce_latency() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("allreduce_latency_us");
+  return h;
+}
+
+// Per-rank rendezvous wait before the reduction proper: the direct
+// measurement of barrier skew across ranks (a rank that arrives late shows
+// up as short waits on itself and long waits on everyone else).
+obs::Histogram& collective_wait() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("collective_wait_us");
+  return h;
+}
+
+obs::Histogram& barrier_wait() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("barrier_wait_us");
+  return h;
+}
+
+}  // namespace
 
 namespace detail {
 
@@ -47,13 +77,18 @@ ThreadComm::ThreadComm(int rank, int size, GroupState* state)
     : rank_(rank), size_(size), state_(state) {}
 
 void ThreadComm::barrier() {
+  obs::TraceScope span("barrier_wait", 0.0, &barrier_wait());
   ++stats_.barrier_calls;
   state_->rendezvous.arrive_and_wait();
 }
 
 void ThreadComm::allreduce_sum(std::span<double> inout) {
+  obs::TraceScope span("allreduce", static_cast<double>(inout.size()),
+                       &allreduce_latency());
   ++stats_.allreduce_calls;
   stats_.allreduce_words += inout.size();
+  stats_.max_payload_words = std::max<std::uint64_t>(stats_.max_payload_words,
+                                                     inout.size());
   if (state_->algo == AllreduceAlgo::kRecursiveDoubling &&
       (size_ & (size_ - 1)) == 0) {
     allreduce_recursive_doubling(inout, /*use_max=*/false);
@@ -63,8 +98,12 @@ void ThreadComm::allreduce_sum(std::span<double> inout) {
 }
 
 void ThreadComm::allreduce_max(std::span<double> inout) {
-  ++stats_.allreduce_calls;
+  obs::TraceScope span("allreduce", static_cast<double>(inout.size()),
+                       &allreduce_latency());
+  ++stats_.allreduce_max_calls;
   stats_.allreduce_words += inout.size();
+  stats_.max_payload_words = std::max<std::uint64_t>(stats_.max_payload_words,
+                                                     inout.size());
   if (state_->algo == AllreduceAlgo::kRecursiveDoubling &&
       (size_ & (size_ - 1)) == 0) {
     allreduce_recursive_doubling(inout, /*use_max=*/true);
@@ -77,7 +116,11 @@ void ThreadComm::allreduce_central(std::span<double> inout, bool use_max) {
   GroupState& st = *state_;
   st.publish[rank_] = inout.data();
   st.publish_len[rank_] = inout.size();
-  st.rendezvous.arrive_and_wait();
+  {
+    // Time waiting for the slowest rank to publish: the skew signal.
+    obs::TraceScope wait("allreduce_wait", 0.0, &collective_wait());
+    st.rendezvous.arrive_and_wait();
+  }
   if (rank_ == 0) {
     const std::size_t n = inout.size();
     for (int r = 1; r < size_; ++r) {
@@ -108,7 +151,10 @@ void ThreadComm::allreduce_recursive_doubling(std::span<double> inout,
   auto* cur = &st.work_a;
   auto* nxt = &st.work_b;
   (*cur)[rank_].assign(inout.begin(), inout.end());
-  st.rendezvous.arrive_and_wait();
+  {
+    obs::TraceScope wait("allreduce_wait", 0.0, &collective_wait());
+    st.rendezvous.arrive_and_wait();
+  }
   for (int stride = 1; stride < size_; stride <<= 1) {
     const int partner = rank_ ^ stride;
     auto& mine = (*cur)[rank_];
@@ -132,8 +178,11 @@ void ThreadComm::allreduce_recursive_doubling(std::span<double> inout,
 
 void ThreadComm::broadcast(std::span<double> buffer, int root) {
   RCF_CHECK_MSG(root >= 0 && root < size_, "broadcast: bad root");
+  obs::TraceScope span("broadcast", static_cast<double>(buffer.size()));
   ++stats_.broadcast_calls;
   stats_.broadcast_words += buffer.size();
+  stats_.max_payload_words = std::max<std::uint64_t>(stats_.max_payload_words,
+                                                     buffer.size());
   GroupState& st = *state_;
   if (rank_ == root) {
     st.publish[root] = buffer.data();
@@ -153,8 +202,11 @@ void ThreadComm::allgather(std::span<const double> input,
                            std::span<double> output) {
   RCF_CHECK_MSG(output.size() == input.size() * static_cast<std::size_t>(size_),
                 "allgather: output size must be size() * input size");
+  obs::TraceScope span("allgather", static_cast<double>(input.size()));
   ++stats_.allgather_calls;
   stats_.allgather_words += input.size();
+  stats_.max_payload_words = std::max<std::uint64_t>(stats_.max_payload_words,
+                                                     input.size());
   GroupState& st = *state_;
   st.publish_const[rank_] = input.data();
   st.publish_len[rank_] = input.size();
@@ -184,6 +236,9 @@ void ThreadGroup::run(const std::function<void(ThreadComm&)>& body) {
   threads.reserve(size_);
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([this, r, &body, &rank_stats]() {
+      // Attribute this thread's spans and log lines to its SPMD rank.
+      obs::set_thread_rank(r);
+      set_log_rank(r);
       ThreadComm comm(r, size_, state_.get());
       try {
         body(comm);
@@ -202,6 +257,9 @@ void ThreadGroup::run(const std::function<void(ThreadComm&)>& body) {
   }
   for (const auto& s : rank_stats) {
     last_stats_ += s;
+  }
+  if (obs::TraceSession::global().enabled()) {
+    publish_comm_stats(last_stats_, "thread");
   }
   for (int r = 0; r < size_; ++r) {
     if (state_->exceptions[r]) {

@@ -1,0 +1,174 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rcf::obs {
+
+namespace {
+
+/// Bin index for a non-negative value: 0 for [0,1), i for [2^(i-1), 2^i).
+int bin_index(double value) {
+  if (!(value >= 1.0)) {  // also catches NaN
+    return 0;
+  }
+  const auto v = static_cast<std::uint64_t>(value);
+  const int width = std::bit_width(v);  // v in [2^(width-1), 2^width)
+  return width < Histogram::kNumBins ? width : Histogram::kNumBins - 1;
+}
+
+/// Upper edge of bin i (the reported percentile value).
+double bin_upper_edge(int i) {
+  return i == 0 ? 1.0 : std::ldexp(1.0, i);  // 2^i
+}
+
+void atomic_max(std::atomic<double>& target, double value) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::observe(double value) {
+  if (std::isnan(value)) {
+    return;
+  }
+  if (value < 0.0) {
+    value = 0.0;
+  }
+  bins_[bin_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  atomic_max(max_, value);
+}
+
+double Histogram::percentile(double p) const {
+  const std::uint64_t total = count();
+  if (total == 0) {
+    return 0.0;
+  }
+  if (p < 0.0) {
+    p = 0.0;
+  }
+  if (p > 1.0) {
+    p = 1.0;
+  }
+  // Rank of the requested quantile, 1-based; cumulative scan over bins.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(total)));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kNumBins; ++i) {
+    seen += bins_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      return bin_upper_edge(i);
+    }
+  }
+  return bin_upper_edge(kNumBins - 1);
+}
+
+void Histogram::reset() {
+  for (auto& bin : bins_) {
+    bin.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  char buf[192];
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu", first ? "" : ",",
+                  name.c_str(), static_cast<unsigned long long>(c->value()));
+    out << buf;
+    first = false;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%.17g", first ? "" : ",",
+                  name.c_str(), g->value());
+    out << buf;
+    first = false;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s\"%s\":{\"count\":%llu,\"sum\":%.17g,\"max\":%.17g,"
+        "\"p50\":%.17g,\"p90\":%.17g,\"p99\":%.17g}",
+        first ? "" : ",", name.c_str(),
+        static_cast<unsigned long long>(h->count()), h->sum(), h->max(),
+        h->percentile(0.5), h->percentile(0.9), h->percentile(0.99));
+    out << buf;
+    first = false;
+  }
+  out << "}}\n";
+  return out.str();
+}
+
+bool MetricsRegistry::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << to_json();
+  return static_cast<bool>(out);
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) {
+    c->reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    g->reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    h->reset();
+  }
+}
+
+}  // namespace rcf::obs

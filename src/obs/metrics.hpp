@@ -1,0 +1,110 @@
+// Metrics registry: named monotonic counters, gauges, and log-spaced
+// latency histograms, exported as one JSON document.
+//
+// The registry subsumes the per-communicator CommStats counters (the comm
+// backends publish their totals here when tracing is enabled; see
+// dist::publish_comm_stats) and extends them with latency distributions
+// the flat counters cannot express (allreduce/barrier-wait percentiles,
+// for validating the alpha term of the cost model and exposing rank skew).
+//
+// Thread safety: counter/gauge updates and histogram observations are
+// atomic; name lookup takes a registry mutex (cache the returned reference
+// in hot paths).  Returned references stay valid for the process lifetime
+// -- reset() zeroes values but never destroys instruments.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace rcf::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bin histogram over non-negative values (microsecond latencies):
+/// bin i counts observations in [2^(i-1), 2^i), bin 0 counts [0, 1).
+/// Percentiles are reported as the upper edge of the bin containing the
+/// requested rank, which makes them monotone in p by construction.
+class Histogram {
+ public:
+  static constexpr int kNumBins = 64;
+
+  void observe(double value);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  /// Upper edge of the bin holding the p-quantile (p in [0, 1]); 0 when
+  /// empty.
+  [[nodiscard]] double percentile(double p) const;
+
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBins> bins_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Name -> instrument map.  Instruments are created on first touch and
+/// live for the process lifetime.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// JSON document: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to_json() to `path`; false on I/O failure.
+  bool write(const std::string& path) const;
+
+  /// Zeroes every instrument (references handed out stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace rcf::obs

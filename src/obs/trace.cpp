@@ -1,0 +1,308 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace rcf::obs {
+
+namespace {
+
+// Flush a thread's buffer into the central store once it holds this many
+// events, bounding per-thread memory without taking the store mutex per
+// span.
+constexpr std::size_t kFlushThreshold = 1 << 15;
+
+thread_local int t_rank = 0;
+
+void escape_json(const char* text, std::string& out) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_event_json(const TraceEvent& ev, bool chrome, std::string& out) {
+  out += "{\"name\":\"";
+  escape_json(ev.name, out);
+  out += "\"";
+  char buf[160];
+  if (chrome) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\"ph\":\"X\",\"pid\":%d,\"tid\":%u,\"ts\":%lld,"
+                  "\"dur\":%lld",
+                  ev.rank, ev.tid, static_cast<long long>(ev.start_us),
+                  static_cast<long long>(ev.dur_us));
+    out += buf;
+    if (ev.words != 0.0) {
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"words\":%.17g}", ev.words);
+      out += buf;
+    }
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  ",\"rank\":%d,\"tid\":%u,\"ts_us\":%lld,\"dur_us\":%lld,"
+                  "\"words\":%.17g",
+                  ev.rank, ev.tid, static_cast<long long>(ev.start_us),
+                  static_cast<long long>(ev.dur_us), ev.words);
+    out += buf;
+  }
+  out += "}";
+}
+
+}  // namespace
+
+void set_thread_rank(int rank) { t_rank = rank; }
+
+int thread_rank() { return t_rank; }
+
+const PhaseStat* find_phase(const PhaseSummary& summary,
+                            std::string_view name) {
+  for (const auto& stat : summary) {
+    if (stat.name == name) {
+      return &stat;
+    }
+  }
+  return nullptr;
+}
+
+void append_phase(PhaseSummary& summary, const char* name,
+                  const PhaseAgg& agg) {
+  if (agg.count == 0) {
+    return;
+  }
+  summary.push_back(PhaseStat{name, agg.count,
+                              static_cast<double>(agg.us) * 1e-6, agg.words});
+}
+
+std::string phase_table(const PhaseSummary& summary) {
+  std::ostringstream out;
+  out << "phase            count       seconds   payload words\n";
+  char line[128];
+  for (const auto& stat : summary) {
+    std::snprintf(line, sizeof(line), "%-14s %8llu %13.6f %15.0f\n",
+                  stat.name.c_str(),
+                  static_cast<unsigned long long>(stat.count), stat.seconds,
+                  stat.payload_words);
+    out << line;
+  }
+  return out.str();
+}
+
+struct TraceSession::ThreadBuffer {
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+  ~ThreadBuffer() {
+    // The session singleton is intentionally leaked, so flushing from any
+    // thread-exit order (including after main returns) is safe.
+    TraceSession::global().flush_buffer(*this);
+  }
+};
+
+TraceSession::TraceSession() : epoch_(std::chrono::steady_clock::now()) {
+  TraceConfig env_config;
+  if (const char* p = std::getenv("RCF_TRACE"); p != nullptr && *p != '\0') {
+    env_config.trace_out = std::string(p) == "1" ? "rcf_trace.json" : p;
+  }
+  if (const char* p = std::getenv("RCF_TRACE_JSONL");
+      p != nullptr && *p != '\0') {
+    env_config.jsonl_out = p;
+  }
+  if (const char* p = std::getenv("RCF_METRICS"); p != nullptr && *p != '\0') {
+    env_config.metrics_out = p;
+  }
+  if (!env_config.trace_out.empty() || !env_config.jsonl_out.empty() ||
+      !env_config.metrics_out.empty()) {
+    start(env_config);
+    std::atexit([] { TraceSession::global().write_outputs(); });
+  }
+}
+
+TraceSession& TraceSession::global() {
+  static TraceSession* session = new TraceSession();
+  return *session;
+}
+
+TraceSession::ThreadBuffer& TraceSession::local_buffer() {
+  thread_local ThreadBuffer buffer{
+      {}, next_tid_.fetch_add(1, std::memory_order_relaxed)};
+  return buffer;
+}
+
+void TraceSession::flush_buffer(ThreadBuffer& buffer) {
+  if (buffer.events.empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  store_.insert(store_.end(), buffer.events.begin(), buffer.events.end());
+  buffer.events.clear();
+}
+
+void TraceSession::start(TraceConfig config) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    store_.clear();
+    config_ = std::move(config);
+  }
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceSession::stop() {
+  enabled_.store(false, std::memory_order_relaxed);
+  flush_buffer(local_buffer());
+}
+
+std::int64_t TraceSession::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceSession::record(const char* name, std::int64_t start_us,
+                          std::int64_t dur_us, double words) {
+  if (!enabled()) {
+    return;
+  }
+  ThreadBuffer& buffer = local_buffer();
+  buffer.events.push_back(
+      TraceEvent{name, t_rank, buffer.tid, start_us, dur_us, words});
+  if (buffer.events.size() >= kFlushThreshold) {
+    flush_buffer(buffer);
+  }
+}
+
+std::vector<TraceEvent> TraceSession::snapshot() {
+  flush_buffer(local_buffer());
+  std::lock_guard<std::mutex> lock(mutex_);
+  return store_;
+}
+
+void TraceSession::clear() {
+  local_buffer().events.clear();
+  std::lock_guard<std::mutex> lock(mutex_);
+  store_.clear();
+}
+
+std::uint64_t TraceSession::count_spans(std::string_view name) {
+  std::uint64_t n = 0;
+  for (const auto& ev : snapshot()) {
+    if (name == ev.name) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void TraceSession::write_chrome_trace(std::ostream& out) {
+  const auto events = snapshot();
+  std::string body;
+  body.reserve(events.size() * 96 + 64);
+  body += "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) {
+      body += ",\n";
+    }
+    append_event_json(events[i], /*chrome=*/true, body);
+  }
+  body += "],\"displayTimeUnit\":\"ms\"}\n";
+  out << body;
+}
+
+void TraceSession::write_jsonl(std::ostream& out) {
+  std::string line;
+  for (const auto& ev : snapshot()) {
+    line.clear();
+    append_event_json(ev, /*chrome=*/false, line);
+    line += "\n";
+    out << line;
+  }
+}
+
+bool TraceSession::write_outputs() {
+  TraceConfig config;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    config = config_;
+  }
+  bool ok = true;
+  if (!config.trace_out.empty()) {
+    std::ofstream out(config.trace_out);
+    if (out) {
+      write_chrome_trace(out);
+    } else {
+      ok = false;
+    }
+  }
+  if (!config.jsonl_out.empty()) {
+    std::ofstream out(config.jsonl_out);
+    if (out) {
+      write_jsonl(out);
+    } else {
+      ok = false;
+    }
+  }
+  if (!config.metrics_out.empty()) {
+    ok = MetricsRegistry::global().write(config.metrics_out) && ok;
+  }
+  return ok;
+}
+
+ScopedSession::ScopedSession(std::string trace_out, std::string jsonl_out,
+                             std::string metrics_out) {
+  if (trace_out.empty() && jsonl_out.empty() && metrics_out.empty()) {
+    return;
+  }
+  TraceSession::global().start(TraceConfig{
+      std::move(trace_out), std::move(jsonl_out), std::move(metrics_out)});
+  active_ = true;
+}
+
+ScopedSession::~ScopedSession() {
+  if (!active_) {
+    return;
+  }
+  auto& session = TraceSession::global();
+  session.stop();
+  if (!session.write_outputs()) {
+    std::fprintf(stderr, "[rcf] warning: could not write trace outputs\n");
+  }
+}
+
+TraceScope::~TraceScope() {
+  if (!active_) {
+    return;
+  }
+  auto& session = TraceSession::global();
+  const std::int64_t end_us = session.now_us();
+  session.record(name_, start_us_, end_us - start_us_, words_);
+  if (latency_ != nullptr) {
+    latency_->observe(static_cast<double>(end_us - start_us_));
+  }
+}
+
+}  // namespace rcf::obs

@@ -33,6 +33,8 @@
 #include "model/cost.hpp"        // IWYU pragma: export
 #include "model/formulas.hpp"    // IWYU pragma: export
 #include "model/machine.hpp"     // IWYU pragma: export
+#include "obs/metrics.hpp"       // IWYU pragma: export
+#include "obs/trace.hpp"         // IWYU pragma: export
 #include "prox/operators.hpp"    // IWYU pragma: export
 #include "sparse/csr.hpp"        // IWYU pragma: export
 #include "sparse/generate.hpp"   // IWYU pragma: export

@@ -109,7 +109,22 @@ TEST(Format, Numbers) {
 TEST(Log, LevelParsing) {
   EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
   EXPECT_EQ(parse_log_level("WARN"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
   EXPECT_EQ(parse_log_level("bogus"), LogLevel::kInfo);
+}
+
+TEST(Log, LevelNamesRoundTrip) {
+  for (const auto level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                           LogLevel::kError, LogLevel::kOff}) {
+    EXPECT_EQ(parse_log_level(log_level_name(level)), level);
+  }
+}
+
+TEST(Log, RankTracksThread) {
+  const int saved = log_rank();
+  set_log_rank(3);
+  EXPECT_EQ(log_rank(), 3);
+  set_log_rank(saved);
 }
 
 TEST(Log, ThresholdFilters) {

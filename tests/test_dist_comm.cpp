@@ -27,8 +27,10 @@ TEST(SeqComm, Identities) {
   comm.allgather(buf, out);
   EXPECT_EQ(out, buf);
   comm.barrier();
-  EXPECT_EQ(comm.stats().allreduce_calls, 2u);
+  EXPECT_EQ(comm.stats().allreduce_calls, 1u);
+  EXPECT_EQ(comm.stats().allreduce_max_calls, 1u);
   EXPECT_EQ(comm.stats().allreduce_words, 4u);
+  EXPECT_EQ(comm.stats().max_payload_words, 2u);
   EXPECT_EQ(comm.stats().barrier_calls, 1u);
   EXPECT_EQ(comm.backend_name(), "seq");
 }
@@ -141,7 +143,9 @@ TEST_P(ThreadCommTest, StatsAggregateAcrossRanks) {
   });
   const auto stats = group.last_run_stats();
   EXPECT_EQ(stats.allreduce_calls, 4u);
+  EXPECT_EQ(stats.allreduce_max_calls, 0u);
   EXPECT_EQ(stats.allreduce_words, 40u);
+  EXPECT_EQ(stats.max_payload_words, 10u);
   EXPECT_EQ(stats.barrier_calls, 4u);
 }
 

@@ -3,6 +3,7 @@
 // the genuinely distributed SPMD execution with the sequential engine.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <tuple>
 
@@ -11,6 +12,7 @@
 #include "core/solvers.hpp"
 #include "data/synthetic.hpp"
 #include "la/blas.hpp"
+#include "obs/trace.hpp"
 #include "prox/operators.hpp"
 
 namespace rcf::core {
@@ -222,6 +224,17 @@ TEST_P(DistributedAgreement, MatchesSequentialEngine) {
   const auto rounds = (40 + k - 1) / k;
   EXPECT_EQ(par.comm_stats.allreduce_calls,
             static_cast<std::uint64_t>(rounds * ranks));
+  // Largest single payload: one full [H|R] block batch, d = 24.
+  EXPECT_EQ(par.comm_stats.max_payload_words,
+            static_cast<std::uint64_t>(std::min(k, 40)) * (24u * 24u + 24u));
+  // The phase summary mirrors the schedule: both paths report the same
+  // allreduce round count (counts are maintained even when tracing is off).
+  const auto* seq_ar = obs::find_phase(seq.phases, "allreduce");
+  const auto* par_ar = obs::find_phase(par.phases, "allreduce");
+  ASSERT_NE(seq_ar, nullptr);
+  ASSERT_NE(par_ar, nullptr);
+  EXPECT_EQ(seq_ar->count, static_cast<std::uint64_t>(rounds));
+  EXPECT_EQ(par_ar->count, static_cast<std::uint64_t>(rounds));
 }
 
 INSTANTIATE_TEST_SUITE_P(
