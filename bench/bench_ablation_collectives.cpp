@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
       double baseline = 0.0;
       for (int k : {1, 8}) {
         core::SolverOptions opts;
+        opts.threads = bench::requested_threads(cli);
         opts.max_iters = static_cast<int>(cli.get_int("iters", 300));
         opts.sampling_rate = bench::default_sampling_rate(name);
         opts.k = k;

@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
           Rule{"paper-typo", core::MomentumRule::kPaperTypo},
           Rule{"none (ISTA)", core::MomentumRule::kNone}}) {
       core::SolverOptions opts;
+      opts.threads = bench::requested_threads(cli);
       opts.max_iters = iters;
       opts.momentum = r.rule;
       opts.sampling_rate = 1.0;  // deterministic: isolates the momentum rule

@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
     for (double b : {0.1, 0.02}) {
       for (bool vr : {false, true}) {
         core::SolverOptions opts;
+        opts.threads = bench::requested_threads(cli);
         opts.max_iters = iters;
         opts.sampling_rate = b;
         opts.variance_reduction = vr;

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
 
     for (double b : b_list) {
       core::SolverOptions opts;
+      opts.threads = bench::requested_threads(cli);
       opts.max_iters = iters;
       opts.sampling_rate = b;
       opts.f_star = bp.f_star();

@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
     la::Vector w_base;
     for (auto k : k_list) {
       core::SolverOptions opts;
+      opts.threads = bench::requested_threads(cli);
       opts.max_iters = iters;
       opts.sampling_rate = cli.get_double("b", 0.1);
       opts.k = static_cast<int>(k);

@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
 
     for (auto s : s_list) {
       core::SolverOptions opts;
+      opts.threads = bench::requested_threads(cli);
       opts.max_iters = iters;
       opts.sampling_rate = cli.get_double("b", 0.0);
       if (opts.sampling_rate <= 0.0) {

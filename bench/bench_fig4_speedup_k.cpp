@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
     // (bench_fig2b_overlap verifies the k identity by actually running the
     // blocked path), so the recorded trajectory is re-costed per cell.
     core::SolverOptions opts;
+    opts.threads = bench::requested_threads(cli);
     opts.max_iters = static_cast<int>(cli.get_int("iters", 800));
     opts.sampling_rate = b;
     opts.tol = tol;

@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
     const bench::BenchProblem bp = bench::make_bench_problem(cli, name);
 
     core::SolverOptions base;
+    base.threads = bench::requested_threads(cli);
     base.max_iters = static_cast<int>(cli.get_int("iters", 800));
     base.sampling_rate = cli.get_double("b", 0.0);
     if (base.sampling_rate <= 0.0) {

@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
     const bench::BenchProblem bp = bench::make_bench_problem(cli, name);
 
     core::SolverOptions ropts;
+    ropts.threads = bench::requested_threads(cli);
     ropts.max_iters = static_cast<int>(cli.get_int("iters", 800));
     ropts.sampling_rate = bench::default_sampling_rate(name);
     ropts.k = static_cast<int>(cli.get_int("k", 8));
@@ -63,6 +64,7 @@ int main(int argc, char** argv) {
     const auto rc = core::solve_rc_sfista(bp.problem(), ropts);
 
     core::CocoaOptions copts;
+    copts.threads = bench::requested_threads(cli);
     copts.max_rounds = static_cast<int>(cli.get_int("rounds", 400));
     copts.local_epochs = 1;
     copts.f_star = bp.f_star();

@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
     const bench::BenchProblem bp = bench::make_bench_problem(cli, name);
 
     core::PnOptions base;
+    base.threads = bench::requested_threads(cli);
     base.max_outer = static_cast<int>(cli.get_int("outer", 16));
     base.inner_iters = static_cast<int>(cli.get_int("inner", 32));
     base.hessian_sampling_rate = cli.get_double("hb", 0.1);

@@ -66,6 +66,96 @@ void BM_SampledGram(benchmark::State& state) {
 }
 BENCHMARK(BM_SampledGram)->Arg(64)->Arg(256);
 
+// ---------------------------------------------------------------------------
+// Pooled kernel rows: the same kernels on an installed exec::Pool of 1/2/4/8
+// threads.  Each row reports `pool_threads` and `speedup` (sequential time /
+// pooled time, both wall-clock on this machine) in the console and JSON
+// output, so `--benchmark_format=json` captures the scaling curve directly.
+// The work sizes sit well above exec::kParallelWorkCutoff so the rows
+// exercise the parallel dispatch path, and by the determinism contract the
+// pooled results are bit-identical to the sequential ones.
+
+/// Mean seconds per call over `reps` sequential calls (no ambient pool).
+template <typename Fn>
+double sequential_seconds(const Fn& fn, int reps) {
+  WallTimer timer;
+  for (int i = 0; i < reps; ++i) {
+    fn();
+  }
+  return timer.seconds() / reps;
+}
+
+template <typename Fn>
+void run_pooled(benchmark::State& state, const Fn& call) {
+  const int width = static_cast<int>(state.range(0));
+  const double seq = sequential_seconds(call, 3);
+  exec::Pool pool(width);
+  exec::PoolGuard guard(&pool);
+  WallTimer wall;
+  for (auto _ : state) {
+    call();
+  }
+  const double total = wall.seconds();
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["pool_threads"] = static_cast<double>(width);
+  state.counters["speedup"] =
+      (iters > 0 && total > 0.0) ? seq / (total / iters) : 0.0;
+}
+
+void BM_SampledGramPooled(benchmark::State& state) {
+  // Dense synthetic block (density 1.0): the regime where the Gram
+  // accumulation is compute-bound and pool scaling is visible.
+  const std::size_t d = 256;
+  const auto mat = make_matrix(2000, d, 1.0);
+  la::Vector y(2000, 1.0);
+  la::Matrix h(d, d);
+  la::Vector r(d);
+  Rng rng(42, 1);
+  const auto idx = rng.sample_without_replacement(2000, 500);
+  run_pooled(state, [&] {
+    benchmark::DoNotOptimize(
+        sparse::sampled_gram(mat, y.span(), idx, h, r.span()));
+  });
+}
+BENCHMARK(BM_SampledGramPooled)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SpMVPooled(benchmark::State& state) {
+  const std::size_t rows = 200000;
+  const auto mat = make_matrix(rows, 256, 0.2);
+  std::vector<double> x(256, 1.0), y(rows);
+  run_pooled(state, [&] {
+    mat.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  });
+}
+BENCHMARK(BM_SpMVPooled)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SymvPooled(benchmark::State& state) {
+  const std::size_t d = 1024;
+  la::Matrix h(d, d, 0.5);
+  la::Vector x(d, 1.0), y(d);
+  run_pooled(state, [&] {
+    la::symv(1.0, h, x.span(), 0.0, y.span());
+    benchmark::DoNotOptimize(y.data());
+  });
+}
+BENCHMARK(BM_SymvPooled)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_Gemv(benchmark::State& state) {
   const auto d = static_cast<std::size_t>(state.range(0));
   la::Matrix h(d, d, 0.5);

@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
                               Config{16, 1, 16}, Config{1, 1, 256},
                               Config{8, 1, 256}, Config{8, 4, 256}}) {
       core::SolverOptions opts;
+      opts.threads = bench::requested_threads(cli);
       opts.max_iters = iters;
       opts.sampling_rate = b;
       opts.k = cfg.k;

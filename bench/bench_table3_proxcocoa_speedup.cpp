@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
     const bench::BenchProblem bp = bench::make_bench_problem(cli, name);
 
     core::SolverOptions ropts;
+    ropts.threads = bench::requested_threads(cli);
     ropts.max_iters = static_cast<int>(cli.get_int("iters", 800));
     ropts.sampling_rate = bench::default_sampling_rate(name);
     ropts.k = static_cast<int>(cli.get_int("k", 8));
@@ -70,6 +71,7 @@ int main(int argc, char** argv) {
     const auto rc_ttt = bench::time_to_tol(rc, tol);
 
     core::CocoaOptions copts;
+    copts.threads = bench::requested_threads(cli);
     copts.max_rounds = static_cast<int>(cli.get_int("rounds", 3000));
     copts.tol = tol;
     copts.f_star = bp.f_star();

@@ -99,6 +99,20 @@ void add_common_flags(CliParser& cli) {
   cli.add_flag("trace-out", "Chrome trace-event JSON output path", "");
   cli.add_flag("trace-jsonl", "flat JSONL trace output path", "");
   cli.add_flag("metrics-out", "metrics registry JSON output path", "");
+  cli.add_flag("threads",
+               "intra-rank pool threads per rank (1 = sequential, 0 = "
+               "hardware/ranks; env RCF_THREADS when flag absent)",
+               "");
+}
+
+int requested_threads(const CliParser& cli) {
+  const std::string spec = cli.get_string("threads", "");
+  if (!spec.empty()) {
+    const int parsed = static_cast<int>(cli.get_int("threads", 1));
+    RCF_CHECK_MSG(parsed >= 0, "--threads must be >= 0");
+    return parsed;
+  }
+  return exec::threads_from_env(/*fallback=*/1);
 }
 
 obs::ScopedSession start_observability(const CliParser& cli) {

@@ -46,6 +46,11 @@ class BenchProblem {
 /// Standard bench flags registered on every parser.
 void add_common_flags(CliParser& cli);
 
+/// Intra-rank pool width for SolverOptions/PnOptions/CocoaOptions::threads:
+/// the --threads flag when given, else the RCF_THREADS environment
+/// variable, else 1 (sequential).  0 means auto (hardware / rank count).
+[[nodiscard]] int requested_threads(const CliParser& cli);
+
 /// Starts the global trace session from --trace-out / --trace-jsonl /
 /// --metrics-out (registered by add_common_flags).  Keep the returned guard
 /// alive for the whole run; it writes the outputs on destruction.  Inert

@@ -20,6 +20,10 @@ int main(int argc, char** argv) {
   cli.add_flag("trace-out", "Chrome trace-event JSON output path", "");
   cli.add_flag("trace-jsonl", "flat JSONL trace output path", "");
   cli.add_flag("metrics-out", "metrics registry JSON output path", "");
+  cli.add_flag("threads",
+               "intra-rank pool threads (0 = auto: hardware/ranks; "
+               "default: RCF_THREADS or 1)",
+               "-1");
   if (!cli.parse(argc, argv)) {
     return 0;
   }
@@ -38,6 +42,10 @@ int main(int argc, char** argv) {
   const core::LassoProblem problem(dataset, 0.1);
 
   core::SolverOptions opts;
+  {
+    const std::int64_t t = cli.get_int("threads", -1);
+    opts.threads = t >= 0 ? static_cast<int>(t) : exec::threads_from_env(1);
+  }
   opts.max_iters = 100;
   opts.sampling_rate = 0.1;
   opts.k = static_cast<int>(cli.get_int("k", 4));

@@ -17,6 +17,10 @@ int main(int argc, char** argv) {
   cli.add_flag("dataset", "paper dataset clone to use", "covtype");
   cli.add_flag("scale", "row scale for the clone (0 = default)", "0");
   cli.add_flag("points", "number of lambdas on the path", "10");
+  cli.add_flag("threads",
+               "intra-rank pool threads (0 = auto: hardware/ranks; "
+               "default: RCF_THREADS or 1)",
+               "-1");
   if (!cli.parse(argc, argv)) {
     return 0;
   }
@@ -55,6 +59,10 @@ int main(int argc, char** argv) {
     // solution (the engine starts at 0; emulate a warm start by solving a
     // short FISTA refinement from `warm` via the reference machinery).
     core::SolverOptions opts;
+    {
+      const std::int64_t t = cli.get_int("threads", -1);
+      opts.threads = t >= 0 ? static_cast<int>(t) : exec::threads_from_env(1);
+    }
     opts.max_iters = 300;
     opts.sampling_rate = 0.1;
     opts.k = 4;

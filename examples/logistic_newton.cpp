@@ -13,6 +13,10 @@ int main(int argc, char** argv) {
   cli.add_flag("d", "features", "18");
   cli.add_flag("lambda", "l1 penalty", "0.002");
   cli.add_flag("k", "overlap depth for the RC inner solver", "4");
+  cli.add_flag("threads",
+               "intra-rank pool threads (0 = auto: hardware/ranks; "
+               "default: RCF_THREADS or 1)",
+               "-1");
   if (!cli.parse(argc, argv)) {
     return 0;
   }
@@ -36,6 +40,10 @@ int main(int argc, char** argv) {
               ref.iterations);
 
   core::PnOptions opts;
+  {
+    const std::int64_t t = cli.get_int("threads", -1);
+    opts.threads = t >= 0 ? static_cast<int>(t) : exec::threads_from_env(1);
+  }
   opts.max_outer = 20;
   opts.inner_iters = 60;
   opts.hessian_sampling_rate = 0.25;

@@ -14,6 +14,10 @@ int main(int argc, char** argv) {
   cli.add_flag("outer", "outer Newton iterations", "10");
   cli.add_flag("inner", "inner-solver iterations", "30");
   cli.add_flag("k", "overlap depth for the RC-SFISTA inner", "8");
+  cli.add_flag("threads",
+               "intra-rank pool threads (0 = auto: hardware/ranks; "
+               "default: RCF_THREADS or 1)",
+               "-1");
   cli.add_flag("procs", "logical processors for the cost model", "64");
   if (!cli.parse(argc, argv)) {
     return 0;
@@ -35,6 +39,10 @@ int main(int argc, char** argv) {
   std::printf("F(w*) = %.10f\n\n", ref.objective);
 
   core::PnOptions base;
+  {
+    const std::int64_t t = cli.get_int("threads", -1);
+    base.threads = t >= 0 ? static_cast<int>(t) : exec::threads_from_env(1);
+  }
   base.max_outer = static_cast<int>(cli.get_int("outer", 10));
   base.inner_iters = static_cast<int>(cli.get_int("inner", 30));
   base.f_star = ref.objective;

@@ -19,6 +19,10 @@ int main(int argc, char** argv) {
   cli.add_flag("b", "sampling rate", "0.05");
   cli.add_flag("k", "iteration-overlapping depth", "8");
   cli.add_flag("s", "Hessian-reuse inner iterations", "2");
+  cli.add_flag("threads",
+               "intra-rank pool threads (0 = auto: hardware/ranks; "
+               "default: RCF_THREADS or 1)",
+               "-1");
   if (!cli.parse(argc, argv)) {
     return 0;
   }
@@ -44,6 +48,10 @@ int main(int argc, char** argv) {
 
   // 4. RC-SFISTA.
   core::SolverOptions opts;
+  {
+    const std::int64_t t = cli.get_int("threads", -1);
+    opts.threads = t >= 0 ? static_cast<int>(t) : exec::threads_from_env(1);
+  }
   opts.max_iters = 500;
   opts.sampling_rate = cli.get_double("b", 0.05);
   opts.k = static_cast<int>(cli.get_int("k", 8));

@@ -17,6 +17,10 @@ int main(int argc, char** argv) {
   cli.add_flag("trace-out", "Chrome trace-event JSON output path", "");
   cli.add_flag("trace-jsonl", "flat JSONL trace output path", "");
   cli.add_flag("metrics-out", "metrics registry JSON output path", "");
+  cli.add_flag("threads",
+               "intra-rank pool threads (0 = auto: hardware/ranks; "
+               "default: RCF_THREADS or 1)",
+               "-1");
   if (!cli.parse(argc, argv)) {
     return 0;
   }
@@ -51,6 +55,10 @@ int main(int argc, char** argv) {
                     "speedup vs SFISTA"});
   for (int p : {16, 64, 256}) {
     core::SolverOptions base;
+    {
+      const std::int64_t t = cli.get_int("threads", -1);
+      base.threads = t >= 0 ? static_cast<int>(t) : exec::threads_from_env(1);
+    }
     base.max_iters = 400;
     base.sampling_rate = cli.get_double("b", 0.05);
     base.variance_reduction = true;

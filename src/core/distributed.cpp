@@ -10,6 +10,7 @@
 #include "core/engine.hpp"
 #include "core/momentum.hpp"
 #include "data/partition.hpp"
+#include "exec/pool.hpp"
 #include "la/blas.hpp"
 #include "obs/trace.hpp"
 #include "prox/operators.hpp"
@@ -25,6 +26,7 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
                 "distributed: sampling_rate in (0, 1]");
   RCF_CHECK_MSG(!opts.variance_reduction,
                 "distributed: variance reduction is not supported here");
+  RCF_CHECK_MSG(opts.threads >= 0, "distributed: threads must be >= 0");
 
   WallTimer wall;
   const std::size_t d = problem.dim();
@@ -53,6 +55,10 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
 
   group.run([&](dist::ThreadComm& comm) {
     const int rank = comm.rank();
+    // Per-rank pool: width 0 divides the hardware among the SPMD ranks so
+    // P ranks x W pool threads never oversubscribes the machine.
+    exec::Pool pool(exec::Pool::resolve_width(opts.threads, group.size()));
+    exec::PoolGuard pool_guard(&pool);
     // Rank-local data block (stage-0 of Fig. 1: X column-partitioned, y
     // row-partitioned).
     const std::size_t lo = partition.begin(rank);
@@ -135,14 +141,31 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
         auto apply_grad = [&](std::span<const double> at,
                               std::span<double> out) {
           // out = H_j at - R_j (rows of H_j are contiguous in the pack).
-          for (std::size_t row = 0; row < d; ++row) {
-            const double* hrow = hj + row * d;
-            double acc = 0.0;
-            for (std::size_t c = 0; c < d; ++c) {
-              acc += hrow[c] * at[c];
+          // Each task owns a block of output rows, so the dot products are
+          // computed exactly as in the sequential loop at any pool width.
+          const auto rows = [&](exec::Range range) {
+            for (std::size_t row = range.begin; row < range.end; ++row) {
+              const double* hrow = hj + row * d;
+              double acc = 0.0;
+              for (std::size_t c = 0; c < d; ++c) {
+                acc += hrow[c] * at[c];
+              }
+              out[row] = acc - rj[row];
             }
-            out[row] = acc - rj[row];
+          };
+          exec::Pool* p =
+              exec::usable_pool(2 * static_cast<std::uint64_t>(d) * d);
+          if (p == nullptr) {
+            rows({0, d});
+            return;
           }
+          const int width = p->width();
+          p->run("dist.apply_grad", [&](int t) {
+            const exec::Range range = exec::block_range(d, width, t);
+            if (!range.empty()) {
+              rows(range);
+            }
+          });
         };
 
         obs::timed_phase(tracing, lp_update, "update",

@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "core/momentum.hpp"
+#include "exec/pool.hpp"
 #include "obs/trace.hpp"
 #include "data/partition.hpp"
 #include "la/blas.hpp"
@@ -105,6 +106,7 @@ void validate_options(const LassoProblem& problem, const SolverOptions& opts) {
   RCF_CHECK_MSG(opts.sampling_rate > 0.0 && opts.sampling_rate <= 1.0,
                 "options: sampling_rate must be in (0, 1]");
   RCF_CHECK_MSG(opts.procs >= 1, "options: procs must be >= 1");
+  RCF_CHECK_MSG(opts.threads >= 0, "options: threads must be >= 0");
   RCF_CHECK_MSG(opts.history_stride >= 1,
                 "options: history_stride must be >= 1");
   RCF_CHECK_MSG(opts.step_size >= 0.0, "options: step_size must be >= 0");
@@ -125,6 +127,11 @@ SolveResult run_sfista_engine(const LassoProblem& problem,
                               const SolverOptions& opts,
                               const std::string& solver_name) {
   validate_options(problem, opts);
+
+  // Intra-rank pool for the Gram / BLAS kernels below; a single logical
+  // rank here, so 0 resolves to the full hardware concurrency.
+  exec::Pool pool(exec::Pool::resolve_width(opts.threads, 1));
+  exec::PoolGuard pool_guard(&pool);
 
   const std::size_t d = problem.dim();
   const std::size_t m = problem.num_samples();

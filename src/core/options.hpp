@@ -94,6 +94,13 @@ struct SolverOptions {
   /// phase *counts* in SolveResult::phases are maintained regardless).
   bool trace = true;
 
+  // -- intra-rank execution ----------------------------------------------------
+  /// Pool threads per rank for the shared-memory kernels (Gram, SpMV,
+  /// BLAS-2/3).  1 = sequential (today's path), 0 = hardware concurrency
+  /// divided by the number of SPMD ranks so ThreadComm ranks don't
+  /// oversubscribe.  Results are bit-identical at every width.
+  int threads = 1;
+
   // -- cost model (simulated distributed execution) ---------------------------
   int procs = 1;  ///< P, logical processor count for cost accounting.
   model::CollectiveModel collective = model::CollectiveModel::kPaperLogP;
@@ -123,7 +130,8 @@ struct PnOptions {
   double f_star = std::numeric_limits<double>::quiet_NaN();
   std::uint64_t seed = 42;
   bool track_history = true;
-  bool trace = true;  ///< see SolverOptions::trace
+  bool trace = true;   ///< see SolverOptions::trace
+  int threads = 1;     ///< see SolverOptions::threads
   int procs = 1;
   model::CollectiveModel collective = model::CollectiveModel::kPaperLogP;
   model::MachineSpec machine = model::comet();
@@ -144,7 +152,8 @@ struct CocoaOptions {
   double f_star = std::numeric_limits<double>::quiet_NaN();
   std::uint64_t seed = 42;
   bool track_history = true;
-  bool trace = true;  ///< see SolverOptions::trace
+  bool trace = true;   ///< see SolverOptions::trace
+  int threads = 1;     ///< see SolverOptions::threads
   int procs = 1;
   model::CollectiveModel collective = model::CollectiveModel::kPaperLogP;
   model::MachineSpec machine = model::comet();

@@ -10,6 +10,7 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "data/partition.hpp"
+#include "exec/pool.hpp"
 #include "la/blas.hpp"
 #include "obs/trace.hpp"
 #include "prox/operators.hpp"
@@ -28,6 +29,10 @@ SolveResult solve_prox_cocoa(const LassoProblem& problem,
   if (opts.tol > 0.0) {
     RCF_CHECK_MSG(!std::isnan(opts.f_star), "cocoa: tol requires f_star");
   }
+  RCF_CHECK_MSG(opts.threads >= 0, "cocoa: threads must be >= 0");
+
+  exec::Pool pool(exec::Pool::resolve_width(opts.threads, 1));
+  exec::PoolGuard pool_guard(&pool);
 
   WallTimer wall;
   const std::size_t d = problem.dim();

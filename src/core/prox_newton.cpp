@@ -10,6 +10,7 @@
 #include "common/timer.hpp"
 #include "core/momentum.hpp"
 #include "data/partition.hpp"
+#include "exec/pool.hpp"
 #include "la/blas.hpp"
 #include "la/eigen.hpp"
 #include "obs/trace.hpp"
@@ -76,6 +77,10 @@ SolveResult solve_proximal_newton(const LassoProblem& problem,
   if (opts.tol > 0.0) {
     RCF_CHECK_MSG(!std::isnan(opts.f_star), "pn: tol requires f_star");
   }
+  RCF_CHECK_MSG(opts.threads >= 0, "pn: threads must be >= 0");
+
+  exec::Pool pool(exec::Pool::resolve_width(opts.threads, 1));
+  exec::PoolGuard pool_guard(&pool);
 
   WallTimer wall;
   const std::size_t d = problem.dim();

@@ -1,6 +1,13 @@
+#include "exec/pool.hpp"
 #include "la/blas.hpp"
 
 namespace rcf::la {
+
+// Parallelization note (applies to every kernel in this file): work is
+// partitioned over *output* ranges -- rows of y for gemv/symv/ger, entries
+// of y for gemv_t -- and each output element is computed with exactly the
+// sequential loop body and term order.  Results are therefore bit-identical
+// at any pool width (DESIGN.md "Execution layer").
 
 void gemv(double alpha, const Matrix& a, std::span<const double> x, double beta,
           std::span<double> y) {
@@ -8,14 +15,30 @@ void gemv(double alpha, const Matrix& a, std::span<const double> x, double beta,
     throw DimensionMismatch("gemv: shape mismatch");
   }
   const std::size_t rows = a.rows();
-  for (std::size_t r = 0; r < rows; ++r) {
-    const auto row = a.row(r);
-    double acc = 0.0;
-    for (std::size_t c = 0; c < row.size(); ++c) {
-      acc += row[c] * x[c];
+  const std::size_t cols = a.cols();
+  const auto row_block = [&](int, exec::Range range) {
+    for (std::size_t r = range.begin; r < range.end; ++r) {
+      const auto row = a.row(r);
+      double acc = 0.0;
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        acc += row[c] * x[c];
+      }
+      y[r] = alpha * acc + beta * y[r];
     }
-    y[r] = alpha * acc + beta * y[r];
+  };
+  exec::Pool* pool =
+      exec::usable_pool(2 * static_cast<std::uint64_t>(rows) * cols);
+  if (pool == nullptr) {
+    row_block(0, {0, rows});
+    return;
   }
+  const int width = pool->width();
+  pool->run("la.gemv", [&](int t) {
+    const exec::Range range = exec::block_range(rows, width, t);
+    if (!range.empty()) {
+      row_block(t, range);
+    }
+  });
 }
 
 void gemv_t(double alpha, const Matrix& a, std::span<const double> x,
@@ -23,23 +46,42 @@ void gemv_t(double alpha, const Matrix& a, std::span<const double> x,
   if (a.rows() != x.size() || a.cols() != y.size()) {
     throw DimensionMismatch("gemv_t: shape mismatch");
   }
-  if (beta == 0.0) {
-    set_zero(y);
-  } else if (beta != 1.0) {
-    scal(beta, y);
-  }
-  // Accumulate row-wise (unit stride on both A and y).
   const std::size_t rows = a.rows();
-  for (std::size_t r = 0; r < rows; ++r) {
-    const double xr = alpha * x[r];
-    if (xr == 0.0) {
-      continue;
+  const std::size_t cols = a.cols();
+  // Each task owns the y entries in [lo, hi): it applies the beta scaling
+  // to its slice, then accumulates the rows of A in row order restricted
+  // to its columns (unit stride on both A and y within the slice).
+  const auto col_block = [&](int, exec::Range range) {
+    auto y_slice = y.subspan(range.begin, range.size());
+    if (beta == 0.0) {
+      set_zero(y_slice);
+    } else if (beta != 1.0) {
+      scal(beta, y_slice);
     }
-    const auto row = a.row(r);
-    for (std::size_t c = 0; c < row.size(); ++c) {
-      y[c] += xr * row[c];
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double xr = alpha * x[r];
+      if (xr == 0.0) {
+        continue;
+      }
+      const auto row = a.row(r);
+      for (std::size_t c = range.begin; c < range.end; ++c) {
+        y[c] += xr * row[c];
+      }
     }
+  };
+  exec::Pool* pool =
+      exec::usable_pool(2 * static_cast<std::uint64_t>(rows) * cols);
+  if (pool == nullptr) {
+    col_block(0, {0, cols});
+    return;
   }
+  const int width = pool->width();
+  pool->run("la.gemv_t", [&](int t) {
+    const exec::Range range = exec::block_range(cols, width, t);
+    if (!range.empty()) {
+      col_block(t, range);
+    }
+  });
 }
 
 void symv(double alpha, const Matrix& a, std::span<const double> x, double beta,
@@ -56,16 +98,31 @@ void ger(double alpha, std::span<const double> x, std::span<const double> y,
     throw DimensionMismatch("ger: shape mismatch");
   }
   const std::size_t rows = a.rows();
-  for (std::size_t r = 0; r < rows; ++r) {
-    const double xr = alpha * x[r];
-    if (xr == 0.0) {
-      continue;
+  const auto row_block = [&](int, exec::Range range) {
+    for (std::size_t r = range.begin; r < range.end; ++r) {
+      const double xr = alpha * x[r];
+      if (xr == 0.0) {
+        continue;
+      }
+      auto row = a.row(r);
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        row[c] += xr * y[c];
+      }
     }
-    auto row = a.row(r);
-    for (std::size_t c = 0; c < row.size(); ++c) {
-      row[c] += xr * y[c];
-    }
+  };
+  exec::Pool* pool =
+      exec::usable_pool(2 * static_cast<std::uint64_t>(rows) * a.cols());
+  if (pool == nullptr) {
+    row_block(0, {0, rows});
+    return;
   }
+  const int width = pool->width();
+  pool->run("la.ger", [&](int t) {
+    const exec::Range range = exec::block_range(rows, width, t);
+    if (!range.empty()) {
+      row_block(t, range);
+    }
+  });
 }
 
 }  // namespace rcf::la

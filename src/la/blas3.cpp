@@ -1,35 +1,56 @@
 #include <algorithm>
 
+#include "exec/pool.hpp"
 #include "la/blas.hpp"
 
 namespace rcf::la {
+
+// Parallelization note: like blas2.cpp, every kernel partitions its
+// *output* rows (C rows for gemm/syrk, lower-triangle rows for the
+// symmetrize) and computes each element with the sequential loop body, so
+// results are bit-identical at any pool width.
 
 void gemm(double alpha, const Matrix& a, const Matrix& b, double beta,
           Matrix& c) {
   if (a.cols() != b.rows() || c.rows() != a.rows() || c.cols() != b.cols()) {
     throw DimensionMismatch("gemm: shape mismatch");
   }
-  if (beta == 0.0) {
-    c.fill(0.0);
-  } else if (beta != 1.0) {
-    scal(beta, c.flat());
-  }
-  // i-k-j loop order: streams B and C rows with unit stride.
-  const std::size_t m = a.rows(), k = a.cols();
-  for (std::size_t i = 0; i < m; ++i) {
-    auto crow = c.row(i);
-    const auto arow = a.row(i);
-    for (std::size_t p = 0; p < k; ++p) {
-      const double aip = alpha * arow[p];
-      if (aip == 0.0) {
-        continue;
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  // i-k-j loop order: streams B and C rows with unit stride.  The beta
+  // scaling is applied per C-row block by the owning task.
+  const auto row_block = [&](int, exec::Range range) {
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      auto crow = c.row(i);
+      if (beta == 0.0) {
+        std::fill(crow.begin(), crow.end(), 0.0);
+      } else if (beta != 1.0) {
+        scal(beta, crow);
       }
-      const auto brow = b.row(p);
-      for (std::size_t j = 0; j < brow.size(); ++j) {
-        crow[j] += aip * brow[j];
+      const auto arow = a.row(i);
+      for (std::size_t p = 0; p < k; ++p) {
+        const double aip = alpha * arow[p];
+        if (aip == 0.0) {
+          continue;
+        }
+        const auto brow = b.row(p);
+        for (std::size_t j = 0; j < brow.size(); ++j) {
+          crow[j] += aip * brow[j];
+        }
       }
     }
+  };
+  exec::Pool* pool = exec::usable_pool(2 * static_cast<std::uint64_t>(m) * n * k);
+  if (pool == nullptr) {
+    row_block(0, {0, m});
+    return;
   }
+  const int width = pool->width();
+  pool->run("la.gemm", [&](int t) {
+    const exec::Range range = exec::block_range(m, width, t);
+    if (!range.empty()) {
+      row_block(t, range);
+    }
+  });
 }
 
 void syrk(double alpha, const Matrix& a, double beta, Matrix& c) {
@@ -37,24 +58,40 @@ void syrk(double alpha, const Matrix& a, double beta, Matrix& c) {
     throw DimensionMismatch("syrk: shape mismatch");
   }
   const std::size_t n = a.rows(), k = a.cols();
-  if (beta == 0.0) {
-    c.fill(0.0);
-  } else if (beta != 1.0) {
-    scal(beta, c.flat());
-  }
   // Upper triangle only, then mirror: halves the flops, matching the cost
-  // model's d^2*mbar count for the Gram update.
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto ai = a.row(i);
-    auto ci = c.row(i);
-    for (std::size_t j = i; j < n; ++j) {
-      const auto aj = a.row(j);
-      double acc = 0.0;
-      for (std::size_t p = 0; p < k; ++p) {
-        acc += ai[p] * aj[p];
+  // model's d^2*mbar count for the Gram update.  Row i carries n - i inner
+  // products, so tasks take triangle-balanced row ranges.  The beta
+  // scaling covers the full rows (the mirror rewrites the lower triangle).
+  const auto row_block = [&](int, exec::Range range) {
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      auto ci = c.row(i);
+      if (beta == 0.0) {
+        std::fill(ci.begin(), ci.end(), 0.0);
+      } else if (beta != 1.0) {
+        scal(beta, ci);
       }
-      ci[j] += alpha * acc;
+      const auto ai = a.row(i);
+      for (std::size_t j = i; j < n; ++j) {
+        const auto aj = a.row(j);
+        double acc = 0.0;
+        for (std::size_t p = 0; p < k; ++p) {
+          acc += ai[p] * aj[p];
+        }
+        ci[j] += alpha * acc;
+      }
     }
+  };
+  exec::Pool* pool = exec::usable_pool(static_cast<std::uint64_t>(n) * n * k);
+  if (pool == nullptr) {
+    row_block(0, {0, n});
+  } else {
+    const int width = pool->width();
+    pool->run("la.syrk", [&](int t) {
+      const exec::Range range = exec::triangle_range(n, width, t);
+      if (!range.empty()) {
+        row_block(t, range);
+      }
+    });
   }
   symmetrize_from_upper(c);
 }
@@ -64,11 +101,30 @@ void symmetrize_from_upper(Matrix& c) {
     throw DimensionMismatch("symmetrize_from_upper: matrix must be square");
   }
   const std::size_t n = c.rows();
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      c(j, i) = c(i, j);
+  // Task t owns the lower-triangle rows in its range: writes to row j only,
+  // reads from the (already final) upper triangle.
+  const auto row_block = [&](int, exec::Range range) {
+    for (std::size_t j = range.begin; j < range.end; ++j) {
+      for (std::size_t i = 0; i < j; ++i) {
+        c(j, i) = c(i, j);
+      }
     }
+  };
+  exec::Pool* pool = exec::usable_pool(static_cast<std::uint64_t>(n) * n / 2);
+  if (pool == nullptr) {
+    row_block(0, {0, n});
+    return;
   }
+  const int width = pool->width();
+  pool->run("la.symmetrize", [&](int t) {
+    // Lower-triangle row j carries j copies: mirror-image triangle balance
+    // (row 0 is empty), so reuse triangle_range on the reversed index.
+    const exec::Range rev = exec::triangle_range(n, width, width - 1 - t);
+    const exec::Range range{n - rev.end, n - rev.begin};
+    if (!range.empty()) {
+      row_block(t, range);
+    }
+  });
 }
 
 }  // namespace rcf::la

@@ -26,6 +26,7 @@
 #include "data/synthetic.hpp"    // IWYU pragma: export
 #include "dist/comm.hpp"         // IWYU pragma: export
 #include "dist/thread_comm.hpp"  // IWYU pragma: export
+#include "exec/pool.hpp"         // IWYU pragma: export
 #include "la/blas.hpp"           // IWYU pragma: export
 #include "la/eigen.hpp"          // IWYU pragma: export
 #include "la/matrix.hpp"         // IWYU pragma: export

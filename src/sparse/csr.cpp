@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "exec/pool.hpp"
 
 namespace rcf::sparse {
 
@@ -101,33 +102,129 @@ double CsrMatrix::density() const {
          (static_cast<double>(rows_) * static_cast<double>(cols_));
 }
 
+// Parallelization note (spmv / spmv_t / spmm): output-partitioned on the
+// ambient exec pool -- y rows for spmv/spmm, y entries (= matrix columns)
+// for spmv_t -- with the sequential loop body per element, so results are
+// bit-identical at any pool width (DESIGN.md "Execution layer").
+
 void CsrMatrix::spmv(std::span<const double> x, std::span<double> y) const {
   if (x.size() != cols_ || y.size() != rows_) {
     throw DimensionMismatch("spmv: shape mismatch");
   }
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
-      acc += values_[i] * x[col_idx_[i]];
+  const auto row_block = [&](int, exec::Range range) {
+    for (std::size_t r = range.begin; r < range.end; ++r) {
+      double acc = 0.0;
+      for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+        acc += values_[i] * x[col_idx_[i]];
+      }
+      y[r] = acc;
     }
-    y[r] = acc;
+  };
+  exec::Pool* pool = exec::usable_pool(2 * nnz());
+  if (pool == nullptr) {
+    row_block(0, {0, rows_});
+    return;
   }
+  const int width = pool->width();
+  // Balance by nnz, not row count: task t covers the rows from
+  // row_boundary(t) to row_boundary(t + 1), where row_boundary(t) is the
+  // first row whose cumulative nnz reaches t's share.  Boundaries are a
+  // pure function of (matrix, width), consecutive by construction
+  // (lower_bound of non-decreasing targets), and cover every row --
+  // including empty ones, whose y entry must still be written.
+  const auto row_boundary = [&](int t) -> std::size_t {
+    if (t <= 0) {
+      return 0;
+    }
+    if (t >= width) {
+      return rows_;
+    }
+    const std::size_t target = exec::block_range(nnz(), width, t).begin;
+    return static_cast<std::size_t>(
+        std::lower_bound(row_ptr_.begin(), row_ptr_.end(), target) -
+        row_ptr_.begin());
+  };
+  pool->run("sparse.spmv", [&](int t) {
+    const exec::Range range{row_boundary(t), row_boundary(t + 1)};
+    if (!range.empty()) {
+      row_block(t, range);
+    }
+  });
 }
 
 void CsrMatrix::spmv_t(std::span<const double> x, std::span<double> y) const {
   if (x.size() != rows_ || y.size() != cols_) {
     throw DimensionMismatch("spmv_t: shape mismatch");
   }
-  std::fill(y.begin(), y.end(), 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double xr = x[r];
-    if (xr == 0.0) {
-      continue;
+  // Each task owns the y entries in [lo, hi) and scans the rows in order,
+  // accumulating only the entries whose column falls in its slice (located
+  // by binary search on the row's ascending column indices).
+  const auto col_block = [&](std::size_t lo, std::size_t hi) {
+    std::fill(y.begin() + static_cast<std::ptrdiff_t>(lo),
+              y.begin() + static_cast<std::ptrdiff_t>(hi), 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double xr = x[r];
+      if (xr == 0.0) {
+        continue;
+      }
+      const std::size_t row_begin = row_ptr_[r], row_end = row_ptr_[r + 1];
+      std::size_t i = row_begin;
+      if (lo > 0) {
+        i = static_cast<std::size_t>(
+            std::lower_bound(col_idx_.begin() + static_cast<std::ptrdiff_t>(row_begin),
+                             col_idx_.begin() + static_cast<std::ptrdiff_t>(row_end),
+                             static_cast<std::uint32_t>(lo)) -
+            col_idx_.begin());
+      }
+      for (; i < row_end && col_idx_[i] < hi; ++i) {
+        y[col_idx_[i]] += xr * values_[i];
+      }
     }
-    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
-      y[col_idx_[i]] += xr * values_[i];
-    }
+  };
+  exec::Pool* pool = exec::usable_pool(2 * nnz());
+  if (pool == nullptr) {
+    col_block(0, cols_);
+    return;
   }
+  const int width = pool->width();
+  pool->run("sparse.spmv_t", [&](int t) {
+    const exec::Range range = exec::block_range(cols_, width, t);
+    if (!range.empty()) {
+      col_block(range.begin, range.end);
+    }
+  });
+}
+
+void CsrMatrix::spmm(const la::Matrix& b, la::Matrix& y) const {
+  if (b.rows() != cols_ || y.rows() != rows_ || y.cols() != b.cols()) {
+    throw DimensionMismatch("spmm: shape mismatch");
+  }
+  const std::size_t n = b.cols();
+  const auto row_block = [&](int, exec::Range range) {
+    for (std::size_t r = range.begin; r < range.end; ++r) {
+      auto yrow = y.row(r);
+      std::fill(yrow.begin(), yrow.end(), 0.0);
+      for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+        const double v = values_[i];
+        const auto brow = b.row(col_idx_[i]);
+        for (std::size_t j = 0; j < n; ++j) {
+          yrow[j] += v * brow[j];
+        }
+      }
+    }
+  };
+  exec::Pool* pool = exec::usable_pool(2 * nnz() * n);
+  if (pool == nullptr) {
+    row_block(0, {0, rows_});
+    return;
+  }
+  const int width = pool->width();
+  pool->run("sparse.spmm", [&](int t) {
+    const exec::Range range = exec::block_range(rows_, width, t);
+    if (!range.empty()) {
+      row_block(t, range);
+    }
+  });
 }
 
 CsrMatrix CsrMatrix::select_rows(std::span<const std::uint32_t> rows) const {

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "la/matrix.hpp"
 #include "sparse/coo.hpp"
 
 namespace rcf::sparse {
@@ -68,6 +69,11 @@ class CsrMatrix {
 
   /// y = A^T x  (2*nnz flops)
   void spmv_t(std::span<const double> x, std::span<double> y) const;
+
+  /// Y = A B for dense row-major B (cols x n) into Y (rows x n);
+  /// 2*nnz*n flops.  The blocked-SpMV kernel behind multi-RHS Gram
+  /// applications; row-partitioned on the ambient exec pool.
+  void spmm(const la::Matrix& b, la::Matrix& y) const;
 
   /// New matrix containing the given rows (in the given order).
   [[nodiscard]] CsrMatrix select_rows(

@@ -1,46 +1,95 @@
 #include "sparse/gram.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <vector>
 
 #include "common/error.hpp"
+#include "exec/pool.hpp"
 #include "la/blas.hpp"
 
 namespace rcf::sparse {
 
 namespace {
 
-/// Accumulates one weighted sparse outer product h += w * x x^T (upper
-/// triangle) and r += (w * yi) * x.  Returns madds done.
-inline std::uint64_t outer_product_row(const SparseRowView& row, double w,
-                                       double yi, la::Matrix& h,
-                                       std::span<double> r) {
+/// Accumulates the H rows in [lo, hi) of one weighted sparse outer product
+/// h += w * x x^T (upper triangle) and the matching entries of
+/// r += (yi * w) * x.  `yw` is the pre-folded scalar yi * w, hoisted so the
+/// inner loops do one multiply per touched entry instead of two.
+///
+/// The [lo, hi) row range is how the pool parallelizes this kernel: each
+/// pool thread owns a disjoint range of H rows (= feature indices) and
+/// every thread walks the sample rows in the same order, so each H / r
+/// entry accumulates exactly the sequential sum -- bit-identical results
+/// at any pool width (DESIGN.md "Execution layer").
+inline void outer_product_row_range(const SparseRowView& row, double w,
+                                    double yw, la::Matrix& h,
+                                    std::span<double> r, std::size_t lo,
+                                    std::size_t hi) {
   const std::size_t k = row.nnz();
   if (k == h.cols()) {
     // Dense row: column indices are 0..d-1, so skip the indirection and let
     // the inner loop vectorize (the hot path for dense datasets such as
     // epsilon, where this kernel is d^2 work per sample).
-    for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t a = lo; a < hi; ++a) {
       const double va = w * row.vals[a];
       auto hrow = h.row(a);
       for (std::size_t b = a; b < k; ++b) {
         hrow[b] += va * row.vals[b];
       }
-      r[a] += yi * w * row.vals[a];
+      r[a] += yw * row.vals[a];
     }
   } else {
-    for (std::size_t a = 0; a < k; ++a) {
+    // Column indices within a row are strictly ascending (CSR invariant),
+    // so the first index >= lo locates this thread's slice of the row.
+    const std::uint32_t* cols_begin = row.cols.data();
+    const std::uint32_t* cols_end = cols_begin + k;
+    const std::uint32_t* first =
+        lo == 0 ? cols_begin
+                : std::lower_bound(cols_begin, cols_end,
+                                   static_cast<std::uint32_t>(lo));
+    for (std::size_t a = static_cast<std::size_t>(first - cols_begin);
+         a < k && row.cols[a] < hi; ++a) {
       const std::uint32_t ca = row.cols[a];
       const double va = w * row.vals[a];
       auto hrow = h.row(ca);
       for (std::size_t b = a; b < k; ++b) {
         hrow[row.cols[b]] += va * row.vals[b];
       }
-      r[ca] += yi * w * row.vals[a];
+      r[ca] += yw * row.vals[a];
     }
   }
-  // upper-triangle madds + rhs madds
-  return k * (k + 1) / 2 + k;
+}
+
+/// Accumulation driver shared by the plain and weighted Gram kernels:
+/// `row_scale(i)` yields the (w, yw) pair for sample row i.  Dispatches
+/// onto the ambient pool with triangle-balanced H-row ranges when the work
+/// is worth it; sequential execution is the width-1 special case of the
+/// same code (full range [0, d)).
+template <typename RowScale>
+void accumulate_rows(const CsrMatrix& xt, std::span<const std::uint32_t> idx,
+                     std::uint64_t flops, la::Matrix& h, std::span<double> r,
+                     const RowScale& row_scale) {
+  const std::size_t d = h.cols();
+  const auto run_range = [&](std::size_t lo, std::size_t hi) {
+    for (const std::uint32_t i : idx) {
+      RCF_DCHECK(i < xt.rows());
+      const auto [w, yw] = row_scale(i);
+      outer_product_row_range(xt.row(i), w, yw, h, r, lo, hi);
+    }
+  };
+  exec::Pool* pool = exec::usable_pool(flops);
+  if (pool == nullptr) {
+    run_range(0, d);
+    return;
+  }
+  const int width = pool->width();
+  pool->run("gram.task", [&](int t) {
+    const exec::Range range = exec::triangle_range(d, width, t);
+    if (!range.empty()) {
+      run_range(range.begin, range.end);
+    }
+  });
 }
 
 }  // namespace
@@ -54,12 +103,11 @@ std::uint64_t accumulate_sampled_gram(const CsrMatrix& xt,
   RCF_CHECK_MSG(h.rows() == d && h.cols() == d, "gram: H must be d x d");
   RCF_CHECK_MSG(r.size() == d, "gram: R must have length d");
   RCF_CHECK_MSG(y.size() == xt.rows(), "gram: y must have length m");
-  std::uint64_t madds = 0;
-  for (const std::uint32_t i : idx) {
-    RCF_DCHECK(i < xt.rows());
-    madds += outer_product_row(xt.row(i), scale, y[i], h, r);
-  }
-  return 2 * madds;
+  const std::uint64_t flops = sampled_gram_flops(xt, idx);
+  accumulate_rows(xt, idx, flops, h, r, [&](std::uint32_t i) {
+    return std::pair<double, double>(scale, y[i] * scale);
+  });
+  return flops;
 }
 
 std::uint64_t sampled_gram(const CsrMatrix& xt, std::span<const double> y,
@@ -97,14 +145,12 @@ std::uint64_t weighted_sampled_gram(const CsrMatrix& xt,
   h.fill(0.0);
   const double scale = 1.0 / static_cast<double>(idx.size());
   std::vector<double> r_unused(d, 0.0);
-  std::uint64_t madds = 0;
-  for (const std::uint32_t i : idx) {
-    RCF_DCHECK(i < xt.rows());
-    madds += outer_product_row(xt.row(i), scale * weights[i], 0.0, h,
-                               r_unused);
-  }
+  const std::uint64_t flops = sampled_gram_flops(xt, idx);
+  accumulate_rows(xt, idx, flops, h, r_unused, [&](std::uint32_t i) {
+    return std::pair<double, double>(scale * weights[i], 0.0);
+  });
   la::symmetrize_from_upper(h);
-  return 2 * madds;
+  return flops;
 }
 
 std::uint64_t sampled_gram_flops(const CsrMatrix& xt,
