@@ -8,6 +8,8 @@
 // shape -- rising with k, strongest at high P, degrading for the dense
 // d = 2000 epsilon clone once the k*d^2 block working set spills the
 // cache -- reproduces the paper's figure.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -38,6 +40,7 @@ int main(int argc, char** argv) {
   const double tol = cli.get_double("tol", 0.01);
   const model::MachineSpec machine = bench::requested_machine(cli);
   const auto collective = model::CollectiveModel::kPaperLogP;
+  obs::CostLedger ledger(machine);
 
   for (const auto& name : bench::requested_datasets(cli)) {
     const bench::BenchProblem bp = bench::make_bench_problem(cli, name);
@@ -91,10 +94,53 @@ int main(int argc, char** argv) {
     }
     std::printf("%s\n", table.str().c_str());
     bench::maybe_write_csv(cli, "fig4_" + name, table);
+    bench::maybe_write_convergence(cli, "fig4_" + name, run);
+
+    // Predicted-vs-measured accounting: when observability is on, replay a
+    // short run per k through the actual blocked path so the traced
+    // "allreduce" span count shrinks ~k-fold with k, then ledger each
+    // replay against the Table 1 closed form.  Exact numerics are not at
+    // stake here (the table above already costed the full trajectory), so
+    // the replay strips VR / restart / tol to keep the schedule canonical.
+    if (obs::TraceSession::global().enabled()) {
+      const int replay_iters =
+          std::min<int>(64, static_cast<int>(cli.get_int("iters", 800)));
+      const int procs = static_cast<int>(p_list.front());
+      const std::size_t m = bp.dataset().num_samples();
+      model::AlgorithmShape shape;
+      shape.n_iters = replay_iters;
+      shape.d = static_cast<double>(d);
+      shape.m_bar = std::max(1.0, std::floor(b * static_cast<double>(m)));
+      shape.fill = bp.dataset().density();
+      shape.p = procs;
+      shape.s = 1;
+      for (auto k : k_list) {
+        core::SolverOptions ropts = opts;
+        ropts.max_iters = replay_iters;
+        ropts.tol = 0.0;
+        ropts.variance_reduction = false;
+        ropts.adaptive_restart = false;
+        ropts.track_history = false;
+        ropts.k = static_cast<int>(k);
+        ropts.procs = procs;
+        ropts.machine = machine;
+        ropts.collective = collective;
+        const auto replay = core::solve_rc_sfista(bp.problem(), ropts);
+        shape.k = static_cast<double>(k);
+        ledger.add(name + "_k" + std::to_string(k), shape, replay.cost,
+                   &replay.phases);
+      }
+    }
   }
   std::printf("Cells: modeled time-to-tol speedup vs k=1 (same P).  '*' =\n"
               "tolerance not reached within the iteration budget.  Machine:\n"
               "%s (alpha_eff=%.2e s/msg including collective-call overhead).\n",
               machine.name.c_str(), machine.alpha_effective());
+  if (!ledger.rows().empty()) {
+    std::printf("\nCost-model accounting (P=%d replays, %s):\n%s\n",
+                static_cast<int>(p_list.front()), machine.name.c_str(),
+                ledger.table().c_str());
+    ledger.export_metrics(obs::MetricsRegistry::global());
+  }
   return 0;
 }

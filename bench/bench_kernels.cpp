@@ -183,6 +183,14 @@ void BM_ThreadAllreduce(benchmark::State& state) {
   const int ranks = static_cast<int>(state.range(0));
   const std::size_t words = 4096;
   dist::ThreadGroup group(ranks);
+  // Run traced so the collectives feed the "allreduce_latency_us" histogram
+  // and the row can surface its quantiles (the per-call span overhead is in
+  // the noise next to the rendezvous itself; see BM_TraceScopeEnabled).
+  auto& session = obs::TraceSession::global();
+  auto& latency = obs::MetricsRegistry::global().histogram(
+      "allreduce_latency_us");
+  latency.reset();
+  session.start();
   for (auto _ : state) {
     group.run([&](dist::ThreadComm& comm) {
       std::vector<double> buf(words, static_cast<double>(comm.rank()));
@@ -190,6 +198,11 @@ void BM_ThreadAllreduce(benchmark::State& state) {
       benchmark::DoNotOptimize(buf.data());
     });
   }
+  session.stop();
+  session.clear();
+  state.counters["lat_p50_us"] = latency.percentile(0.50);
+  state.counters["lat_p95_us"] = latency.percentile(0.95);
+  state.counters["lat_p99_us"] = latency.percentile(0.99);
 }
 BENCHMARK(BM_ThreadAllreduce)->Arg(2)->Arg(4);
 

@@ -99,6 +99,9 @@ void add_common_flags(CliParser& cli) {
   cli.add_flag("trace-out", "Chrome trace-event JSON output path", "");
   cli.add_flag("trace-jsonl", "flat JSONL trace output path", "");
   cli.add_flag("metrics-out", "metrics registry JSON output path", "");
+  cli.add_flag("conv-out",
+               "convergence telemetry JSONL output path (appended per run)",
+               "");
   cli.add_flag("threads",
                "intra-rank pool threads per rank (1 = sequential, 0 = "
                "hardware/ranks; env RCF_THREADS when flag absent)",
@@ -119,6 +122,47 @@ obs::ScopedSession start_observability(const CliParser& cli) {
   return obs::ScopedSession(cli.get_string("trace-out", ""),
                             cli.get_string("trace-jsonl", ""),
                             cli.get_string("metrics-out", ""));
+}
+
+void maybe_write_convergence(const CliParser& cli, const std::string& run_tag,
+                             const core::SolveResult& result) {
+  const std::string path = cli.get_string("conv-out", "");
+  if (path.empty() || result.conv.empty()) {
+    return;
+  }
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    RCF_LOG_WARN << "could not append convergence records to " << path;
+    return;
+  }
+  std::string line;
+  char buf[48];
+  const auto field = [&line, &buf](const char* key, double v) {
+    line += ",\"";
+    line += key;
+    line += "\":";
+    if (std::isnan(v)) {
+      line += "null";
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      line += buf;
+    }
+  };
+  for (const auto& rec : result.conv.ordered()) {
+    line.clear();
+    line += "{\"run\":\"";
+    json_escape_to(run_tag, line);
+    line += "\",\"solver\":\"";
+    json_escape_to(result.solver, line);
+    line += "\",\"iteration\":";
+    line += std::to_string(rec.iteration);
+    field("objective", rec.objective);
+    field("grad_norm", rec.grad_norm);
+    field("support", rec.support);
+    field("step", rec.step);
+    line += "}\n";
+    out << line;
+  }
 }
 
 void maybe_write_csv(const CliParser& cli, const std::string& stem,

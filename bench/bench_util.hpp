@@ -124,4 +124,10 @@ struct TimeToTol {
 void maybe_write_csv(const CliParser& cli, const std::string& stem,
                      const AsciiTable& table);
 
+/// If --conv-out was given, appends the run's convergence ring to that
+/// JSONL file, one record per line tagged with `run_tag` and the solver
+/// name (NaN fields serialize as null); silent no-op otherwise.
+void maybe_write_convergence(const CliParser& cli, const std::string& run_tag,
+                             const core::SolveResult& result);
+
 }  // namespace rcf::bench

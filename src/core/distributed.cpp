@@ -12,6 +12,8 @@
 #include "data/partition.hpp"
 #include "exec/pool.hpp"
 #include "la/blas.hpp"
+#include "obs/aggregate.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "prox/operators.hpp"
 #include "sparse/gram.hpp"
@@ -52,6 +54,8 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
   // allreduce span count equal to CommStats::allreduce_calls per rank.
   const bool tracing = opts.trace && obs::TraceSession::global().enabled();
   obs::PhaseAgg ph_sampling, ph_gram, ph_allreduce, ph_update;
+  obs::FleetMetrics fleet;
+  obs::ConvergenceRing conv;
 
   group.run([&](dist::ThreadComm& comm) {
     const int rank = comm.rank();
@@ -77,6 +81,8 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
 
     la::Vector w(d), dw_prev(d), v(d);
     la::Vector grad(d), theta(d), u(d);
+    la::Vector w_iter_prev(d);
+    obs::ConvergenceRing local_conv;
     std::vector<std::uint32_t> idx;
     std::vector<std::uint32_t> local_idx;
     int update_counter = 0;
@@ -138,6 +144,7 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
       for (int j = 0; j < kk; ++j) {
         const double* hj = pack.data() + static_cast<std::size_t>(j) * (d * d + d);
         const double* rj = hj + d * d;
+        la::copy(w.span(), w_iter_prev.span());
         auto apply_grad = [&](std::span<const double> at,
                               std::span<double> out) {
           // out = H_j at - R_j (rows of H_j are contiguous in the pack).
@@ -204,6 +211,45 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
             }
           }
         });
+
+        // Convergence telemetry: every rank computes the identical O(d)
+        // summary (iterates agree bitwise), rank 0's ring is kept.  The
+        // objective is never evaluated on this path, so it stays NaN.
+        {
+          obs::ConvergenceRecord rec;
+          rec.iteration = static_cast<std::uint64_t>(block_start + j);
+          rec.grad_norm = std::sqrt(la::dot(grad.span(), grad.span()));
+          double support = 0.0;
+          double step_sq = 0.0;
+          for (std::size_t i = 0; i < d; ++i) {
+            support += w[i] != 0.0 ? 1.0 : 0.0;
+            const double dw = w[i] - w_iter_prev[i];
+            step_sq += dw * dw;
+          }
+          rec.support = support;
+          rec.step = std::sqrt(step_sq);
+          local_conv.push(rec);
+        }
+      }
+    }
+
+    if (tracing) {
+      // Cross-rank aggregation: each rank records its own phase totals and
+      // comm endpoint stats into a rank-local registry, then all ranks
+      // reduce them (collective -- every rank participates).  The
+      // collectives inside aggregate() run in aux mode, so the comm.*
+      // counters just recorded stay exact.
+      obs::PhaseSummary local_phases;
+      obs::append_phase(local_phases, "sampling", lp_sampling);
+      obs::append_phase(local_phases, "gram", lp_gram);
+      obs::append_phase(local_phases, "allreduce", lp_allreduce);
+      obs::append_phase(local_phases, "update", lp_update);
+      const dist::CommStats rank_stats = comm.stats();
+      obs::MetricsRegistry local;
+      obs::record_solve_metrics(local, local_phases, &rank_stats);
+      obs::FleetMetrics rank_fleet = obs::aggregate(local, comm);
+      if (rank == 0) {
+        fleet = std::move(rank_fleet);
       }
     }
 
@@ -213,6 +259,7 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
       ph_gram = lp_gram;
       ph_allreduce = lp_allreduce;
       ph_update = lp_update;
+      conv = std::move(local_conv);
     }
   });
 
@@ -230,6 +277,11 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
   obs::append_phase(result.phases, "gram", ph_gram);
   obs::append_phase(result.phases, "allreduce", ph_allreduce);
   obs::append_phase(result.phases, "update", ph_update);
+  result.fleet = std::move(fleet);
+  result.conv = std::move(conv);
+  if (tracing && !result.fleet.empty()) {
+    obs::publish(result.fleet, obs::MetricsRegistry::global());
+  }
   return result;
 }
 

@@ -10,6 +10,8 @@
 #include "common/timer.hpp"
 #include "core/momentum.hpp"
 #include "exec/pool.hpp"
+#include "obs/aggregate.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "data/partition.hpp"
 #include "la/blas.hpp"
@@ -191,6 +193,10 @@ SolveResult run_sfista_engine(const LassoProblem& problem,
 
   IterState st{la::Vector(d), la::Vector(d), la::Vector(d)};
   Scratch scratch{la::Vector(d), la::Vector(d), la::Vector(d), la::Vector(d)};
+  // Previous iterate for the per-iteration step norm of the convergence
+  // ring (scratch.tmp is owned by the VR gradient path, so a dedicated
+  // buffer).
+  la::Vector w_iter_prev(d);
 
   // Variance-reduction anchor (Alg. 3's w_hat) and its exact gradient.
   la::Vector anchor(d), anchor_grad(d);
@@ -335,6 +341,7 @@ SolveResult run_sfista_engine(const LassoProblem& problem,
       const int n = block_start + j;
       const la::Matrix& h = h_blocks[j];
       const la::Vector& r = r_blocks[j];
+      la::copy(st.w.span(), w_iter_prev.span());
 
       obs::timed_phase(tracing, ph_update, "update",
                        static_cast<double>(s_iters), [&] {
@@ -391,15 +398,16 @@ SolveResult run_sfista_engine(const LassoProblem& problem,
 
       const bool record =
           opts.track_history && (n % opts.history_stride == 0);
+      double objective_n = std::numeric_limits<double>::quiet_NaN();
       if (record || need_objective_every_iter) {
-        const double objective = eval_objective(st.w.span());
+        objective_n = eval_objective(st.w.span());
         double rel_error = std::numeric_limits<double>::quiet_NaN();
         if (!std::isnan(opts.f_star) && opts.f_star != 0.0) {
-          rel_error = std::abs((objective - opts.f_star) / opts.f_star);
+          rel_error = std::abs((objective_n - opts.f_star) / opts.f_star);
         }
         if (record) {
           result.history.push_back(IterationRecord{
-              n, objective, rel_error, cost.seconds(opts.machine),
+              n, objective_n, rel_error, cost.seconds(opts.machine),
               comm_rounds, raw_gram_flops, raw_update_flops,
               comm_payload_words});
         }
@@ -408,6 +416,27 @@ SolveResult run_sfista_engine(const LassoProblem& problem,
           result.converged = true;
           done = true;
         }
+      }
+
+      // Convergence telemetry: O(d) per-iteration summary, recorded into
+      // the bounded ring regardless of track_history (objective stays NaN
+      // on iterations where it was not evaluated).
+      {
+        obs::ConvergenceRecord rec;
+        rec.iteration = static_cast<std::uint64_t>(n);
+        rec.objective = objective_n;
+        rec.grad_norm =
+            std::sqrt(la::dot(scratch.grad.span(), scratch.grad.span()));
+        double support = 0.0;
+        double step_sq = 0.0;
+        for (std::size_t i = 0; i < d; ++i) {
+          support += st.w[i] != 0.0 ? 1.0 : 0.0;
+          const double dw = st.w[i] - w_iter_prev[i];
+          step_sq += dw * dw;
+        }
+        rec.support = support;
+        rec.step = std::sqrt(step_sq);
+        result.conv.push(rec);
       }
     }
   }
@@ -424,6 +453,16 @@ SolveResult run_sfista_engine(const LassoProblem& problem,
   obs::append_phase(result.phases, "gram", ph_gram);
   obs::append_phase(result.phases, "allreduce", ph_allreduce);
   obs::append_phase(result.phases, "update", ph_update);
+  if (tracing) {
+    // Aggregate over a 1-rank world so traced sequential runs export the
+    // same agg.* layout as the SPMD backend (no real comm stats here; the
+    // collectives are modeled).
+    obs::MetricsRegistry local;
+    obs::record_solve_metrics(local, result.phases, nullptr);
+    dist::SeqComm seq;
+    result.fleet = obs::aggregate(local, seq);
+    obs::publish(result.fleet, obs::MetricsRegistry::global());
+  }
   return result;
 }
 

@@ -12,6 +12,8 @@
 #include "data/partition.hpp"
 #include "exec/pool.hpp"
 #include "la/blas.hpp"
+#include "obs/aggregate.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "prox/operators.hpp"
 
@@ -156,25 +158,50 @@ SolveResult solve_prox_cocoa(const LassoProblem& problem,
     }
 
     // One allreduce of the m-word residual update per round.
+    double round_step_sq = 0.0;
     obs::timed_phase(tracing, ph_allreduce, "allreduce",
                      static_cast<double>(m), [&] {
       la::axpy(1.0, res_accum.span(), res.span());
-      if (apply_scale != 1.0) {
-        // Averaging also scales the coordinate moves themselves.
-        for (std::size_t j = 0; j < d; ++j) {
-          w[j] += apply_scale * (w_stage[j] - w[j]);
+      for (std::size_t j = 0; j < d; ++j) {
+        // Averaging scales the coordinate moves; adding applies the staged
+        // values whole (exact assignment, not w += delta, so the adding
+        // path stays bitwise identical to a plain copy).
+        if (apply_scale != 1.0) {
+          const double delta = apply_scale * (w_stage[j] - w[j]);
+          w[j] += delta;
+          round_step_sq += delta * delta;
+        } else {
+          const double delta = w_stage[j] - w[j];
+          w[j] = w_stage[j];
+          round_step_sq += delta * delta;
         }
-      } else {
-        std::copy(w_stage.begin(), w_stage.end(), w.begin());
       }
       cost.add_flops(Phase::kUpdate, max_rank_flops);
       cost.add_allreduce(opts.procs, m);
     });
     ++comm_rounds;
+    const double round_step = std::sqrt(round_step_sq);
 
     // Objective from the maintained residual (exact by construction).
     const double objective =
         0.5 * la::dot(res.span(), res.span()) / md + lambda * la::asum(w.span());
+
+    // Convergence telemetry: one record per communication round (no
+    // gradient on this path -- grad_norm stays NaN; step is the movement
+    // of w over the round).
+    {
+      obs::ConvergenceRecord rec;
+      rec.iteration = static_cast<std::uint64_t>(round);
+      rec.objective = objective;
+      double support = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        support += w[j] != 0.0 ? 1.0 : 0.0;
+      }
+      rec.support = support;
+      rec.step = round_step;
+      result.conv.push(rec);
+    }
+
     double rel_error = std::numeric_limits<double>::quiet_NaN();
     if (!std::isnan(opts.f_star) && opts.f_star != 0.0) {
       rel_error = std::abs((objective - opts.f_star) / opts.f_star);
@@ -200,6 +227,13 @@ SolveResult solve_prox_cocoa(const LassoProblem& problem,
   result.wall_seconds = wall.seconds();
   obs::append_phase(result.phases, "local_solve", ph_local);
   obs::append_phase(result.phases, "allreduce", ph_allreduce);
+  if (tracing) {
+    obs::MetricsRegistry local;
+    obs::record_solve_metrics(local, result.phases, nullptr);
+    dist::SeqComm seq;
+    result.fleet = obs::aggregate(local, seq);
+    obs::publish(result.fleet, obs::MetricsRegistry::global());
+  }
   return result;
 }
 

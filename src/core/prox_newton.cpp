@@ -13,6 +13,8 @@
 #include "exec/pool.hpp"
 #include "la/blas.hpp"
 #include "la/eigen.hpp"
+#include "obs/aggregate.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "prox/operators.hpp"
 #include "sparse/gram.hpp"
@@ -104,6 +106,7 @@ SolveResult solve_proximal_newton(const LassoProblem& problem,
   obs::PhaseAgg ph_gradient, ph_power, ph_inner, ph_linesearch;
 
   la::Vector w(d), grad(d), z(d);
+  la::Vector w_prev_outer(d);  // for the convergence ring's step norm
 
   // RC-SFISTA inner blocks.
   const int k = opts.k;
@@ -123,6 +126,7 @@ SolveResult solve_proximal_newton(const LassoProblem& problem,
   bool done = false;
   int outer = 0;
   for (outer = 1; outer <= opts.max_outer && !done; ++outer) {
+    la::copy(w.span(), w_prev_outer.span());
     // Exact gradient of f at w_n: two SpMVs over distributed data plus one
     // allreduce of the length-d partial sums.
     obs::timed_phase(tracing, ph_gradient, "gradient",
@@ -300,6 +304,25 @@ SolveResult solve_proximal_newton(const LassoProblem& problem,
       cost.add_flops(Phase::kUpdate, 3.0 * static_cast<double>(d));
     });
 
+    // Convergence telemetry: one record per outer iteration (objective and
+    // exact gradient are both maintained on this path).
+    {
+      obs::ConvergenceRecord rec;
+      rec.iteration = static_cast<std::uint64_t>(outer);
+      rec.objective = objective;
+      rec.grad_norm = std::sqrt(la::dot(grad.span(), grad.span()));
+      double support = 0.0;
+      double step_sq = 0.0;
+      for (std::size_t i = 0; i < d; ++i) {
+        support += w[i] != 0.0 ? 1.0 : 0.0;
+        const double dw = w[i] - w_prev_outer[i];
+        step_sq += dw * dw;
+      }
+      rec.support = support;
+      rec.step = std::sqrt(step_sq);
+      result.conv.push(rec);
+    }
+
     double rel_error = std::numeric_limits<double>::quiet_NaN();
     if (!std::isnan(opts.f_star) && opts.f_star != 0.0) {
       rel_error = std::abs((objective - opts.f_star) / opts.f_star);
@@ -327,6 +350,13 @@ SolveResult solve_proximal_newton(const LassoProblem& problem,
   obs::append_phase(result.phases, "power_iter", ph_power);
   obs::append_phase(result.phases, "inner", ph_inner);
   obs::append_phase(result.phases, "linesearch", ph_linesearch);
+  if (tracing) {
+    obs::MetricsRegistry local;
+    obs::record_solve_metrics(local, result.phases, nullptr);
+    dist::SeqComm seq;
+    result.fleet = obs::aggregate(local, seq);
+    obs::publish(result.fleet, obs::MetricsRegistry::global());
+  }
   return result;
 }
 

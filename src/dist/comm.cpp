@@ -50,8 +50,12 @@ double Communicator::allreduce_max_scalar(double value) {
 }
 
 void SeqComm::allreduce_sum(std::span<double> inout) {
-  obs::TraceScope span("allreduce", static_cast<double>(inout.size()),
-                       &allreduce_latency());
+  obs::TraceScope span(aux_mode() ? "aux_collective" : "allreduce",
+                       static_cast<double>(inout.size()),
+                       aux_mode() ? nullptr : &allreduce_latency());
+  if (aux_mode()) {
+    return;
+  }
   ++stats_.allreduce_calls;
   stats_.allreduce_words += inout.size();
   stats_.max_payload_words = std::max<std::uint64_t>(stats_.max_payload_words,
@@ -59,8 +63,12 @@ void SeqComm::allreduce_sum(std::span<double> inout) {
 }
 
 void SeqComm::allreduce_max(std::span<double> inout) {
-  obs::TraceScope span("allreduce", static_cast<double>(inout.size()),
-                       &allreduce_latency());
+  obs::TraceScope span(aux_mode() ? "aux_collective" : "allreduce",
+                       static_cast<double>(inout.size()),
+                       aux_mode() ? nullptr : &allreduce_latency());
+  if (aux_mode()) {
+    return;
+  }
   ++stats_.allreduce_max_calls;
   stats_.allreduce_words += inout.size();
   stats_.max_payload_words = std::max<std::uint64_t>(stats_.max_payload_words,
@@ -69,7 +77,11 @@ void SeqComm::allreduce_max(std::span<double> inout) {
 
 void SeqComm::broadcast(std::span<double> buffer, int root) {
   RCF_CHECK_MSG(root == 0, "SeqComm: root must be 0");
-  obs::TraceScope span("broadcast", static_cast<double>(buffer.size()));
+  obs::TraceScope span(aux_mode() ? "aux_collective" : "broadcast",
+                       static_cast<double>(buffer.size()));
+  if (aux_mode()) {
+    return;
+  }
   ++stats_.broadcast_calls;
   stats_.broadcast_words += buffer.size();
   stats_.max_payload_words = std::max<std::uint64_t>(stats_.max_payload_words,
@@ -80,8 +92,12 @@ void SeqComm::allgather(std::span<const double> input,
                         std::span<double> output) {
   RCF_CHECK_MSG(output.size() == input.size(),
                 "SeqComm::allgather: output must equal input for 1 rank");
-  obs::TraceScope span("allgather", static_cast<double>(input.size()));
+  obs::TraceScope span(aux_mode() ? "aux_collective" : "allgather",
+                       static_cast<double>(input.size()));
   std::copy(input.begin(), input.end(), output.begin());
+  if (aux_mode()) {
+    return;
+  }
   ++stats_.allgather_calls;
   stats_.allgather_words += input.size();
   stats_.max_payload_words = std::max<std::uint64_t>(stats_.max_payload_words,
@@ -89,8 +105,10 @@ void SeqComm::allgather(std::span<const double> input,
 }
 
 void SeqComm::barrier() {
-  obs::TraceScope span("barrier_wait");
-  ++stats_.barrier_calls;
+  obs::TraceScope span(aux_mode() ? "aux_collective" : "barrier_wait");
+  if (!aux_mode()) {
+    ++stats_.barrier_calls;
+  }
 }
 
 }  // namespace rcf::dist

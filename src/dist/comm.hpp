@@ -67,6 +67,31 @@ class Communicator {
  public:
   virtual ~Communicator() = default;
 
+  /// While an AuxScope is alive, collectives through this communicator are
+  /// *auxiliary*: they still synchronize and combine data, but skip the
+  /// CommStats accounting, emit their spans under "aux_collective" /
+  /// "aux_wait" instead of "allreduce" / "allreduce_wait", and do not feed
+  /// the shared latency histograms.  Used by obs::aggregate so end-of-solve
+  /// metric aggregation does not perturb the very counters and span counts
+  /// it reports (the "allreduce" span count must keep matching the solver
+  /// schedule; see tests/test_obs_trace.cpp).
+  class AuxScope {
+   public:
+    explicit AuxScope(Communicator& comm) : comm_(comm), prev_(comm.aux_) {
+      comm_.aux_ = true;
+    }
+    AuxScope(const AuxScope&) = delete;
+    AuxScope& operator=(const AuxScope&) = delete;
+    ~AuxScope() { comm_.aux_ = prev_; }
+
+   private:
+    Communicator& comm_;
+    bool prev_;
+  };
+
+  /// True while an AuxScope on this communicator is alive.
+  [[nodiscard]] bool aux_mode() const { return aux_; }
+
   [[nodiscard]] virtual int rank() const = 0;
   [[nodiscard]] virtual int size() const = 0;
 
@@ -95,6 +120,9 @@ class Communicator {
   /// Scalar allreduce helpers.
   double allreduce_sum_scalar(double value);
   double allreduce_max_scalar(double value);
+
+ private:
+  bool aux_ = false;  ///< set by AuxScope; each rank endpoint has its own.
 };
 
 /// Single-rank communicator: all collectives are local no-ops (but still

@@ -77,18 +77,24 @@ ThreadComm::ThreadComm(int rank, int size, GroupState* state)
     : rank_(rank), size_(size), state_(state) {}
 
 void ThreadComm::barrier() {
-  obs::TraceScope span("barrier_wait", 0.0, &barrier_wait());
-  ++stats_.barrier_calls;
+  obs::TraceScope span(aux_mode() ? "aux_collective" : "barrier_wait", 0.0,
+                       aux_mode() ? nullptr : &barrier_wait());
+  if (!aux_mode()) {
+    ++stats_.barrier_calls;
+  }
   state_->rendezvous.arrive_and_wait();
 }
 
 void ThreadComm::allreduce_sum(std::span<double> inout) {
-  obs::TraceScope span("allreduce", static_cast<double>(inout.size()),
-                       &allreduce_latency());
-  ++stats_.allreduce_calls;
-  stats_.allreduce_words += inout.size();
-  stats_.max_payload_words = std::max<std::uint64_t>(stats_.max_payload_words,
-                                                     inout.size());
+  obs::TraceScope span(aux_mode() ? "aux_collective" : "allreduce",
+                       static_cast<double>(inout.size()),
+                       aux_mode() ? nullptr : &allreduce_latency());
+  if (!aux_mode()) {
+    ++stats_.allreduce_calls;
+    stats_.allreduce_words += inout.size();
+    stats_.max_payload_words = std::max<std::uint64_t>(
+        stats_.max_payload_words, inout.size());
+  }
   if (state_->algo == AllreduceAlgo::kRecursiveDoubling &&
       (size_ & (size_ - 1)) == 0) {
     allreduce_recursive_doubling(inout, /*use_max=*/false);
@@ -98,12 +104,15 @@ void ThreadComm::allreduce_sum(std::span<double> inout) {
 }
 
 void ThreadComm::allreduce_max(std::span<double> inout) {
-  obs::TraceScope span("allreduce", static_cast<double>(inout.size()),
-                       &allreduce_latency());
-  ++stats_.allreduce_max_calls;
-  stats_.allreduce_words += inout.size();
-  stats_.max_payload_words = std::max<std::uint64_t>(stats_.max_payload_words,
-                                                     inout.size());
+  obs::TraceScope span(aux_mode() ? "aux_collective" : "allreduce",
+                       static_cast<double>(inout.size()),
+                       aux_mode() ? nullptr : &allreduce_latency());
+  if (!aux_mode()) {
+    ++stats_.allreduce_max_calls;
+    stats_.allreduce_words += inout.size();
+    stats_.max_payload_words = std::max<std::uint64_t>(
+        stats_.max_payload_words, inout.size());
+  }
   if (state_->algo == AllreduceAlgo::kRecursiveDoubling &&
       (size_ & (size_ - 1)) == 0) {
     allreduce_recursive_doubling(inout, /*use_max=*/true);
@@ -118,7 +127,8 @@ void ThreadComm::allreduce_central(std::span<double> inout, bool use_max) {
   st.publish_len[rank_] = inout.size();
   {
     // Time waiting for the slowest rank to publish: the skew signal.
-    obs::TraceScope wait("allreduce_wait", 0.0, &collective_wait());
+    obs::TraceScope wait(aux_mode() ? "aux_wait" : "allreduce_wait", 0.0,
+                         aux_mode() ? nullptr : &collective_wait());
     st.rendezvous.arrive_and_wait();
   }
   if (rank_ == 0) {
@@ -152,7 +162,8 @@ void ThreadComm::allreduce_recursive_doubling(std::span<double> inout,
   auto* nxt = &st.work_b;
   (*cur)[rank_].assign(inout.begin(), inout.end());
   {
-    obs::TraceScope wait("allreduce_wait", 0.0, &collective_wait());
+    obs::TraceScope wait(aux_mode() ? "aux_wait" : "allreduce_wait", 0.0,
+                         aux_mode() ? nullptr : &collective_wait());
     st.rendezvous.arrive_and_wait();
   }
   for (int stride = 1; stride < size_; stride <<= 1) {
@@ -178,11 +189,14 @@ void ThreadComm::allreduce_recursive_doubling(std::span<double> inout,
 
 void ThreadComm::broadcast(std::span<double> buffer, int root) {
   RCF_CHECK_MSG(root >= 0 && root < size_, "broadcast: bad root");
-  obs::TraceScope span("broadcast", static_cast<double>(buffer.size()));
-  ++stats_.broadcast_calls;
-  stats_.broadcast_words += buffer.size();
-  stats_.max_payload_words = std::max<std::uint64_t>(stats_.max_payload_words,
-                                                     buffer.size());
+  obs::TraceScope span(aux_mode() ? "aux_collective" : "broadcast",
+                       static_cast<double>(buffer.size()));
+  if (!aux_mode()) {
+    ++stats_.broadcast_calls;
+    stats_.broadcast_words += buffer.size();
+    stats_.max_payload_words = std::max<std::uint64_t>(
+        stats_.max_payload_words, buffer.size());
+  }
   GroupState& st = *state_;
   if (rank_ == root) {
     st.publish[root] = buffer.data();
@@ -202,11 +216,14 @@ void ThreadComm::allgather(std::span<const double> input,
                            std::span<double> output) {
   RCF_CHECK_MSG(output.size() == input.size() * static_cast<std::size_t>(size_),
                 "allgather: output size must be size() * input size");
-  obs::TraceScope span("allgather", static_cast<double>(input.size()));
-  ++stats_.allgather_calls;
-  stats_.allgather_words += input.size();
-  stats_.max_payload_words = std::max<std::uint64_t>(stats_.max_payload_words,
-                                                     input.size());
+  obs::TraceScope span(aux_mode() ? "aux_collective" : "allgather",
+                       static_cast<double>(input.size()));
+  if (!aux_mode()) {
+    ++stats_.allgather_calls;
+    stats_.allgather_words += input.size();
+    stats_.max_payload_words = std::max<std::uint64_t>(
+        stats_.max_payload_words, input.size());
+  }
   GroupState& st = *state_;
   st.publish_const[rank_] = input.data();
   st.publish_len[rank_] = input.size();

@@ -1,0 +1,78 @@
+// Per-iteration convergence telemetry.
+//
+// Solvers push one ConvergenceRecord per (outer) iteration into a bounded
+// ring buffer on SolveResult, independent of `track_history` (the full
+// IterationRecord history carries cost counters and can be large; this
+// ring is the cheap always-available convergence trace for rcf-report and
+// the --conv-out bench export).  When more than `capacity` records are
+// pushed the oldest are dropped; total_pushed() reports how many were
+// offered so readers can detect truncation.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rcf::obs {
+
+/// One convergence sample.  Fields the solver does not track for an
+/// iteration are NaN (e.g. the engine only evaluates the objective on
+/// history strides; grad_norm is the norm of the last gradient estimate,
+/// exact for prox-Newton, stochastic for the engine).
+struct ConvergenceRecord {
+  std::uint64_t iteration = 0;
+  double objective = std::nan("");
+  double grad_norm = std::nan("");
+  double support = std::nan("");  ///< nnz(w) after the prox step
+  double step = std::nan("");     ///< ||w_t - w_{t-1}||_2
+};
+
+/// Fixed-capacity ring of ConvergenceRecords (drop-oldest).
+class ConvergenceRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit ConvergenceRing(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void push(const ConvergenceRecord& record) {
+    if (records_.size() < capacity_) {
+      records_.push_back(record);
+    } else {
+      records_[head_] = record;
+      head_ = (head_ + 1) % capacity_;
+    }
+    ++total_pushed_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Records offered over the ring's lifetime (>= size() once full).
+  [[nodiscard]] std::uint64_t total_pushed() const { return total_pushed_; }
+
+  /// Records in push order, oldest first.
+  [[nodiscard]] std::vector<ConvergenceRecord> ordered() const {
+    std::vector<ConvergenceRecord> out;
+    out.reserve(records_.size());
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      out.push_back(records_[(head_ + i) % records_.size()]);
+    }
+    return out;
+  }
+
+  void clear() {
+    records_.clear();
+    head_ = 0;
+    total_pushed_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  ///< index of the oldest record once full
+  std::uint64_t total_pushed_ = 0;
+  std::vector<ConvergenceRecord> records_;
+};
+
+}  // namespace rcf::obs

@@ -1,0 +1,148 @@
+#include "obs/cost_ledger.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "obs/metrics.hpp"
+
+namespace rcf::obs {
+
+namespace {
+
+double rel_err(double meas, double pred) {
+  const double denom = std::max(std::abs(pred), 1e-300);
+  return std::abs(meas - pred) / denom;
+}
+
+std::string sanitize_label(const std::string& label) {
+  std::string out = label;
+  std::replace(out.begin(), out.end(), '.', '_');
+  return out;
+}
+
+double mean_of(const std::vector<CostLedgerRow>& rows,
+               double CostLedgerRow::* field) {
+  if (rows.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const auto& row : rows) {
+    total += row.*field;
+  }
+  return total / static_cast<double>(rows.size());
+}
+
+}  // namespace
+
+void CostLedger::add(const std::string& label,
+                     const model::AlgorithmShape& shape,
+                     const model::CostTracker& measured,
+                     const PhaseSummary* phases) {
+  const model::CostTriple predicted = model::rcsfista_cost(shape);
+  const double rounds =
+      shape.k > 0 ? std::ceil(shape.n_iters / shape.k) : shape.n_iters;
+  add(label, predicted, rounds, measured, phases);
+}
+
+void CostLedger::add(const std::string& label,
+                     const model::CostTriple& predicted,
+                     double predicted_rounds,
+                     const model::CostTracker& measured,
+                     const PhaseSummary* phases) {
+  CostLedgerRow row;
+  row.label = sanitize_label(label);
+  row.pred_latency_msgs = predicted.latency_msgs;
+  row.pred_bw_words = predicted.bandwidth_words;
+  row.pred_flops = predicted.flops;
+  row.pred_rounds = predicted_rounds;
+  row.pred_seconds = model::runtime(predicted, spec_);
+  row.meas_latency_msgs = measured.messages();
+  row.meas_bw_words = measured.words();
+  row.meas_flops = measured.flops();
+  if (phases != nullptr) {
+    if (const PhaseStat* allreduce = find_phase(*phases, "allreduce")) {
+      row.meas_rounds = static_cast<double>(allreduce->count);
+    }
+    double wall = 0.0;
+    for (const auto& stat : *phases) {
+      wall += stat.seconds;
+    }
+    if (wall > 0.0) {
+      row.meas_seconds = wall;
+      row.meas_seconds_is_wall = true;
+    }
+  }
+  if (row.meas_rounds == 0.0) {
+    // Untraced runs: back out rounds from the message count (each round
+    // costs ceil(log2 P) messages in the paper's collective model).
+    row.meas_rounds = row.pred_rounds > 0.0 && row.pred_latency_msgs > 0.0
+                          ? row.meas_latency_msgs *
+                                (row.pred_rounds / row.pred_latency_msgs)
+                          : row.meas_latency_msgs;
+  }
+  if (!row.meas_seconds_is_wall) {
+    row.meas_seconds = measured.seconds(spec_);
+  }
+  row.latency_err = rel_err(row.meas_latency_msgs, row.pred_latency_msgs);
+  row.bw_err = rel_err(row.meas_bw_words, row.pred_bw_words);
+  row.flops_err = rel_err(row.meas_flops, row.pred_flops);
+  rows_.push_back(std::move(row));
+}
+
+double CostLedger::mean_latency_err() const {
+  return mean_of(rows_, &CostLedgerRow::latency_err);
+}
+
+double CostLedger::mean_bw_err() const {
+  return mean_of(rows_, &CostLedgerRow::bw_err);
+}
+
+double CostLedger::mean_flops_err() const {
+  return mean_of(rows_, &CostLedgerRow::flops_err);
+}
+
+std::string CostLedger::table() const {
+  AsciiTable tbl({"config", "rounds p/m", "L pred", "L meas", "L err",
+                  "W pred", "W meas", "W err", "F pred", "F meas", "F err",
+                  "T pred(s)", "T meas(s)"});
+  for (const auto& r : rows_) {
+    tbl.add_row({r.label,
+                 fmt_g(r.pred_rounds, 3) + "/" + fmt_g(r.meas_rounds, 3),
+                 fmt_g(r.pred_latency_msgs, 3), fmt_g(r.meas_latency_msgs, 3),
+                 fmt_f(r.latency_err, 3), fmt_g(r.pred_bw_words, 3),
+                 fmt_g(r.meas_bw_words, 3), fmt_f(r.bw_err, 3),
+                 fmt_g(r.pred_flops, 3), fmt_g(r.meas_flops, 3),
+                 fmt_f(r.flops_err, 3), fmt_e(r.pred_seconds, 2),
+                 fmt_e(r.meas_seconds, 2)});
+  }
+  std::ostringstream out;
+  out << "cost model (" << spec_.name << "): predicted vs measured\n"
+      << tbl.str();
+  return out.str();
+}
+
+void CostLedger::export_metrics(MetricsRegistry& registry) const {
+  registry.gauge("model.latency_err").set(mean_latency_err());
+  registry.gauge("model.bw_err").set(mean_bw_err());
+  registry.gauge("model.flops_err").set(mean_flops_err());
+  for (const auto& r : rows_) {
+    const std::string base = "model." + r.label + ".";
+    registry.gauge(base + "latency.pred").set(r.pred_latency_msgs);
+    registry.gauge(base + "latency.meas").set(r.meas_latency_msgs);
+    registry.gauge(base + "bw.pred").set(r.pred_bw_words);
+    registry.gauge(base + "bw.meas").set(r.meas_bw_words);
+    registry.gauge(base + "flops.pred").set(r.pred_flops);
+    registry.gauge(base + "flops.meas").set(r.meas_flops);
+    registry.gauge(base + "rounds.pred").set(r.pred_rounds);
+    registry.gauge(base + "rounds.meas").set(r.meas_rounds);
+    registry.gauge(base + "seconds.pred").set(r.pred_seconds);
+    registry.gauge(base + "seconds.meas").set(r.meas_seconds);
+    registry.gauge(base + "latency_err").set(r.latency_err);
+    registry.gauge(base + "bw_err").set(r.bw_err);
+    registry.gauge(base + "flops_err").set(r.flops_err);
+  }
+}
+
+}  // namespace rcf::obs

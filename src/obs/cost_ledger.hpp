@@ -1,0 +1,96 @@
+// Cost-model accounting: predicted vs measured solver costs.
+//
+// The paper validates its alpha-beta-gamma model (Eq. 7) by comparing the
+// Table 1 closed forms against counted costs of actual runs.  CostLedger
+// packages that comparison: each row pairs the predicted
+// latency/bandwidth/flop triple of one solver configuration (from
+// model::rcsfista_cost, or supplied directly) with the measured CostTracker
+// counters of the run -- and, when a traced run's PhaseSummary is
+// available, the measured wall seconds per phase.
+//
+// export_metrics() publishes the comparison into a MetricsRegistry as
+// "model.*" gauges so predicted-vs-measured relative errors ride the
+// normal metrics JSON (checked by the bench harness and rcf-report).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/cost.hpp"
+#include "model/formulas.hpp"
+#include "model/machine.hpp"
+#include "obs/trace.hpp"
+
+namespace rcf::obs {
+
+class MetricsRegistry;
+
+/// One predicted-vs-measured comparison row.
+struct CostLedgerRow {
+  std::string label;  ///< dots replaced by '_' (metric-name safe)
+
+  // Predicted (Table 1 closed form under the ledger's machine).
+  double pred_latency_msgs = 0.0;
+  double pred_bw_words = 0.0;
+  double pred_flops = 0.0;
+  double pred_rounds = 0.0;   ///< communication rounds, ceil(N/k)
+  double pred_seconds = 0.0;  ///< Eq. 7 runtime of the predicted triple
+
+  // Measured (CostTracker counters; wall seconds from the traced phases
+  // when available, else the tracker's modeled seconds).
+  double meas_latency_msgs = 0.0;
+  double meas_bw_words = 0.0;
+  double meas_flops = 0.0;
+  double meas_rounds = 0.0;
+  double meas_seconds = 0.0;
+  bool meas_seconds_is_wall = false;
+
+  // Relative errors |meas - pred| / max(|pred|, eps).
+  double latency_err = 0.0;
+  double bw_err = 0.0;
+  double flops_err = 0.0;
+};
+
+/// Accumulates predicted-vs-measured rows for one machine model.
+class CostLedger {
+ public:
+  explicit CostLedger(model::MachineSpec spec) : spec_(std::move(spec)) {}
+
+  /// Adds a row predicted from the RC-SFISTA closed form for `shape`
+  /// (Table 1: L = (N/k) log2 P, W = N d^2 log2 P, F = N d^2 mbar f / P +
+  /// S d^2; rounds = ceil(N/k)).
+  void add(const std::string& label, const model::AlgorithmShape& shape,
+           const model::CostTracker& measured,
+           const PhaseSummary* phases = nullptr);
+
+  /// Adds a row with an explicit predicted triple (for baselines or
+  /// per-iteration flop conventions that differ from the closed form).
+  void add(const std::string& label, const model::CostTriple& predicted,
+           double predicted_rounds, const model::CostTracker& measured,
+           const PhaseSummary* phases = nullptr);
+
+  [[nodiscard]] const std::vector<CostLedgerRow>& rows() const {
+    return rows_;
+  }
+  [[nodiscard]] const model::MachineSpec& machine() const { return spec_; }
+
+  /// Mean relative error across rows (0 when empty).
+  [[nodiscard]] double mean_latency_err() const;
+  [[nodiscard]] double mean_bw_err() const;
+  [[nodiscard]] double mean_flops_err() const;
+
+  /// Predicted-vs-measured table (one row per add()).
+  [[nodiscard]] std::string table() const;
+
+  /// Publishes gauges into `registry`:
+  ///   model.latency_err / model.bw_err / model.flops_err  (means)
+  ///   model.<label>.{latency,bw,flops,rounds,seconds}.{pred,meas}
+  ///   model.<label>.{latency_err,bw_err,flops_err}
+  void export_metrics(MetricsRegistry& registry) const;
+
+ private:
+  model::MachineSpec spec_;
+  std::vector<CostLedgerRow> rows_;
+};
+
+}  // namespace rcf::obs

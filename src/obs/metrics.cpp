@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/json.hpp"
+
 namespace rcf::obs {
 
 namespace {
@@ -112,6 +114,36 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   return *slot;
 }
 
+std::vector<std::string> MetricsRegistry::counter_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::gauge_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
 std::string MetricsRegistry::to_json() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream out;
@@ -119,29 +151,30 @@ std::string MetricsRegistry::to_json() const {
   out << "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {
-    std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu", first ? "" : ",",
-                  name.c_str(), static_cast<unsigned long long>(c->value()));
+    out << (first ? "" : ",") << '"' << json_escape(name) << "\":";
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(c->value()));
     out << buf;
     first = false;
   }
   out << "},\"gauges\":{";
   first = true;
   for (const auto& [name, g] : gauges_) {
-    std::snprintf(buf, sizeof(buf), "%s\"%s\":%.17g", first ? "" : ",",
-                  name.c_str(), g->value());
+    out << (first ? "" : ",") << '"' << json_escape(name) << "\":";
+    std::snprintf(buf, sizeof(buf), "%.17g", g->value());
     out << buf;
     first = false;
   }
   out << "},\"histograms\":{";
   first = true;
   for (const auto& [name, h] : histograms_) {
+    out << (first ? "" : ",") << '"' << json_escape(name) << "\":";
     std::snprintf(
         buf, sizeof(buf),
-        "%s\"%s\":{\"count\":%llu,\"sum\":%.17g,\"max\":%.17g,"
-        "\"p50\":%.17g,\"p90\":%.17g,\"p99\":%.17g}",
-        first ? "" : ",", name.c_str(),
+        "{\"count\":%llu,\"sum\":%.17g,\"max\":%.17g,"
+        "\"p50\":%.17g,\"p95\":%.17g,\"p99\":%.17g}",
         static_cast<unsigned long long>(h->count()), h->sum(), h->max(),
-        h->percentile(0.5), h->percentile(0.9), h->percentile(0.99));
+        h->percentile(0.5), h->percentile(0.95), h->percentile(0.99));
     out << buf;
     first = false;
   }

@@ -20,6 +20,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace rcf::obs {
 
@@ -72,6 +73,12 @@ class Histogram {
   /// empty.
   [[nodiscard]] double percentile(double p) const;
 
+  /// Observation count of bin `i` (0 <= i < kNumBins); used by the
+  /// cross-rank aggregation to merge distributions exactly.
+  [[nodiscard]] std::uint64_t bin_count(int i) const {
+    return bins_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+
   void reset();
 
  private:
@@ -90,6 +97,12 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
+
+  /// Registered instrument names in sorted (map) order -- the fixed
+  /// enumeration order the cross-rank aggregation packs buffers in.
+  [[nodiscard]] std::vector<std::string> counter_names() const;
+  [[nodiscard]] std::vector<std::string> gauge_names() const;
+  [[nodiscard]] std::vector<std::string> histogram_names() const;
 
   /// JSON document: {"counters":{...},"gauges":{...},"histograms":{...}}.
   [[nodiscard]] std::string to_json() const;

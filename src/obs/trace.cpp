@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/json.hpp"
 #include "obs/metrics.hpp"
 
 namespace rcf::obs {
@@ -19,37 +20,9 @@ constexpr std::size_t kFlushThreshold = 1 << 15;
 
 thread_local int t_rank = 0;
 
-void escape_json(const char* text, std::string& out) {
-  for (const char* p = text; *p != '\0'; ++p) {
-    const char c = *p;
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-}
-
 void append_event_json(const TraceEvent& ev, bool chrome, std::string& out) {
   out += "{\"name\":\"";
-  escape_json(ev.name, out);
+  json_escape_to(ev.name, out);
   out += "\"";
   char buf[160];
   if (chrome) {

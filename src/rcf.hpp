@@ -7,6 +7,7 @@
 
 #include "common/cli.hpp"        // IWYU pragma: export
 #include "common/error.hpp"      // IWYU pragma: export
+#include "common/json.hpp"       // IWYU pragma: export
 #include "common/log.hpp"        // IWYU pragma: export
 #include "common/rng.hpp"        // IWYU pragma: export
 #include "common/table.hpp"      // IWYU pragma: export
@@ -34,6 +35,9 @@
 #include "model/cost.hpp"        // IWYU pragma: export
 #include "model/formulas.hpp"    // IWYU pragma: export
 #include "model/machine.hpp"     // IWYU pragma: export
+#include "obs/aggregate.hpp"     // IWYU pragma: export
+#include "obs/convergence.hpp"   // IWYU pragma: export
+#include "obs/cost_ledger.hpp"   // IWYU pragma: export
 #include "obs/metrics.hpp"       // IWYU pragma: export
 #include "obs/trace.hpp"         // IWYU pragma: export
 #include "prox/operators.hpp"    // IWYU pragma: export

@@ -1,0 +1,117 @@
+// rcf-report CLI: ingest trace / metrics / convergence artifacts from a
+// traced solve and print a text, markdown, or JSON analysis (see
+// report.hpp for what is reconstructed).
+//
+//   rcf-report --trace run.trace.json --metrics run.metrics.json
+//   rcf-report --jsonl run.jsonl --conv run.conv.jsonl --format=markdown
+//   rcf-report --metrics run.metrics.json --format=json --out report.json
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "report.hpp"
+
+namespace {
+
+bool slurp(const std::string& path, std::string& out, std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rcf::CliParser cli("rcf-report",
+                     "Offline analyzer for rcf trace/metrics artifacts");
+  cli.add_flag("trace", "Chrome trace-event JSON file (--trace-out)");
+  cli.add_flag("jsonl", "flat JSONL trace file (--trace-jsonl)");
+  cli.add_flag("metrics", "metrics registry JSON file (--metrics-out)");
+  cli.add_flag("conv", "convergence JSONL file (--conv-out)");
+  cli.add_flag("format", "output format: text | markdown | json", "text");
+  cli.add_flag("out", "write the report to this file instead of stdout");
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+
+  const std::string trace_path = cli.get_string("trace", "");
+  const std::string jsonl_path = cli.get_string("jsonl", "");
+  const std::string metrics_path = cli.get_string("metrics", "");
+  const std::string conv_path = cli.get_string("conv", "");
+  const std::string format = cli.get_string("format", "text");
+  const std::string out_path = cli.get_string("out", "");
+
+  if (trace_path.empty() && jsonl_path.empty() && metrics_path.empty() &&
+      conv_path.empty()) {
+    std::fprintf(stderr,
+                 "rcf-report: nothing to analyze; pass at least one of "
+                 "--trace / --jsonl / --metrics / --conv (see --help)\n");
+    return 2;
+  }
+  if (format != "text" && format != "markdown" && format != "json") {
+    std::fprintf(stderr, "rcf-report: unknown --format '%s'\n",
+                 format.c_str());
+    return 2;
+  }
+
+  std::string error;
+  std::vector<rcf::tools::ReportEvent> events;
+  if (!trace_path.empty() &&
+      !rcf::tools::load_chrome_trace(trace_path, events, error)) {
+    std::fprintf(stderr, "rcf-report: %s\n", error.c_str());
+    return 1;
+  }
+  if (!jsonl_path.empty() &&
+      !rcf::tools::load_jsonl_trace(jsonl_path, events, error)) {
+    std::fprintf(stderr, "rcf-report: %s\n", error.c_str());
+    return 1;
+  }
+  std::vector<rcf::tools::ConvRow> conv;
+  if (!conv_path.empty() &&
+      !rcf::tools::load_convergence(conv_path, conv, error)) {
+    std::fprintf(stderr, "rcf-report: %s\n", error.c_str());
+    return 1;
+  }
+  std::string metrics_json;
+  if (!metrics_path.empty() && !slurp(metrics_path, metrics_json, error)) {
+    std::fprintf(stderr, "rcf-report: %s\n", error.c_str());
+    return 1;
+  }
+
+  rcf::tools::Report report;
+  if (!rcf::tools::build_report(events, metrics_json, conv, report, error)) {
+    std::fprintf(stderr, "rcf-report: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::string rendered;
+  if (format == "markdown") {
+    rendered = rcf::tools::render_markdown(report);
+  } else if (format == "json") {
+    rendered = rcf::tools::render_json(report);
+  } else {
+    rendered = rcf::tools::render_text(report);
+  }
+
+  if (out_path.empty()) {
+    std::cout << rendered;
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "rcf-report: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << rendered;
+  }
+  return 0;
+}

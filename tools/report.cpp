@@ -1,0 +1,658 @@
+#include "report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string_view>
+
+#include "common/json.hpp"
+#include "common/table.hpp"
+
+namespace rcf::tools {
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out, std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+bool is_comm_span(std::string_view name) {
+  return name == "allreduce" || name == "allreduce_wait" ||
+         name == "broadcast" || name == "allgather" || name == "barrier_wait";
+}
+
+bool is_aux_span(std::string_view name) {
+  return name == "aux_collective" || name == "aux_wait";
+}
+
+DurationStats duration_stats(std::vector<double>& durs_us) {
+  DurationStats stats;
+  stats.count = durs_us.size();
+  if (durs_us.empty()) {
+    return stats;
+  }
+  std::sort(durs_us.begin(), durs_us.end());
+  double total = 0.0;
+  for (const double v : durs_us) {
+    total += v;
+  }
+  stats.mean_us = total / static_cast<double>(durs_us.size());
+  const auto at = [&durs_us](double p) {
+    const auto n = durs_us.size();
+    const auto idx = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(n) - 1.0,
+                         std::ceil(p * static_cast<double>(n)) - 1.0));
+    return durs_us[std::max<std::size_t>(idx, 0)];
+  };
+  stats.p50_us = at(0.5);
+  stats.p95_us = at(0.95);
+  stats.p99_us = at(0.99);
+  stats.max_us = durs_us.back();
+  return stats;
+}
+
+void append_number(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "null";
+    return;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+double nan_to_zero(double v) { return std::isnan(v) ? 0.0 : v; }
+
+}  // namespace
+
+bool load_chrome_trace(const std::string& path,
+                       std::vector<ReportEvent>& events, std::string& error) {
+  std::string text;
+  if (!read_file(path, text, error)) {
+    return false;
+  }
+  const auto doc = parse_json(text);
+  if (!doc || !doc->is_object()) {
+    error = path + ": not a JSON object";
+    return false;
+  }
+  const JsonValue* trace_events = doc->find("traceEvents");
+  if (trace_events == nullptr || !trace_events->is_array()) {
+    error = path + ": missing traceEvents array";
+    return false;
+  }
+  for (const JsonValue& ev : trace_events->array) {
+    if (!ev.is_object()) {
+      continue;
+    }
+    ReportEvent out;
+    out.name = ev.string_or("name", "");
+    out.rank = static_cast<int>(ev.number_or("pid", 0.0));
+    out.ts_us = static_cast<std::int64_t>(ev.number_or("ts", 0.0));
+    out.dur_us = static_cast<std::int64_t>(ev.number_or("dur", 0.0));
+    if (const JsonValue* args = ev.find("args")) {
+      out.words = args->number_or("words", 0.0);
+    }
+    events.push_back(std::move(out));
+  }
+  return true;
+}
+
+bool load_jsonl_trace(const std::string& path,
+                      std::vector<ReportEvent>& events, std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    const auto doc = parse_json(line);
+    if (!doc || !doc->is_object()) {
+      error = path + ":" + std::to_string(line_no) + ": bad JSON line";
+      return false;
+    }
+    ReportEvent out;
+    out.name = doc->string_or("name", "");
+    out.rank = static_cast<int>(doc->number_or("rank", 0.0));
+    out.ts_us = static_cast<std::int64_t>(doc->number_or("ts_us", 0.0));
+    out.dur_us = static_cast<std::int64_t>(doc->number_or("dur_us", 0.0));
+    out.words = doc->number_or("words", 0.0);
+    events.push_back(std::move(out));
+  }
+  return true;
+}
+
+bool load_convergence(const std::string& path, std::vector<ConvRow>& rows,
+                      std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  const double nan = std::nan("");
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    const auto doc = parse_json(line);
+    if (!doc || !doc->is_object()) {
+      error = path + ":" + std::to_string(line_no) + ": bad JSON line";
+      return false;
+    }
+    ConvRow row;
+    row.iteration =
+        static_cast<std::uint64_t>(doc->number_or("iteration", 0.0));
+    row.objective = doc->number_or("objective", nan);
+    row.grad_norm = doc->number_or("grad_norm", nan);
+    row.support = doc->number_or("support", nan);
+    row.step = doc->number_or("step", nan);
+    rows.push_back(row);
+  }
+  return true;
+}
+
+bool build_report(const std::vector<ReportEvent>& events,
+                  const std::string& metrics_json,
+                  const std::vector<ConvRow>& convergence, Report& out,
+                  std::string& error) {
+  out = Report{};
+  out.convergence = convergence;
+
+  // -- per-rank breakdown + per-phase critical path -------------------------
+  std::map<int, RankBreakdown> ranks;
+  // phase name -> rank -> (count, us, words)
+  struct PhaseAccum {
+    std::uint64_t count = 0;
+    double us = 0.0;
+    double words = 0.0;
+  };
+  std::map<std::string, std::map<int, PhaseAccum>> phases;
+  std::vector<double> skew_durs;
+  for (const ReportEvent& ev : events) {
+    RankBreakdown& rb = ranks[ev.rank];
+    rb.rank = ev.rank;
+    ++rb.spans;
+    const double secs = static_cast<double>(ev.dur_us) * 1e-6;
+    if (is_aux_span(ev.name)) {
+      rb.aux_s += secs;
+    } else if (is_comm_span(ev.name)) {
+      rb.comm_s += secs;
+    } else {
+      rb.compute_s += secs;
+    }
+    PhaseAccum& pa = phases[ev.name][ev.rank];
+    ++pa.count;
+    pa.us += static_cast<double>(ev.dur_us);
+    pa.words += ev.words;
+    if (ev.name == "allreduce_wait") {
+      skew_durs.push_back(static_cast<double>(ev.dur_us));
+    }
+    if (ev.name == "allreduce") {
+      ++out.allreduce_spans;
+    }
+  }
+  out.ranks.reserve(ranks.size());
+  for (const auto& [rank, rb] : ranks) {
+    out.ranks.push_back(rb);
+  }
+  for (const auto& [name, by_rank] : phases) {
+    PhaseRow row;
+    row.name = name;
+    double critical_us = 0.0;
+    double total_us = 0.0;
+    for (const auto& [rank, pa] : by_rank) {
+      row.count += pa.count;
+      total_us += pa.us;
+      row.words += pa.words;
+      critical_us = std::max(critical_us, pa.us);
+    }
+    row.total_s = total_us * 1e-6;
+    row.critical_s = critical_us * 1e-6;
+    row.mean_rank_s =
+        total_us * 1e-6 / static_cast<double>(by_rank.size());
+    out.phases.push_back(std::move(row));
+  }
+  std::sort(out.phases.begin(), out.phases.end(),
+            [](const PhaseRow& a, const PhaseRow& b) {
+              return a.critical_s > b.critical_s ||
+                     (a.critical_s == b.critical_s && a.name < b.name);
+            });
+  out.skew = duration_stats(skew_durs);
+
+  // -- metrics file: histograms, agg.* gauges, model.* gauges ---------------
+  if (!metrics_json.empty()) {
+    const auto doc = parse_json(metrics_json);
+    if (!doc || !doc->is_object()) {
+      error = "metrics file is not a JSON object";
+      return false;
+    }
+    if (const JsonValue* hists = doc->find("histograms");
+        hists != nullptr && hists->is_object()) {
+      for (const auto& [name, h] : hists->members) {
+        HistRow row;
+        row.name = name;
+        row.count = static_cast<std::uint64_t>(h.number_or("count", 0.0));
+        row.sum = h.number_or("sum", 0.0);
+        row.max = h.number_or("max", 0.0);
+        row.p50 = h.number_or("p50", 0.0);
+        row.p95 = h.number_or("p95", 0.0);
+        row.p99 = h.number_or("p99", 0.0);
+        out.histograms.push_back(std::move(row));
+      }
+    }
+    if (const JsonValue* gauges = doc->find("gauges");
+        gauges != nullptr && gauges->is_object()) {
+      // agg.* gauges pass through verbatim; model.<label>.<quantity>.<kind>
+      // gauges are regrouped into predicted-vs-measured rows.
+      std::map<std::string, ModelRow> model_rows;
+      for (const auto& [name, value] : gauges->members) {
+        if (!value.is_number()) {
+          continue;
+        }
+        if (name.rfind("agg.", 0) == 0) {
+          out.aggregated.push_back(AggRow{name, value.number});
+          continue;
+        }
+        if (name.rfind("model.", 0) != 0) {
+          continue;
+        }
+        const std::string rest = name.substr(6);
+        const auto first_dot = rest.find('.');
+        if (first_dot == std::string::npos) {
+          continue;  // model.latency_err etc. (summary gauges)
+        }
+        const std::string label = rest.substr(0, first_dot);
+        const std::string field = rest.substr(first_dot + 1);
+        ModelRow& row = model_rows[label];
+        row.label = label;
+        const double v = value.number;
+        if (field == "latency.pred") row.latency_pred = v;
+        else if (field == "latency.meas") row.latency_meas = v;
+        else if (field == "latency_err") row.latency_err = v;
+        else if (field == "bw.pred") row.bw_pred = v;
+        else if (field == "bw.meas") row.bw_meas = v;
+        else if (field == "bw_err") row.bw_err = v;
+        else if (field == "flops.pred") row.flops_pred = v;
+        else if (field == "flops.meas") row.flops_meas = v;
+        else if (field == "flops_err") row.flops_err = v;
+        else if (field == "rounds.pred") row.rounds_pred = v;
+        else if (field == "rounds.meas") row.rounds_meas = v;
+        else if (field == "seconds.pred") row.seconds_pred = v;
+        else if (field == "seconds.meas") row.seconds_meas = v;
+      }
+      for (auto& [label, row] : model_rows) {
+        out.model.push_back(std::move(row));
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+AsciiTable rank_table(const Report& r) {
+  AsciiTable tbl({"rank", "comm (s)", "compute (s)", "aux (s)", "comm %",
+                  "spans"});
+  for (const auto& rb : r.ranks) {
+    const double total = rb.total_s();
+    tbl.add_row({std::to_string(rb.rank), fmt_f(rb.comm_s, 6),
+                 fmt_f(rb.compute_s, 6), fmt_f(rb.aux_s, 6),
+                 fmt_f(total > 0.0 ? 100.0 * rb.comm_s / total : 0.0, 1),
+                 fmt_count(rb.spans)});
+  }
+  return tbl;
+}
+
+AsciiTable phase_table(const Report& r) {
+  AsciiTable tbl({"phase", "count", "critical (s)", "mean/rank (s)",
+                  "total (s)", "payload words"});
+  for (const auto& p : r.phases) {
+    tbl.add_row({p.name, fmt_count(p.count), fmt_f(p.critical_s, 6),
+                 fmt_f(p.mean_rank_s, 6), fmt_f(p.total_s, 6),
+                 fmt_g(p.words, 4)});
+  }
+  return tbl;
+}
+
+AsciiTable hist_table(const Report& r) {
+  AsciiTable tbl({"histogram", "count", "p50", "p95", "p99", "max", "sum"});
+  for (const auto& h : r.histograms) {
+    tbl.add_row({h.name, fmt_count(h.count), fmt_g(h.p50), fmt_g(h.p95),
+                 fmt_g(h.p99), fmt_g(h.max), fmt_g(h.sum)});
+  }
+  return tbl;
+}
+
+AsciiTable model_table(const Report& r) {
+  AsciiTable tbl({"config", "rounds p/m", "L pred", "L meas", "L err",
+                  "W pred", "W meas", "W err", "F pred", "F meas", "F err"});
+  for (const auto& m : r.model) {
+    tbl.add_row({m.label,
+                 fmt_g(m.rounds_pred, 3) + "/" + fmt_g(m.rounds_meas, 3),
+                 fmt_g(m.latency_pred, 3), fmt_g(m.latency_meas, 3),
+                 fmt_f(m.latency_err, 3), fmt_g(m.bw_pred, 3),
+                 fmt_g(m.bw_meas, 3), fmt_f(m.bw_err, 3),
+                 fmt_g(m.flops_pred, 3), fmt_g(m.flops_meas, 3),
+                 fmt_f(m.flops_err, 3)});
+  }
+  return tbl;
+}
+
+AsciiTable agg_table(const Report& r) {
+  AsciiTable tbl({"aggregated metric", "value"});
+  for (const auto& a : r.aggregated) {
+    tbl.add_row({a.name, fmt_g(a.value, 6)});
+  }
+  return tbl;
+}
+
+AsciiTable conv_table(const Report& r) {
+  AsciiTable tbl({"iter", "objective", "grad norm", "support", "step"});
+  // Bound the text rendering; the JSON format carries every row.
+  const std::size_t n = r.convergence.size();
+  const std::size_t head = n > 24 ? 12 : n;
+  for (std::size_t i = 0; i < head; ++i) {
+    const auto& c = r.convergence[i];
+    tbl.add_row({std::to_string(c.iteration), fmt_g(c.objective, 6),
+                 fmt_g(c.grad_norm, 4), fmt_g(nan_to_zero(c.support), 4),
+                 fmt_g(c.step, 4)});
+  }
+  if (n > 24) {
+    tbl.add_row({"...", "", "", "", ""});
+    for (std::size_t i = n - 12; i < n; ++i) {
+      const auto& c = r.convergence[i];
+      tbl.add_row({std::to_string(c.iteration), fmt_g(c.objective, 6),
+                   fmt_g(c.grad_norm, 4), fmt_g(nan_to_zero(c.support), 4),
+                   fmt_g(c.step, 4)});
+    }
+  }
+  return tbl;
+}
+
+std::string skew_line(const Report& r) {
+  std::ostringstream out;
+  out << "rendezvous skew (allreduce_wait, us): count="
+      << r.skew.count << " mean=" << fmt_f(r.skew.mean_us, 1)
+      << " p50=" << fmt_f(r.skew.p50_us, 1)
+      << " p95=" << fmt_f(r.skew.p95_us, 1)
+      << " p99=" << fmt_f(r.skew.p99_us, 1)
+      << " max=" << fmt_f(r.skew.max_us, 1) << "\n";
+  return out.str();
+}
+
+// Markdown pipe-table from the same cells AsciiTable carries; AsciiTable
+// has no cell access, so rebuild rows here via a tiny emitter.
+class MarkdownTable {
+ public:
+  explicit MarkdownTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+  [[nodiscard]] std::string str() const {
+    std::ostringstream out;
+    out << "|";
+    for (const auto& h : header_) {
+      out << " " << h << " |";
+    }
+    out << "\n|";
+    for (std::size_t i = 0; i < header_.size(); ++i) {
+      out << " --- |";
+    }
+    out << "\n";
+    for (const auto& row : rows_) {
+      out << "|";
+      for (const auto& cell : row) {
+        out << " " << cell << " |";
+      }
+      out << "\n";
+    }
+    return out.str();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace
+
+std::string render_text(const Report& r) {
+  std::ostringstream out;
+  out << "== rcf-report ==\n\n";
+  if (!r.ranks.empty()) {
+    out << "per-rank comm vs compute\n" << rank_table(r).str() << "\n";
+  }
+  if (!r.phases.empty()) {
+    out << "per-phase critical path (allreduce spans: "
+        << r.allreduce_spans << ")\n"
+        << phase_table(r).str() << "\n";
+  }
+  if (r.skew.count > 0) {
+    out << skew_line(r) << "\n";
+  }
+  if (!r.histograms.empty()) {
+    out << "latency histograms\n" << hist_table(r).str() << "\n";
+  }
+  if (!r.model.empty()) {
+    out << "cost model: predicted vs measured\n"
+        << model_table(r).str() << "\n";
+  }
+  if (!r.aggregated.empty()) {
+    out << "cross-rank aggregated metrics\n" << agg_table(r).str() << "\n";
+  }
+  if (!r.convergence.empty()) {
+    out << "convergence trace (" << r.convergence.size() << " records)\n"
+        << conv_table(r).str() << "\n";
+  }
+  return out.str();
+}
+
+std::string render_markdown(const Report& r) {
+  std::ostringstream out;
+  out << "# rcf-report\n\n";
+  if (!r.ranks.empty()) {
+    MarkdownTable tbl({"rank", "comm (s)", "compute (s)", "aux (s)",
+                       "comm %", "spans"});
+    for (const auto& rb : r.ranks) {
+      const double total = rb.total_s();
+      tbl.add_row({std::to_string(rb.rank), fmt_f(rb.comm_s, 6),
+                   fmt_f(rb.compute_s, 6), fmt_f(rb.aux_s, 6),
+                   fmt_f(total > 0.0 ? 100.0 * rb.comm_s / total : 0.0, 1),
+                   fmt_count(rb.spans)});
+    }
+    out << "## Per-rank comm vs compute\n\n" << tbl.str() << "\n";
+  }
+  if (!r.phases.empty()) {
+    MarkdownTable tbl({"phase", "count", "critical (s)", "mean/rank (s)",
+                       "total (s)", "payload words"});
+    for (const auto& p : r.phases) {
+      tbl.add_row({p.name, fmt_count(p.count), fmt_f(p.critical_s, 6),
+                   fmt_f(p.mean_rank_s, 6), fmt_f(p.total_s, 6),
+                   fmt_g(p.words, 4)});
+    }
+    out << "## Per-phase critical path\n\n" << tbl.str() << "\n";
+  }
+  if (r.skew.count > 0) {
+    out << "## Rendezvous skew\n\n" << skew_line(r) << "\n";
+  }
+  if (!r.histograms.empty()) {
+    MarkdownTable tbl({"histogram", "count", "p50", "p95", "p99", "max"});
+    for (const auto& h : r.histograms) {
+      tbl.add_row({h.name, fmt_count(h.count), fmt_g(h.p50), fmt_g(h.p95),
+                   fmt_g(h.p99), fmt_g(h.max)});
+    }
+    out << "## Latency histograms\n\n" << tbl.str() << "\n";
+  }
+  if (!r.model.empty()) {
+    MarkdownTable tbl({"config", "rounds p/m", "L pred", "L meas", "L err",
+                       "W pred", "W meas", "W err", "F pred", "F meas",
+                       "F err"});
+    for (const auto& m : r.model) {
+      tbl.add_row({m.label,
+                   fmt_g(m.rounds_pred, 3) + "/" + fmt_g(m.rounds_meas, 3),
+                   fmt_g(m.latency_pred, 3), fmt_g(m.latency_meas, 3),
+                   fmt_f(m.latency_err, 3), fmt_g(m.bw_pred, 3),
+                   fmt_g(m.bw_meas, 3), fmt_f(m.bw_err, 3),
+                   fmt_g(m.flops_pred, 3), fmt_g(m.flops_meas, 3),
+                   fmt_f(m.flops_err, 3)});
+    }
+    out << "## Cost model: predicted vs measured\n\n" << tbl.str() << "\n";
+  }
+  if (!r.aggregated.empty()) {
+    MarkdownTable tbl({"aggregated metric", "value"});
+    for (const auto& a : r.aggregated) {
+      tbl.add_row({a.name, fmt_g(a.value, 6)});
+    }
+    out << "## Cross-rank aggregated metrics\n\n" << tbl.str() << "\n";
+  }
+  if (!r.convergence.empty()) {
+    MarkdownTable tbl({"iter", "objective", "grad norm", "support", "step"});
+    for (const auto& c : r.convergence) {
+      tbl.add_row({std::to_string(c.iteration), fmt_g(c.objective, 6),
+                   fmt_g(c.grad_norm, 4), fmt_g(nan_to_zero(c.support), 4),
+                   fmt_g(c.step, 4)});
+    }
+    out << "## Convergence trace\n\n" << tbl.str() << "\n";
+  }
+  return out.str();
+}
+
+std::string render_json(const Report& r) {
+  std::string out;
+  out += "{\"ranks\":[";
+  for (std::size_t i = 0; i < r.ranks.size(); ++i) {
+    const auto& rb = r.ranks[i];
+    if (i > 0) out += ",";
+    out += "{\"rank\":" + std::to_string(rb.rank);
+    out += ",\"comm_s\":";
+    append_number(out, rb.comm_s);
+    out += ",\"compute_s\":";
+    append_number(out, rb.compute_s);
+    out += ",\"aux_s\":";
+    append_number(out, rb.aux_s);
+    out += ",\"spans\":" + std::to_string(rb.spans) + "}";
+  }
+  out += "],\"phases\":[";
+  for (std::size_t i = 0; i < r.phases.size(); ++i) {
+    const auto& p = r.phases[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"";
+    json_escape_to(p.name, out);
+    out += "\",\"count\":" + std::to_string(p.count);
+    out += ",\"critical_s\":";
+    append_number(out, p.critical_s);
+    out += ",\"mean_rank_s\":";
+    append_number(out, p.mean_rank_s);
+    out += ",\"total_s\":";
+    append_number(out, p.total_s);
+    out += ",\"words\":";
+    append_number(out, p.words);
+    out += "}";
+  }
+  out += "],\"allreduce_spans\":" + std::to_string(r.allreduce_spans);
+  out += ",\"skew\":{\"count\":" + std::to_string(r.skew.count);
+  out += ",\"mean_us\":";
+  append_number(out, r.skew.mean_us);
+  out += ",\"p50_us\":";
+  append_number(out, r.skew.p50_us);
+  out += ",\"p95_us\":";
+  append_number(out, r.skew.p95_us);
+  out += ",\"p99_us\":";
+  append_number(out, r.skew.p99_us);
+  out += ",\"max_us\":";
+  append_number(out, r.skew.max_us);
+  out += "},\"histograms\":[";
+  for (std::size_t i = 0; i < r.histograms.size(); ++i) {
+    const auto& h = r.histograms[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"";
+    json_escape_to(h.name, out);
+    out += "\",\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":";
+    append_number(out, h.sum);
+    out += ",\"max\":";
+    append_number(out, h.max);
+    out += ",\"p50\":";
+    append_number(out, h.p50);
+    out += ",\"p95\":";
+    append_number(out, h.p95);
+    out += ",\"p99\":";
+    append_number(out, h.p99);
+    out += "}";
+  }
+  out += "],\"model\":[";
+  for (std::size_t i = 0; i < r.model.size(); ++i) {
+    const auto& m = r.model[i];
+    if (i > 0) out += ",";
+    out += "{\"label\":\"";
+    json_escape_to(m.label, out);
+    out += "\"";
+    const auto field = [&out](const char* key, double v) {
+      out += ",\"";
+      out += key;
+      out += "\":";
+      append_number(out, v);
+    };
+    field("latency_pred", m.latency_pred);
+    field("latency_meas", m.latency_meas);
+    field("latency_err", m.latency_err);
+    field("bw_pred", m.bw_pred);
+    field("bw_meas", m.bw_meas);
+    field("bw_err", m.bw_err);
+    field("flops_pred", m.flops_pred);
+    field("flops_meas", m.flops_meas);
+    field("flops_err", m.flops_err);
+    field("rounds_pred", m.rounds_pred);
+    field("rounds_meas", m.rounds_meas);
+    field("seconds_pred", m.seconds_pred);
+    field("seconds_meas", m.seconds_meas);
+    out += "}";
+  }
+  out += "],\"aggregated\":{";
+  for (std::size_t i = 0; i < r.aggregated.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"";
+    json_escape_to(r.aggregated[i].name, out);
+    out += "\":";
+    append_number(out, r.aggregated[i].value);
+  }
+  out += "},\"convergence\":[";
+  for (std::size_t i = 0; i < r.convergence.size(); ++i) {
+    const auto& c = r.convergence[i];
+    if (i > 0) out += ",";
+    out += "{\"iteration\":" + std::to_string(c.iteration);
+    out += ",\"objective\":";
+    append_number(out, c.objective);
+    out += ",\"grad_norm\":";
+    append_number(out, c.grad_norm);
+    out += ",\"support\":";
+    append_number(out, c.support);
+    out += ",\"step\":";
+    append_number(out, c.step);
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace rcf::tools

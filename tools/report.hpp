@@ -1,0 +1,136 @@
+// rcf-report: offline analyzer for the trace / metrics / convergence files
+// a traced solve writes (--trace-out / --trace-jsonl / --metrics-out /
+// --conv-out, or the RCF_TRACE* environment).
+//
+// The analyzer is file-driven only -- it never links the solver -- so it
+// can be pointed at artifacts from any run (including CI uploads).  It
+// reconstructs:
+//
+//  * per-rank communication vs compute breakdown (span time by category),
+//  * the per-phase critical path (slowest rank per span name),
+//  * the rendezvous-skew distribution (allreduce_wait spans, exact
+//    quantiles from the raw durations),
+//  * latency-histogram quantiles and aggregated agg.* views from the
+//    metrics JSON,
+//  * the predicted-vs-measured cost-model table (model.* gauges emitted by
+//    obs::CostLedger),
+//  * the convergence trace (--conv-out JSONL).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rcf::tools {
+
+/// One span loaded from a Chrome trace or JSONL file.
+struct ReportEvent {
+  std::string name;
+  int rank = 0;
+  std::int64_t ts_us = 0;
+  std::int64_t dur_us = 0;
+  double words = 0.0;
+};
+
+/// Per-rank time split: comm spans (allreduce / *_wait / broadcast /
+/// allgather / barrier) vs everything else.
+struct RankBreakdown {
+  int rank = 0;
+  double comm_s = 0.0;
+  double compute_s = 0.0;
+  double aux_s = 0.0;  ///< aux_collective / aux_wait (aggregation overhead)
+  std::uint64_t spans = 0;
+  [[nodiscard]] double total_s() const { return comm_s + compute_s + aux_s; }
+};
+
+/// Per-span-name totals; critical_s is the slowest single rank's total,
+/// i.e. the phase's contribution to the critical path of the solve.
+struct PhaseRow {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_s = 0.0;
+  double critical_s = 0.0;
+  double mean_rank_s = 0.0;
+  double words = 0.0;
+};
+
+/// Exact quantiles of a set of span durations (microseconds).
+struct DurationStats {
+  std::uint64_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// One histogram row read from the metrics JSON.
+struct HistRow {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// One predicted-vs-measured row reconstructed from model.<label>.* gauges.
+struct ModelRow {
+  std::string label;
+  double latency_pred = 0.0, latency_meas = 0.0, latency_err = 0.0;
+  double bw_pred = 0.0, bw_meas = 0.0, bw_err = 0.0;
+  double flops_pred = 0.0, flops_meas = 0.0, flops_err = 0.0;
+  double rounds_pred = 0.0, rounds_meas = 0.0;
+  double seconds_pred = 0.0, seconds_meas = 0.0;
+};
+
+/// One convergence sample from the --conv-out JSONL (NaN = absent).
+struct ConvRow {
+  std::uint64_t iteration = 0;
+  double objective = 0.0;
+  double grad_norm = 0.0;
+  double support = 0.0;
+  double step = 0.0;
+};
+
+/// A gauge named agg.* from the metrics JSON (cross-rank aggregated view).
+struct AggRow {
+  std::string name;
+  double value = 0.0;
+};
+
+struct Report {
+  std::vector<RankBreakdown> ranks;
+  std::vector<PhaseRow> phases;        ///< sorted by critical_s, descending
+  DurationStats skew;                  ///< allreduce_wait durations
+  std::vector<HistRow> histograms;
+  std::vector<ModelRow> model;
+  std::vector<AggRow> aggregated;      ///< agg.* gauges
+  std::vector<ConvRow> convergence;
+  std::uint64_t allreduce_spans = 0;   ///< total "allreduce" span count
+};
+
+/// Loaders.  Each returns false and fills `error` on parse/IO failure;
+/// loading is additive (events append).
+bool load_chrome_trace(const std::string& path,
+                       std::vector<ReportEvent>& events, std::string& error);
+bool load_jsonl_trace(const std::string& path,
+                      std::vector<ReportEvent>& events, std::string& error);
+bool load_convergence(const std::string& path, std::vector<ConvRow>& rows,
+                      std::string& error);
+
+/// Builds the report from loaded inputs.  `metrics_json` is the raw
+/// metrics file contents ("" = none; parse errors reported via `error`
+/// with a false return).
+bool build_report(const std::vector<ReportEvent>& events,
+                  const std::string& metrics_json,
+                  const std::vector<ConvRow>& convergence, Report& out,
+                  std::string& error);
+
+/// Renderers.
+[[nodiscard]] std::string render_text(const Report& report);
+[[nodiscard]] std::string render_markdown(const Report& report);
+[[nodiscard]] std::string render_json(const Report& report);
+
+}  // namespace rcf::tools
