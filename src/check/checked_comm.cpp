@@ -1,0 +1,161 @@
+#include "check/checked_comm.hpp"
+
+#include <cstdio>
+#include <optional>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rcf::check {
+namespace {
+
+std::string to_hex(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Rolling hashes travel through a double-payload allreduce, so only the
+/// low 52 bits are exchanged (exactly representable in a double).
+constexpr std::uint64_t kHashMask = (std::uint64_t{1} << 52) - 1;
+
+}  // namespace
+
+CheckedComm::CheckedComm(dist::Communicator& inner, CheckOptions opts)
+    : inner_(inner),
+      opts_(opts),
+      exchanges_(
+          obs::MetricsRegistry::global().counter("check.epoch_exchanges")) {}
+
+bool CheckedComm::track(CollectiveKind kind, std::uint64_t words,
+                        std::uint64_t extra, const std::source_location& site,
+                        Fingerprint* fp) {
+  const bool aux = aux_mode();
+  *fp = tracker_.next(kind, words, extra, aux, site);
+  if (aux || opts_.epoch <= 0) return false;
+  ++engine_calls_;
+  return engine_calls_ % static_cast<std::uint64_t>(opts_.epoch) == 0;
+}
+
+void CheckedComm::epoch_exchange(const Fingerprint& last) {
+  obs::TraceScope span("check.epoch");
+  const std::uint64_t h = tracker_.rolling(false) & kHashMask;
+  // One max-allreduce of {h, -h} yields both the fleet max and (negated)
+  // the fleet min; they agree iff every rank's rolling hash agrees.
+  double buf[2] = {static_cast<double>(h), -static_cast<double>(h)};
+  {
+    dist::Communicator::AuxScope aux(inner_);
+    inner_.allreduce_max(std::span<double>(buf, 2));
+  }
+  exchanges_.add(1);
+  const auto fleet_max = static_cast<std::uint64_t>(buf[0]);
+  const auto fleet_min = static_cast<std::uint64_t>(-buf[1]);
+  if (fleet_max != fleet_min) {
+    obs::MetricsRegistry::global().counter("check.contract_violations").add(1);
+    throw ContractViolation(
+        "collective contract violation: rolling hash diverged across ranks "
+        "by engine collective #" +
+        std::to_string(engine_calls_) + " (rank " +
+        std::to_string(inner_.rank()) + " has " + to_hex(h) +
+        ", fleet min " + to_hex(fleet_min) + ", fleet max " +
+        to_hex(fleet_max) + "); last collective on this rank was " +
+        last.describe());
+  }
+}
+
+void CheckedComm::allreduce_sum(std::span<double> inout,
+                                std::source_location site) {
+  if (!opts_.enabled) {
+    std::optional<dist::Communicator::AuxScope> fwd;
+    if (aux_mode()) fwd.emplace(inner_);
+    inner_.allreduce_sum(inout, site);
+    return;
+  }
+  Fingerprint fp;
+  const bool due =
+      track(CollectiveKind::kAllreduceSum, inout.size(), 0, site, &fp);
+  {
+    std::optional<dist::Communicator::AuxScope> fwd;
+    if (aux_mode()) fwd.emplace(inner_);
+    inner_.allreduce_sum(inout, site);
+  }
+  if (due) epoch_exchange(fp);
+}
+
+void CheckedComm::allreduce_max(std::span<double> inout,
+                                std::source_location site) {
+  if (!opts_.enabled) {
+    std::optional<dist::Communicator::AuxScope> fwd;
+    if (aux_mode()) fwd.emplace(inner_);
+    inner_.allreduce_max(inout, site);
+    return;
+  }
+  Fingerprint fp;
+  const bool due =
+      track(CollectiveKind::kAllreduceMax, inout.size(), 0, site, &fp);
+  {
+    std::optional<dist::Communicator::AuxScope> fwd;
+    if (aux_mode()) fwd.emplace(inner_);
+    inner_.allreduce_max(inout, site);
+  }
+  if (due) epoch_exchange(fp);
+}
+
+void CheckedComm::broadcast(std::span<double> buffer, int root,
+                            std::source_location site) {
+  if (!opts_.enabled) {
+    std::optional<dist::Communicator::AuxScope> fwd;
+    if (aux_mode()) fwd.emplace(inner_);
+    inner_.broadcast(buffer, root, site);
+    return;
+  }
+  Fingerprint fp;
+  const bool due = track(CollectiveKind::kBroadcast, buffer.size(),
+                         static_cast<std::uint64_t>(root), site, &fp);
+  {
+    std::optional<dist::Communicator::AuxScope> fwd;
+    if (aux_mode()) fwd.emplace(inner_);
+    inner_.broadcast(buffer, root, site);
+  }
+  if (due) epoch_exchange(fp);
+}
+
+void CheckedComm::allgather(std::span<const double> input,
+                            std::span<double> output,
+                            std::source_location site) {
+  if (!opts_.enabled) {
+    std::optional<dist::Communicator::AuxScope> fwd;
+    if (aux_mode()) fwd.emplace(inner_);
+    inner_.allgather(input, output, site);
+    return;
+  }
+  Fingerprint fp;
+  const bool due =
+      track(CollectiveKind::kAllgather, input.size(), 0, site, &fp);
+  {
+    std::optional<dist::Communicator::AuxScope> fwd;
+    if (aux_mode()) fwd.emplace(inner_);
+    inner_.allgather(input, output, site);
+  }
+  if (due) epoch_exchange(fp);
+}
+
+void CheckedComm::barrier(std::source_location site) {
+  if (!opts_.enabled) {
+    std::optional<dist::Communicator::AuxScope> fwd;
+    if (aux_mode()) fwd.emplace(inner_);
+    inner_.barrier(site);
+    return;
+  }
+  Fingerprint fp;
+  const bool due = track(CollectiveKind::kBarrier, 0, 0, site, &fp);
+  {
+    std::optional<dist::Communicator::AuxScope> fwd;
+    if (aux_mode()) fwd.emplace(inner_);
+    inner_.barrier(site);
+  }
+  if (due) epoch_exchange(fp);
+}
+
+}  // namespace rcf::check

@@ -1,0 +1,83 @@
+#include "check/determinism.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rcf::check {
+namespace {
+
+std::string describe_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g (bits 0x%016llx)", v,
+                static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(v)));
+  return buf;
+}
+
+/// First mismatching index between `ref` and `got`, or npos.
+std::size_t first_mismatch(const std::vector<double>& ref,
+                           const std::vector<double>& got, double tol) {
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    if (tol == 0.0) {
+      if (std::bit_cast<std::uint64_t>(ref[i]) !=
+          std::bit_cast<std::uint64_t>(got[i])) {
+        return i;
+      }
+    } else if (!(std::abs(ref[i] - got[i]) <=
+                 tol * std::max(1.0, std::abs(ref[i])))) {
+      return i;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+ReplayReport verify_replay(const std::vector<ReplayRun>& runs, double tol) {
+  obs::TraceScope span("check.replay");
+  auto& run_counter = obs::MetricsRegistry::global().counter("check.replay_runs");
+  ReplayReport report;
+  if (runs.empty()) return report;
+
+  std::vector<double> ref = runs.front().run();
+  run_counter.add(1);
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    std::vector<double> got = runs[r].run();
+    run_counter.add(1);
+    std::string detail;
+    if (got.size() != ref.size()) {
+      detail = "replay size mismatch: run '" + runs.front().name +
+               "' produced " + std::to_string(ref.size()) +
+               " elements but run '" + runs[r].name + "' produced " +
+               std::to_string(got.size());
+    } else if (const std::size_t i = first_mismatch(ref, got, tol);
+               i != static_cast<std::size_t>(-1)) {
+      detail = "replay divergence at element " + std::to_string(i) +
+               ": run '" + runs.front().name + "' has " +
+               describe_value(ref[i]) + " but run '" + runs[r].name +
+               "' has " + describe_value(got[i]) +
+               (tol == 0.0 ? " (bitwise comparison)"
+                           : " (tolerance " + std::to_string(tol) + ")");
+    }
+    if (!detail.empty()) {
+      obs::MetricsRegistry::global()
+          .counter("check.replay_violations")
+          .add(1);
+      report.ok = false;
+      report.detail = std::move(detail);
+      return report;
+    }
+  }
+  return report;
+}
+
+void enforce_replay(const std::vector<ReplayRun>& runs, double tol) {
+  const ReplayReport report = verify_replay(runs, tol);
+  if (!report.ok) throw DeterminismViolation(report.detail);
+}
+
+}  // namespace rcf::check

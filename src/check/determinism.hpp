@@ -1,0 +1,64 @@
+// Determinism auditor: replay harness for the reproducibility contract.
+//
+// The engine promises (DESIGN.md "Determinism") that a solve is bitwise
+// reproducible run-to-run and across thread-pool widths: kernels partition
+// output ranges, so the FP summation order never depends on how many
+// workers execute the partition.  Changing the *rank count* is different:
+// rank blocks regroup the stage-C partial sums, so cross-rank-count
+// agreement is an analytic tolerance, not bitwise identity.
+//
+// verify_replay executes a list of named runs -- closures returning the
+// final iterate as std::vector<double> (the closure owns pool/rank/RNG
+// configuration, so this module needs nothing from src/core) -- and
+// compares every run against the first:
+//
+//  * tol == 0: bitwise comparison via the 64-bit pattern, so -0.0 vs 0.0
+//    and differing NaN payloads are mismatches too.  Use for width replay
+//    ({1, W} workers) and run-to-run replay.
+//  * tol > 0: |a - b| <= tol * max(1, |ref|) per element.  Use for rank
+//    replay ({1, P} ranks).
+//
+// The first mismatching element is reported with its index, both values,
+// and both bit patterns, which localizes nondeterminism to a coordinate
+// instead of a norm.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rcf::check {
+
+/// Two replay runs that must agree did not.
+class DeterminismViolation : public Error {
+ public:
+  explicit DeterminismViolation(const std::string& what) : Error(what) {}
+};
+
+/// One run of the replay harness: a name for diagnostics and a closure
+/// producing the final iterate.
+struct ReplayRun {
+  std::string name;
+  std::function<std::vector<double>()> run;
+};
+
+/// Outcome of a replay comparison; `detail` is empty when ok.
+struct ReplayReport {
+  bool ok = true;
+  std::string detail;
+};
+
+/// Executes every run and compares each against the first (see file
+/// comment for tol semantics).  Never throws on mismatch; returns the
+/// first divergence in `detail`.  Bumps "check.replay_runs" and
+/// "check.replay_violations".
+[[nodiscard]] ReplayReport verify_replay(const std::vector<ReplayRun>& runs,
+                                         double tol = 0.0);
+
+/// verify_replay, but throws DeterminismViolation on mismatch.
+void enforce_replay(const std::vector<ReplayRun>& runs, double tol = 0.0);
+
+}  // namespace rcf::check

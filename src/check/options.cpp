@@ -1,0 +1,93 @@
+#include "check/options.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace rcf::check {
+
+namespace {
+
+/// -1 = no override, 0 = forced off, 1 = forced on (ScopedCheckEnable).
+std::atomic<int> g_enable_override{-1};
+
+bool parse_bool(const char* value, bool fallback) {
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  const std::string v(value);
+  if (v == "1" || v == "true" || v == "on" || v == "yes") {
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "off" || v == "no") {
+    return false;
+  }
+  return fallback;
+}
+
+int parse_int(const char* value, int fallback) {
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < -1 || parsed > 86400000) {
+    return fallback;
+  }
+  return static_cast<int>(parsed);
+}
+
+CheckOptions parse_env() {
+  CheckOptions opts;
+#ifdef RCF_CHECK_DEFAULT
+  opts.enabled = true;
+#endif
+  opts.enabled = parse_bool(std::getenv("RCF_CHECK"), opts.enabled);
+  opts.timeout_ms = parse_int(std::getenv("RCF_COMM_TIMEOUT_MS"), 0);
+  opts.partition_sample =
+      parse_int(std::getenv("RCF_CHECK_SAMPLE"), opts.partition_sample);
+  opts.epoch = parse_int(std::getenv("RCF_CHECK_EPOCH"), opts.epoch);
+  return opts;
+}
+
+}  // namespace
+
+const CheckOptions& options_from_env() {
+  static const CheckOptions opts = parse_env();
+  return opts;
+}
+
+CheckOptions effective_options() {
+  CheckOptions opts = options_from_env();
+  const int override = g_enable_override.load(std::memory_order_relaxed);
+  if (override >= 0) {
+    opts.enabled = override != 0;
+  }
+  if (opts.enabled && opts.timeout_ms <= 0) {
+    opts.timeout_ms = kDefaultCheckedTimeoutMs;
+  }
+  return opts;
+}
+
+bool globally_enabled() {
+  const int override = g_enable_override.load(std::memory_order_relaxed);
+  if (override >= 0) {
+    return override != 0;
+  }
+  return options_from_env().enabled;
+}
+
+int timeout_ms_from_env(int fallback) {
+  return parse_int(std::getenv("RCF_COMM_TIMEOUT_MS"), fallback);
+}
+
+ScopedCheckEnable::ScopedCheckEnable(bool enabled)
+    : previous_(g_enable_override.exchange(enabled ? 1 : 0,
+                                           std::memory_order_relaxed)) {}
+
+ScopedCheckEnable::~ScopedCheckEnable() {
+  g_enable_override.store(previous_, std::memory_order_relaxed);
+}
+
+}  // namespace rcf::check

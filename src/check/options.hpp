@@ -1,0 +1,80 @@
+// Runtime configuration of the verification layer (rcf_check).
+//
+// The checkers are a debug-build tool: everything in src/check is a no-op
+// unless checking is enabled, and the only cost on the disabled path is a
+// relaxed atomic load (partition gate) or a null-pointer test (contract
+// board).  Enablement sources, in precedence order:
+//
+//  1. ScopedCheckEnable -- a test-scoped override (forces on or off).
+//  2. RCF_CHECK environment variable ("1"/"true"/"on" / "0"/"false"/"off").
+//  3. The RCF_CHECK_DEFAULT compile definition (set by the CMake option of
+//     the same name, intended for Debug builds).
+//
+// The rendezvous stall timeout is shared with the threaded communicator
+// backend: RCF_COMM_TIMEOUT_MS bounds every collective rendezvous whether
+// or not the contract checker is on (0 = wait forever, the historical
+// behaviour), and the checker reuses the same value for its fingerprint
+// exchange so a deadlocked collective is reported instead of hanging.
+#pragma once
+
+namespace rcf::check {
+
+/// Tuning knobs of the verification layer.  Default-constructed values
+/// reflect the environment (see options_from_env / effective_options).
+struct CheckOptions {
+  /// Master switch for the collective-contract checker and the partition
+  /// auditor.  Off = all checkers are no-ops.
+  bool enabled = false;
+
+  /// Rendezvous stall timeout in milliseconds (RCF_COMM_TIMEOUT_MS).
+  /// <= 0 waits forever.  When checking is enabled and the environment
+  /// does not override it, effective_options() substitutes
+  /// kDefaultCheckedTimeoutMs so deadlocks are always diagnosed.
+  int timeout_ms = 0;
+
+  /// Audit every Nth eligible exec partition dispatch (RCF_CHECK_SAMPLE);
+  /// 1 audits every dispatch, <= 0 disables the partition auditor.
+  int partition_sample = 16;
+
+  /// CheckedComm cross-checks the rolling sequence hash across ranks every
+  /// `epoch` engine-space collectives (RCF_CHECK_EPOCH); <= 0 disables the
+  /// epoch exchange (the threaded backend's per-call fingerprint exchange
+  /// is unaffected).
+  int epoch = 8;
+};
+
+/// Timeout substituted when checking is on but RCF_COMM_TIMEOUT_MS is
+/// unset: long enough for any Debug-build collective, short enough that a
+/// wedged CI job fails with a diagnostic instead of a runner timeout.
+inline constexpr int kDefaultCheckedTimeoutMs = 30000;
+
+/// Options parsed from the environment once per process (no overrides
+/// applied).  `timeout_ms` is 0 when RCF_COMM_TIMEOUT_MS is unset.
+[[nodiscard]] const CheckOptions& options_from_env();
+
+/// options_from_env() with the ScopedCheckEnable override applied to
+/// `enabled` and the checked-default timeout substituted when enabled.
+[[nodiscard]] CheckOptions effective_options();
+
+/// Fast gate equivalent to effective_options().enabled.
+[[nodiscard]] bool globally_enabled();
+
+/// RCF_COMM_TIMEOUT_MS, or `fallback` when unset/unparseable.
+[[nodiscard]] int timeout_ms_from_env(int fallback);
+
+/// Test-scoped enable/disable override for the whole verification layer
+/// (nests; restores the previous override on destruction).  Lets the test
+/// suite exercise the RCF_CHECK=1 configuration without mutating the
+/// process environment.
+class ScopedCheckEnable {
+ public:
+  explicit ScopedCheckEnable(bool enabled);
+  ScopedCheckEnable(const ScopedCheckEnable&) = delete;
+  ScopedCheckEnable& operator=(const ScopedCheckEnable&) = delete;
+  ~ScopedCheckEnable();
+
+ private:
+  int previous_;
+};
+
+}  // namespace rcf::check

@@ -1,0 +1,77 @@
+#include "check/partition.hpp"
+
+#include <atomic>
+
+#include "check/options.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rcf::check {
+
+PartitionAudit::PartitionAudit(std::string label, std::size_t n)
+    : label_(std::move(label)), owner_(n, -1) {}
+
+void PartitionAudit::mark(std::size_t part, std::size_t begin,
+                          std::size_t end) {
+  if (begin > end || end > owner_.size()) {
+    throw PartitionViolation(
+        "partition violation in " + label_ + ": part " +
+        std::to_string(part) + " claims out-of-bounds range [" +
+        std::to_string(begin) + ", " + std::to_string(end) + ") of " +
+        std::to_string(owner_.size()) + " indices");
+  }
+  for (std::size_t i = begin; i < end; ++i) {
+    if (owner_[i] != -1) {
+      throw PartitionViolation(
+          "partition violation in " + label_ + ": index " +
+          std::to_string(i) + " claimed by both part " +
+          std::to_string(owner_[i]) + " and part " + std::to_string(part));
+    }
+    owner_[i] = static_cast<std::ptrdiff_t>(part);
+  }
+}
+
+void PartitionAudit::finish() const {
+  for (std::size_t i = 0; i < owner_.size(); ++i) {
+    if (owner_[i] == -1) {
+      throw PartitionViolation("partition violation in " + label_ +
+                               ": index " + std::to_string(i) +
+                               " is claimed by no part (coverage gap)");
+    }
+  }
+}
+
+bool partition_audit_due() {
+  // One shared counter across all dispatch sites; relaxed is fine, the
+  // sample only has to be roughly every Nth dispatch, not exact.
+  static std::atomic<std::uint64_t> dispatches{0};
+  if (!globally_enabled()) return false;
+  const int sample = effective_options().partition_sample;
+  if (sample <= 0) return false;
+  const std::uint64_t tick =
+      dispatches.fetch_add(1, std::memory_order_relaxed);
+  return tick % static_cast<std::uint64_t>(sample) == 0;
+}
+
+void audit_partition(
+    const std::string& label, std::size_t n, std::size_t parts,
+    const std::function<std::pair<std::size_t, std::size_t>(std::size_t)>&
+        range) {
+  obs::TraceScope span("check.partition");
+  obs::MetricsRegistry::global().counter("check.partition_audits").add(1);
+  try {
+    PartitionAudit audit(label, n);
+    for (std::size_t part = 0; part < parts; ++part) {
+      const auto [begin, end] = range(part);
+      audit.mark(part, begin, end);
+    }
+    audit.finish();
+  } catch (const PartitionViolation&) {
+    obs::MetricsRegistry::global()
+        .counter("check.partition_violations")
+        .add(1);
+    throw;
+  }
+}
+
+}  // namespace rcf::check

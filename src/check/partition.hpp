@@ -1,0 +1,67 @@
+// Partition auditor: shadow ownership maps for parallel output ranges.
+//
+// The determinism contract (DESIGN.md "Determinism") requires every
+// parallel kernel to write a disjoint, exhaustive partition of its output
+// range -- overlap is a data race, a gap is silent garbage.  PartitionAudit
+// replays a dispatch's range computation into a shadow owner array and
+// reports the first index claimed twice (naming both claimants) or never
+// claimed.  The audit is O(n) in the partitioned range, so dispatch sites
+// gate it behind partition_audit_due(): with checking enabled, every Nth
+// eligible dispatch per process (CheckOptions::partition_sample, env
+// RCF_CHECK_SAMPLE) pays for a full audit; the rest pay one relaxed
+// atomic increment.  Disabled, the cost is one relaxed atomic load.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rcf::check {
+
+/// A parallel dispatch's output ranges overlap or leave a gap.
+class PartitionViolation : public Error {
+ public:
+  explicit PartitionViolation(const std::string& what) : Error(what) {}
+};
+
+/// Shadow write-bitmap over an output range of `n` indices.
+class PartitionAudit {
+ public:
+  /// `label` names the dispatch in diagnostics (e.g. "dist.apply_grad").
+  PartitionAudit(std::string label, std::size_t n);
+
+  /// Claims [begin, end) for `part`.  Throws PartitionViolation on the
+  /// first index already claimed, naming both parts and the index, or on
+  /// an out-of-bounds range.
+  void mark(std::size_t part, std::size_t begin, std::size_t end);
+
+  /// Verifies every index was claimed; throws PartitionViolation naming
+  /// the first gap otherwise.
+  void finish() const;
+
+ private:
+  std::string label_;
+  std::vector<std::ptrdiff_t> owner_;  ///< -1 = unclaimed, else part index
+};
+
+/// Sampled gate for dispatch-site audits: true when checking is enabled
+/// and this call is the Nth eligible dispatch (N = partition_sample from
+/// effective options; <= 0 never).  Shared process-wide counter, so the
+/// sample spreads across all dispatch sites.
+[[nodiscard]] bool partition_audit_due();
+
+/// Audits a `parts`-way partition of [0, n): replays `range(part)` ->
+/// [begin, end) for every part into a PartitionAudit and checks
+/// disjointness and coverage.  Bumps "check.partition_audits" /
+/// "check.partition_violations" and traces under "check.partition".
+/// Throws PartitionViolation on the first defect.
+void audit_partition(
+    const std::string& label, std::size_t n, std::size_t parts,
+    const std::function<std::pair<std::size_t, std::size_t>(std::size_t)>&
+        range);
+
+}  // namespace rcf::check

@@ -1,0 +1,87 @@
+#include "check/rendezvous.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace rcf::check {
+
+TimedBarrier::TimedBarrier(int parties)
+    : parties_(parties),
+      arrived_(static_cast<std::size_t>(std::max(parties, 1)), 0) {
+  RCF_CHECK_MSG(parties >= 1, "TimedBarrier: parties must be >= 1");
+}
+
+void TimedBarrier::arrive_and_wait(int rank, int timeout_ms,
+                                   const char* what) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (poisoned_) {
+    throw CommPoisoned(reason_);
+  }
+  if (rank >= 0 && rank < parties_) {
+    arrived_[static_cast<std::size_t>(rank)] = 1;
+  }
+  if (++arrived_count_ == parties_) {
+    arrived_count_ = 0;
+    std::fill(arrived_.begin(), arrived_.end(), std::uint8_t{0});
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  const std::uint64_t gen = generation_;
+  const auto released = [this, gen] {
+    return poisoned_ || generation_ != gen;
+  };
+  if (timeout_ms <= 0) {
+    cv_.wait(lock, released);
+  } else if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                           released)) {
+    std::string missing;
+    for (int r = 0; r < parties_; ++r) {
+      if (arrived_[static_cast<std::size_t>(r)] == 0) {
+        if (!missing.empty()) {
+          missing += ", ";
+        }
+        missing += std::to_string(r);
+      }
+    }
+    std::string msg = "collective stall: rank " + std::to_string(rank) +
+                      " waited " + std::to_string(timeout_ms) + " ms in " +
+                      (what != nullptr ? what : "rendezvous") +
+                      "; missing ranks: [" + missing +
+                      "] never arrived (deadlock or divergent schedule)";
+    poisoned_ = true;
+    reason_ = msg;
+    cv_.notify_all();
+    throw CommTimeout(msg);
+  }
+  // Released: completion wins over a poison that arrived afterwards.
+  if (generation_ == gen && poisoned_) {
+    throw CommPoisoned(reason_);
+  }
+}
+
+void TimedBarrier::poison(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!poisoned_) {
+      poisoned_ = true;
+      reason_ = "collective rendezvous poisoned: " + reason;
+    }
+  }
+  cv_.notify_all();
+}
+
+bool TimedBarrier::poisoned() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return poisoned_;
+}
+
+void TimedBarrier::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  poisoned_ = false;
+  reason_.clear();
+  arrived_count_ = 0;
+  std::fill(arrived_.begin(), arrived_.end(), std::uint8_t{0});
+}
+
+}  // namespace rcf::check

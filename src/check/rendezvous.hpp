@@ -1,0 +1,76 @@
+// Timed, poisonable rendezvous: the barrier primitive under the threaded
+// communicator backend and the contract checker.
+//
+// std::barrier cannot time out and cannot be torn down while a party is
+// blocked, which turns every rank-divergence bug into a silent hang: one
+// rank throws (or simply never issues the collective) and everyone else
+// waits forever.  TimedBarrier converts both failure modes into immediate
+// diagnostics:
+//
+//  * A party that waits longer than the configured stall timeout
+//    (RCF_COMM_TIMEOUT_MS; 0 = wait forever) throws CommTimeout naming
+//    itself, what it was waiting in, and exactly which ranks are missing.
+//    It also poisons the barrier so the other arrived parties fail fast
+//    instead of each burning its own full timeout.
+//  * poison() (called by ThreadGroup when a rank's SPMD body throws, and
+//    by the contract checker on a violation) wakes every current and
+//    future waiter with CommPoisoned carrying the originating reason.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rcf::check {
+
+/// A rendezvous stalled past the configured timeout (deadlock diagnosis).
+class CommTimeout : public Error {
+ public:
+  explicit CommTimeout(const std::string& what) : Error(what) {}
+};
+
+/// The rendezvous was poisoned by another party (secondary failure; the
+/// carried reason names the original error).
+class CommPoisoned : public Error {
+ public:
+  explicit CommPoisoned(const std::string& what) : Error(what) {}
+};
+
+class TimedBarrier {
+ public:
+  explicit TimedBarrier(int parties);
+
+  /// Blocks until all parties have arrived in this generation.
+  /// `timeout_ms` <= 0 waits forever.  `what` is a static description of
+  /// the rendezvous for diagnostics ("allreduce:publish", ...).  Throws
+  /// CommTimeout on stall (and poisons the barrier) or CommPoisoned if a
+  /// another party failed.
+  void arrive_and_wait(int rank, int timeout_ms, const char* what);
+
+  /// Wakes all waiters with CommPoisoned(reason); future arrivals throw
+  /// immediately until reset().  The first reason is kept.
+  void poison(const std::string& reason);
+
+  [[nodiscard]] bool poisoned() const;
+
+  /// Clears poison and arrival state.  Only valid while no party is
+  /// blocked in arrive_and_wait (ThreadGroup calls it between runs, after
+  /// joining all ranks).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  int parties_;
+  int arrived_count_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<std::uint8_t> arrived_;
+  bool poisoned_ = false;
+  std::string reason_;
+};
+
+}  // namespace rcf::check

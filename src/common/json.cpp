@@ -197,7 +197,7 @@ class Parser {
           }
           unsigned code = 0;
           for (int i = 1; i <= 4; ++i) {
-            const char h = text_[pos_ + i];
+            const char h = text_[pos_ + static_cast<std::size_t>(i)];
             code <<= 4;
             if (h >= '0' && h <= '9') {
               code |= static_cast<unsigned>(h - '0');

@@ -60,7 +60,7 @@ std::uint32_t Rng::next_u32() {
   if (buffered_ == 0) {
     refill();
   }
-  return buffer_[--buffered_];
+  return buffer_[static_cast<std::size_t>(--buffered_)];
 }
 
 std::uint64_t Rng::next_u64() {

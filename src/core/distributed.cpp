@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "check/checked_comm.hpp"
+#include "check/partition.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
@@ -59,6 +61,11 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
 
   group.run([&](dist::ThreadComm& comm) {
     const int rank = comm.rank();
+    // Contract decorator: with RCF_CHECK on, every collective below is
+    // fingerprinted and the rolling schedule hash is epoch-checked across
+    // ranks (on top of the threaded backend's per-call board); with
+    // checking off it forwards untouched.
+    check::CheckedComm checked(comm);
     // Per-rank pool: width 0 divides the hardware among the SPMD ranks so
     // P ranks x W pool threads never oversubscribes the machine.
     exec::Pool pool(exec::Pool::resolve_width(opts.threads, group.size()));
@@ -133,7 +140,7 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
         ++lp_allreduce.count;
         lp_allreduce.words += static_cast<double>(payload);
         const std::int64_t t0 = tracing ? session.now_us() : 0;
-        comm.allreduce_sum({pack.data(), payload});
+        checked.allreduce_sum({pack.data(), payload});
         if (tracing) {
           lp_allreduce.us += session.now_us() - t0;
         }
@@ -167,6 +174,15 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
             return;
           }
           const int width = p->width();
+          if (check::partition_audit_due()) {
+            check::audit_partition(
+                "dist.apply_grad", d, static_cast<std::size_t>(width),
+                [&](std::size_t part) {
+                  const exec::Range r =
+                      exec::block_range(d, width, static_cast<int>(part));
+                  return std::pair<std::size_t, std::size_t>{r.begin, r.end};
+                });
+          }
           p->run("dist.apply_grad", [&](int t) {
             const exec::Range range = exec::block_range(d, width, t);
             if (!range.empty()) {
@@ -247,7 +263,7 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
       const dist::CommStats rank_stats = comm.stats();
       obs::MetricsRegistry local;
       obs::record_solve_metrics(local, local_phases, &rank_stats);
-      obs::FleetMetrics rank_fleet = obs::aggregate(local, comm);
+      obs::FleetMetrics rank_fleet = obs::aggregate(local, checked);
       if (rank == 0) {
         fleet = std::move(rank_fleet);
       }

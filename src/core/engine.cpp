@@ -184,8 +184,8 @@ SolveResult run_sfista_engine(const LassoProblem& problem,
   // (Alg. 5 line 6).  Allocated once.
   std::vector<la::Matrix> h_blocks;
   std::vector<la::Vector> r_blocks;
-  h_blocks.reserve(k);
-  r_blocks.reserve(k);
+  h_blocks.reserve(static_cast<std::size_t>(k));
+  r_blocks.reserve(static_cast<std::size_t>(k));
   for (int j = 0; j < k; ++j) {
     h_blocks.emplace_back(d, d);
     r_blocks.emplace_back(d);
@@ -281,12 +281,13 @@ SolveResult run_sfista_engine(const LassoProblem& problem,
             sparse::sampled_gram(problem.xt(), problem.y().span(), idx,
                                  h_blocks[0], r_blocks[0]);
           } else if (j > 0) {
-            h_blocks[j] = h_blocks[0];
-            r_blocks[j] = r_blocks[0];
+            h_blocks[static_cast<std::size_t>(j)] = h_blocks[0];
+            r_blocks[static_cast<std::size_t>(j)] = r_blocks[0];
           }
         } else {
           sparse::sampled_gram(problem.xt(), problem.y().span(), idx,
-                               h_blocks[j], r_blocks[j]);
+                               h_blocks[static_cast<std::size_t>(j)],
+                               r_blocks[static_cast<std::size_t>(j)]);
         }
       });
       raw_gram_flops +=
@@ -339,8 +340,8 @@ SolveResult run_sfista_engine(const LassoProblem& problem,
     // (the paper's S = 10 observation).
     for (int j = 0; j < kk && !done; ++j) {
       const int n = block_start + j;
-      const la::Matrix& h = h_blocks[j];
-      const la::Vector& r = r_blocks[j];
+      const la::Matrix& h = h_blocks[static_cast<std::size_t>(j)];
+      const la::Vector& r = r_blocks[static_cast<std::size_t>(j)];
       la::copy(st.w.span(), w_iter_prev.span());
 
       obs::timed_phase(tracing, ph_update, "update",

@@ -272,14 +272,15 @@ SolveResult solve_logistic_prox_newton(const LogisticProblem& problem,
                                  static_cast<std::uint64_t>(inner_done + j) +
                                  2);
           const auto idx = rng.sample_without_replacement(m, mbar);
-          sparse::weighted_sampled_gram(xt, weights.raw(), idx, h_blocks[j]);
+          sparse::weighted_sampled_gram(xt, weights.raw(), idx,
+                                        h_blocks[static_cast<std::size_t>(j)]);
           charge_weighted_gram(idx);
         }
         cost.add_allreduce(opts.procs,
                            static_cast<std::uint64_t>(kk) * d * d);
         ++comm_rounds;
         for (int j = 0; j < kk; ++j) {
-          const la::Matrix& hj = h_blocks[j];
+          const la::Matrix& hj = h_blocks[static_cast<std::size_t>(j)];
           for (int s2 = 1; s2 <= opts.s; ++s2) {
             la::waxpby(1.0, vv.span(), -1.0, w.span(), tmp.span());
             la::gemv(1.0, hj, tmp.span(), 0.0, g.span());

@@ -32,13 +32,14 @@ void MomentumSchedule::extend(int n) const {
 double MomentumSchedule::t(int n) const {
   RCF_CHECK_MSG(n >= 0, "MomentumSchedule::t: n must be >= 0");
   extend(n);
-  return t_[n];
+  return t_[static_cast<std::size_t>(n)];
 }
 
 double MomentumSchedule::mu(int n) const {
   RCF_CHECK_MSG(n >= 1, "MomentumSchedule::mu: n must be >= 1");
   extend(n);
-  return (t_[n - 1] - 1.0) / t_[n];
+  return (t_[static_cast<std::size_t>(n) - 1] - 1.0) /
+         t_[static_cast<std::size_t>(n)];
 }
 
 }  // namespace rcf::core

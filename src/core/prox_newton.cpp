@@ -169,7 +169,7 @@ SolveResult solve_proximal_newton(const LassoProblem& problem,
     // One d-word allreduce per performed power iteration.
     ph_power.words += static_cast<double>(power.iterations) *
                       static_cast<double>(d);
-    comm_rounds += power.iterations;
+    comm_rounds += static_cast<std::uint64_t>(power.iterations);
     // Safety margin: RC-SFISTA resamples the Hessian every inner iteration,
     // so individual draws can exceed this estimate.
     const double l_hat = std::max(power.eigenvalue, 1e-300);
@@ -231,14 +231,15 @@ SolveResult solve_proximal_newton(const LassoProblem& problem,
           Rng rng(opts.seed, stream);
           const auto idx = rng.sample_without_replacement(m, mbar);
           sparse::sampled_gram(problem.xt(), problem.y().span(), idx,
-                               h_blocks[j], r_blocks[j]);
+                               h_blocks[static_cast<std::size_t>(j)],
+                               r_blocks[static_cast<std::size_t>(j)]);
           charge_gram(cost, problem.xt(), idx, partition, opts.procs);
         }
         cost.add_allreduce(opts.procs,
                            static_cast<std::uint64_t>(kk) * d * d);
         ++comm_rounds;
         for (int j = 0; j < kk; ++j) {
-          const la::Matrix& hj = h_blocks[j];
+          const la::Matrix& hj = h_blocks[static_cast<std::size_t>(j)];
           // Subproblem gradient at a point: hj (point - w) + grad.
           auto subgrad = [&](std::span<const double> at,
                              std::span<double> out) {

@@ -8,12 +8,12 @@ namespace rcf::data {
 
 Partition::Partition(std::size_t count, int parts) {
   RCF_CHECK_MSG(parts >= 1, "Partition: parts must be >= 1");
-  offsets_.assign(parts + 1, 0);
-  const std::size_t base = count / parts;
-  const std::size_t extra = count % parts;
-  for (int p = 0; p < parts; ++p) {
-    offsets_[p + 1] =
-        offsets_[p] + base + (static_cast<std::size_t>(p) < extra ? 1 : 0);
+  const auto nparts = static_cast<std::size_t>(parts);
+  offsets_.assign(nparts + 1, 0);
+  const std::size_t base = count / nparts;
+  const std::size_t extra = count % nparts;
+  for (std::size_t p = 0; p < nparts; ++p) {
+    offsets_[p + 1] = offsets_[p] + base + (p < extra ? 1 : 0);
   }
 }
 
@@ -26,7 +26,7 @@ int Partition::owner(std::size_t i) const {
 std::vector<std::span<const std::uint32_t>> Partition::split_sorted(
     std::span<const std::uint32_t> sorted_indices) const {
   std::vector<std::span<const std::uint32_t>> out;
-  out.reserve(parts());
+  out.reserve(static_cast<std::size_t>(parts()));
   std::size_t pos = 0;
   for (int p = 0; p < parts(); ++p) {
     const std::size_t first = pos;

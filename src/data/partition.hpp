@@ -23,8 +23,12 @@ class Partition {
   [[nodiscard]] int parts() const { return static_cast<int>(offsets_.size()) - 1; }
   [[nodiscard]] std::size_t count() const { return offsets_.back(); }
 
-  [[nodiscard]] std::size_t begin(int part) const { return offsets_[part]; }
-  [[nodiscard]] std::size_t end(int part) const { return offsets_[part + 1]; }
+  [[nodiscard]] std::size_t begin(int part) const {
+    return offsets_[static_cast<std::size_t>(part)];
+  }
+  [[nodiscard]] std::size_t end(int part) const {
+    return offsets_[static_cast<std::size_t>(part) + 1];
+  }
   [[nodiscard]] std::size_t size(int part) const {
     return end(part) - begin(part);
   }

@@ -39,17 +39,20 @@ void publish_comm_stats(const CommStats& stats, const std::string& backend) {
   }
 }
 
-double Communicator::allreduce_sum_scalar(double value) {
-  allreduce_sum({&value, 1});
+double Communicator::allreduce_sum_scalar(double value,
+                                           std::source_location site) {
+  allreduce_sum({&value, 1}, site);
   return value;
 }
 
-double Communicator::allreduce_max_scalar(double value) {
-  allreduce_max({&value, 1});
+double Communicator::allreduce_max_scalar(double value,
+                                           std::source_location site) {
+  allreduce_max({&value, 1}, site);
   return value;
 }
 
-void SeqComm::allreduce_sum(std::span<double> inout) {
+void SeqComm::allreduce_sum(std::span<double> inout,
+                            std::source_location) {
   obs::TraceScope span(aux_mode() ? "aux_collective" : "allreduce",
                        static_cast<double>(inout.size()),
                        aux_mode() ? nullptr : &allreduce_latency());
@@ -62,7 +65,8 @@ void SeqComm::allreduce_sum(std::span<double> inout) {
                                                      inout.size());
 }
 
-void SeqComm::allreduce_max(std::span<double> inout) {
+void SeqComm::allreduce_max(std::span<double> inout,
+                            std::source_location) {
   obs::TraceScope span(aux_mode() ? "aux_collective" : "allreduce",
                        static_cast<double>(inout.size()),
                        aux_mode() ? nullptr : &allreduce_latency());
@@ -75,7 +79,8 @@ void SeqComm::allreduce_max(std::span<double> inout) {
                                                      inout.size());
 }
 
-void SeqComm::broadcast(std::span<double> buffer, int root) {
+void SeqComm::broadcast(std::span<double> buffer, int root,
+                        std::source_location) {
   RCF_CHECK_MSG(root == 0, "SeqComm: root must be 0");
   obs::TraceScope span(aux_mode() ? "aux_collective" : "broadcast",
                        static_cast<double>(buffer.size()));
@@ -89,7 +94,7 @@ void SeqComm::broadcast(std::span<double> buffer, int root) {
 }
 
 void SeqComm::allgather(std::span<const double> input,
-                        std::span<double> output) {
+                        std::span<double> output, std::source_location) {
   RCF_CHECK_MSG(output.size() == input.size(),
                 "SeqComm::allgather: output must equal input for 1 rank");
   obs::TraceScope span(aux_mode() ? "aux_collective" : "allgather",
@@ -104,7 +109,7 @@ void SeqComm::allgather(std::span<const double> input,
                                                      input.size());
 }
 
-void SeqComm::barrier() {
+void SeqComm::barrier(std::source_location) {
   obs::TraceScope span(aux_mode() ? "aux_collective" : "barrier_wait");
   if (!aux_mode()) {
     ++stats_.barrier_calls;

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <source_location>
 #include <span>
 #include <string>
 
@@ -95,22 +96,37 @@ class Communicator {
   [[nodiscard]] virtual int rank() const = 0;
   [[nodiscard]] virtual int size() const = 0;
 
+  // Every collective takes a defaulted std::source_location so the
+  // contract checker (src/check) can name the *solver* call site in its
+  // diagnostics.  Overrides repeat the default: default arguments resolve
+  // against the static type, so calls through a concrete backend reference
+  // still capture the caller's location.  Backends ignore the site when
+  // checking is disabled.
+
   /// In-place sum-allreduce over all ranks (MPI_Allreduce, MPI_SUM).
-  virtual void allreduce_sum(std::span<double> inout) = 0;
+  virtual void allreduce_sum(
+      std::span<double> inout,
+      std::source_location site = std::source_location::current()) = 0;
 
   /// In-place max-allreduce.
-  virtual void allreduce_max(std::span<double> inout) = 0;
+  virtual void allreduce_max(
+      std::span<double> inout,
+      std::source_location site = std::source_location::current()) = 0;
 
   /// Broadcast from `root` to all ranks.
-  virtual void broadcast(std::span<double> buffer, int root) = 0;
+  virtual void broadcast(
+      std::span<double> buffer, int root,
+      std::source_location site = std::source_location::current()) = 0;
 
   /// Gathers each rank's `input` into `output` ordered by rank;
   /// output.size() must equal size() * input.size().
-  virtual void allgather(std::span<const double> input,
-                         std::span<double> output) = 0;
+  virtual void allgather(
+      std::span<const double> input, std::span<double> output,
+      std::source_location site = std::source_location::current()) = 0;
 
   /// Synchronization point for all ranks.
-  virtual void barrier() = 0;
+  virtual void barrier(
+      std::source_location site = std::source_location::current()) = 0;
 
   /// Statistics accumulated by this rank's endpoint.
   [[nodiscard]] virtual const CommStats& stats() const = 0;
@@ -118,8 +134,10 @@ class Communicator {
   [[nodiscard]] virtual std::string backend_name() const = 0;
 
   /// Scalar allreduce helpers.
-  double allreduce_sum_scalar(double value);
-  double allreduce_max_scalar(double value);
+  double allreduce_sum_scalar(
+      double value, std::source_location site = std::source_location::current());
+  double allreduce_max_scalar(
+      double value, std::source_location site = std::source_location::current());
 
  private:
   bool aux_ = false;  ///< set by AuxScope; each rank endpoint has its own.
@@ -132,12 +150,20 @@ class SeqComm final : public Communicator {
  public:
   [[nodiscard]] int rank() const override { return 0; }
   [[nodiscard]] int size() const override { return 1; }
-  void allreduce_sum(std::span<double> inout) override;
-  void allreduce_max(std::span<double> inout) override;
-  void broadcast(std::span<double> buffer, int root) override;
-  void allgather(std::span<const double> input,
-                 std::span<double> output) override;
-  void barrier() override;
+  void allreduce_sum(
+      std::span<double> inout,
+      std::source_location site = std::source_location::current()) override;
+  void allreduce_max(
+      std::span<double> inout,
+      std::source_location site = std::source_location::current()) override;
+  void broadcast(
+      std::span<double> buffer, int root,
+      std::source_location site = std::source_location::current()) override;
+  void allgather(
+      std::span<const double> input, std::span<double> output,
+      std::source_location site = std::source_location::current()) override;
+  void barrier(
+      std::source_location site = std::source_location::current()) override;
   [[nodiscard]] const CommStats& stats() const override { return stats_; }
   [[nodiscard]] std::string backend_name() const override { return "seq"; }
 

@@ -1,11 +1,12 @@
 #include "dist/thread_comm.hpp"
 
 #include <algorithm>
-#include <barrier>
 #include <exception>
 #include <thread>
 #include <vector>
 
+#include "check/contract.hpp"
+#include "check/rendezvous.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
@@ -38,25 +39,36 @@ obs::Histogram& barrier_wait() {
   return h;
 }
 
+std::size_t as_index(int value) { return static_cast<std::size_t>(value); }
+
 }  // namespace
 
 namespace detail {
 
 struct GroupState {
-  explicit GroupState(int size, AllreduceAlgo algo_in)
+  GroupState(int size, AllreduceAlgo algo_in, check::CheckOptions check_in)
       : world_size(size),
         algo(algo_in),
+        check(check_in),
         rendezvous(size),
-        publish(size, nullptr),
-        publish_const(size, nullptr),
-        publish_len(size, 0),
-        work_a(size),
-        work_b(size),
-        exceptions(size) {}
+        publish(as_index(size), nullptr),
+        publish_const(as_index(size), nullptr),
+        publish_len(as_index(size), 0),
+        work_a(as_index(size)),
+        work_b(as_index(size)),
+        exceptions(as_index(size)) {
+    if (check.enabled) {
+      board = std::make_unique<check::ContractBoard>(size, check);
+    }
+  }
 
   int world_size;
   AllreduceAlgo algo;
-  std::barrier<> rendezvous;
+  check::CheckOptions check;
+  /// Data-movement rendezvous, stall-timeout bounded and poisonable.
+  check::TimedBarrier rendezvous;
+  /// Pre-data fingerprint exchange; null when checking is disabled.
+  std::unique_ptr<check::ContractBoard> board;
   // Per-rank published buffer pointers for the collective in flight.
   std::vector<double*> publish;
   std::vector<const double*> publish_const;
@@ -76,19 +88,37 @@ using detail::GroupState;
 ThreadComm::ThreadComm(int rank, int size, GroupState* state)
     : rank_(rank), size_(size), state_(state) {}
 
-void ThreadComm::barrier() {
+void ThreadComm::rendezvous(const char* what) {
+  state_->rendezvous.arrive_and_wait(rank_, state_->check.timeout_ms, what);
+}
+
+void ThreadComm::contract_check(check::CollectiveKind kind, std::size_t words,
+                                std::uint64_t extra,
+                                const std::source_location& site) {
+  if (state_->board == nullptr) {
+    return;
+  }
+  const check::Fingerprint fp =
+      tracker_.next(kind, words, extra, aux_mode(), site);
+  state_->board->verify(rank_, fp);
+}
+
+void ThreadComm::barrier(std::source_location site) {
   obs::TraceScope span(aux_mode() ? "aux_collective" : "barrier_wait", 0.0,
                        aux_mode() ? nullptr : &barrier_wait());
+  contract_check(check::CollectiveKind::kBarrier, 0, 0, site);
   if (!aux_mode()) {
     ++stats_.barrier_calls;
   }
-  state_->rendezvous.arrive_and_wait();
+  rendezvous("barrier");
 }
 
-void ThreadComm::allreduce_sum(std::span<double> inout) {
+void ThreadComm::allreduce_sum(std::span<double> inout,
+                               std::source_location site) {
   obs::TraceScope span(aux_mode() ? "aux_collective" : "allreduce",
                        static_cast<double>(inout.size()),
                        aux_mode() ? nullptr : &allreduce_latency());
+  contract_check(check::CollectiveKind::kAllreduceSum, inout.size(), 0, site);
   if (!aux_mode()) {
     ++stats_.allreduce_calls;
     stats_.allreduce_words += inout.size();
@@ -103,10 +133,12 @@ void ThreadComm::allreduce_sum(std::span<double> inout) {
   }
 }
 
-void ThreadComm::allreduce_max(std::span<double> inout) {
+void ThreadComm::allreduce_max(std::span<double> inout,
+                               std::source_location site) {
   obs::TraceScope span(aux_mode() ? "aux_collective" : "allreduce",
                        static_cast<double>(inout.size()),
                        aux_mode() ? nullptr : &allreduce_latency());
+  contract_check(check::CollectiveKind::kAllreduceMax, inout.size(), 0, site);
   if (!aux_mode()) {
     ++stats_.allreduce_max_calls;
     stats_.allreduce_words += inout.size();
@@ -123,23 +155,23 @@ void ThreadComm::allreduce_max(std::span<double> inout) {
 
 void ThreadComm::allreduce_central(std::span<double> inout, bool use_max) {
   GroupState& st = *state_;
-  st.publish[rank_] = inout.data();
-  st.publish_len[rank_] = inout.size();
+  st.publish[as_index(rank_)] = inout.data();
+  st.publish_len[as_index(rank_)] = inout.size();
   {
     // Time waiting for the slowest rank to publish: the skew signal.
     obs::TraceScope wait(aux_mode() ? "aux_wait" : "allreduce_wait", 0.0,
                          aux_mode() ? nullptr : &collective_wait());
-    st.rendezvous.arrive_and_wait();
+    rendezvous("allreduce:publish");
   }
   if (rank_ == 0) {
     const std::size_t n = inout.size();
     for (int r = 1; r < size_; ++r) {
-      RCF_CHECK_MSG(st.publish_len[r] == n,
+      RCF_CHECK_MSG(st.publish_len[as_index(r)] == n,
                     "allreduce: ranks disagree on payload size");
     }
     st.scratch.assign(inout.begin(), inout.end());
     for (int r = 1; r < size_; ++r) {
-      const double* src = st.publish[r];
+      const double* src = st.publish[as_index(r)];
       for (std::size_t i = 0; i < n; ++i) {
         if (use_max) {
           st.scratch[i] = std::max(st.scratch[i], src[i]);
@@ -149,9 +181,9 @@ void ThreadComm::allreduce_central(std::span<double> inout, bool use_max) {
       }
     }
   }
-  st.rendezvous.arrive_and_wait();
+  rendezvous("allreduce:reduce");
   std::copy(st.scratch.begin(), st.scratch.end(), inout.begin());
-  st.rendezvous.arrive_and_wait();  // protect scratch until all have copied
+  rendezvous("allreduce:release");  // protect scratch until all have copied
 }
 
 void ThreadComm::allreduce_recursive_doubling(std::span<double> inout,
@@ -160,18 +192,18 @@ void ThreadComm::allreduce_recursive_doubling(std::span<double> inout,
   const std::size_t n = inout.size();
   auto* cur = &st.work_a;
   auto* nxt = &st.work_b;
-  (*cur)[rank_].assign(inout.begin(), inout.end());
+  (*cur)[as_index(rank_)].assign(inout.begin(), inout.end());
   {
     obs::TraceScope wait(aux_mode() ? "aux_wait" : "allreduce_wait", 0.0,
                          aux_mode() ? nullptr : &collective_wait());
-    st.rendezvous.arrive_and_wait();
+    rendezvous("allreduce:publish");
   }
   for (int stride = 1; stride < size_; stride <<= 1) {
     const int partner = rank_ ^ stride;
-    auto& mine = (*cur)[rank_];
-    auto& theirs = (*cur)[partner];
+    auto& mine = (*cur)[as_index(rank_)];
+    auto& theirs = (*cur)[as_index(partner)];
     RCF_CHECK_MSG(theirs.size() == n, "recursive doubling: size mismatch");
-    auto& out = (*nxt)[rank_];
+    auto& out = (*nxt)[as_index(rank_)];
     out.resize(n);
     // Combine in (lower, upper) order on both sides so the pair agrees
     // bitwise even for non-associative float addition.
@@ -180,17 +212,21 @@ void ThreadComm::allreduce_recursive_doubling(std::span<double> inout,
     for (std::size_t i = 0; i < n; ++i) {
       out[i] = use_max ? std::max(lo[i], hi[i]) : lo[i] + hi[i];
     }
-    st.rendezvous.arrive_and_wait();
+    rendezvous("allreduce:exchange");
     std::swap(cur, nxt);
   }
-  std::copy((*cur)[rank_].begin(), (*cur)[rank_].end(), inout.begin());
-  st.rendezvous.arrive_and_wait();
+  std::copy((*cur)[as_index(rank_)].begin(), (*cur)[as_index(rank_)].end(),
+            inout.begin());
+  rendezvous("allreduce:release");
 }
 
-void ThreadComm::broadcast(std::span<double> buffer, int root) {
+void ThreadComm::broadcast(std::span<double> buffer, int root,
+                           std::source_location site) {
   RCF_CHECK_MSG(root >= 0 && root < size_, "broadcast: bad root");
   obs::TraceScope span(aux_mode() ? "aux_collective" : "broadcast",
                        static_cast<double>(buffer.size()));
+  contract_check(check::CollectiveKind::kBroadcast, buffer.size(),
+                 static_cast<std::uint64_t>(root), site);
   if (!aux_mode()) {
     ++stats_.broadcast_calls;
     stats_.broadcast_words += buffer.size();
@@ -199,25 +235,27 @@ void ThreadComm::broadcast(std::span<double> buffer, int root) {
   }
   GroupState& st = *state_;
   if (rank_ == root) {
-    st.publish[root] = buffer.data();
-    st.publish_len[root] = buffer.size();
+    st.publish[as_index(root)] = buffer.data();
+    st.publish_len[as_index(root)] = buffer.size();
   }
-  st.rendezvous.arrive_and_wait();
+  rendezvous("broadcast:publish");
   if (rank_ != root) {
-    RCF_CHECK_MSG(st.publish_len[root] == buffer.size(),
+    RCF_CHECK_MSG(st.publish_len[as_index(root)] == buffer.size(),
                   "broadcast: payload size mismatch");
-    std::copy(st.publish[root], st.publish[root] + buffer.size(),
-              buffer.begin());
+    std::copy(st.publish[as_index(root)],
+              st.publish[as_index(root)] + buffer.size(), buffer.begin());
   }
-  st.rendezvous.arrive_and_wait();
+  rendezvous("broadcast:release");
 }
 
 void ThreadComm::allgather(std::span<const double> input,
-                           std::span<double> output) {
-  RCF_CHECK_MSG(output.size() == input.size() * static_cast<std::size_t>(size_),
+                           std::span<double> output,
+                           std::source_location site) {
+  RCF_CHECK_MSG(output.size() == input.size() * as_index(size_),
                 "allgather: output size must be size() * input size");
   obs::TraceScope span(aux_mode() ? "aux_collective" : "allgather",
                        static_cast<double>(input.size()));
+  contract_check(check::CollectiveKind::kAllgather, input.size(), 0, site);
   if (!aux_mode()) {
     ++stats_.allgather_calls;
     stats_.allgather_words += input.size();
@@ -225,32 +263,37 @@ void ThreadComm::allgather(std::span<const double> input,
         stats_.max_payload_words, input.size());
   }
   GroupState& st = *state_;
-  st.publish_const[rank_] = input.data();
-  st.publish_len[rank_] = input.size();
-  st.rendezvous.arrive_and_wait();
+  st.publish_const[as_index(rank_)] = input.data();
+  st.publish_len[as_index(rank_)] = input.size();
+  rendezvous("allgather:publish");
   const std::size_t n = input.size();
   for (int r = 0; r < size_; ++r) {
-    RCF_CHECK_MSG(st.publish_len[r] == n, "allgather: ragged inputs");
-    std::copy(st.publish_const[r], st.publish_const[r] + n,
-              output.begin() + static_cast<std::ptrdiff_t>(r * n));
+    RCF_CHECK_MSG(st.publish_len[as_index(r)] == n, "allgather: ragged inputs");
+    std::copy(st.publish_const[as_index(r)], st.publish_const[as_index(r)] + n,
+              output.begin() + static_cast<std::ptrdiff_t>(as_index(r) * n));
   }
-  st.rendezvous.arrive_and_wait();
+  rendezvous("allgather:release");
 }
 
-ThreadGroup::ThreadGroup(int size, AllreduceAlgo algo)
+ThreadGroup::ThreadGroup(int size, AllreduceAlgo algo,
+                         check::CheckOptions check)
     : size_(size), algo_(algo) {
   RCF_CHECK_MSG(size >= 1, "ThreadGroup: size must be >= 1");
-  state_ = std::make_unique<GroupState>(size, algo);
+  state_ = std::make_unique<GroupState>(size, algo, check);
 }
 
 ThreadGroup::~ThreadGroup() = default;
 
 void ThreadGroup::run(const std::function<void(ThreadComm&)>& body) {
   std::fill(state_->exceptions.begin(), state_->exceptions.end(), nullptr);
+  state_->rendezvous.reset();
+  if (state_->board != nullptr) {
+    state_->board->reset();
+  }
   last_stats_ = CommStats{};
-  std::vector<CommStats> rank_stats(size_);
+  std::vector<CommStats> rank_stats(as_index(size_));
   std::vector<std::thread> threads;
-  threads.reserve(size_);
+  threads.reserve(as_index(size_));
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([this, r, &body, &rank_stats]() {
       // Attribute this thread's spans and log lines to its SPMD rank.
@@ -259,14 +302,27 @@ void ThreadGroup::run(const std::function<void(ThreadComm&)>& body) {
       ThreadComm comm(r, size_, state_.get());
       try {
         body(comm);
+      } catch (const std::exception& e) {
+        state_->exceptions[as_index(r)] = std::current_exception();
+        // Wake every rank blocked in a rendezvous: the SPMD contract is
+        // that a throwing body aborts the whole run, and poisoning turns
+        // what used to be a deadlock into prompt CommPoisoned failures on
+        // the surviving ranks.
+        state_->rendezvous.poison("rank " + std::to_string(r) +
+                                  " aborted: " + e.what());
+        if (state_->board != nullptr) {
+          state_->board->poison("rank " + std::to_string(r) +
+                                " aborted: " + e.what());
+        }
       } catch (...) {
-        state_->exceptions[r] = std::current_exception();
-        // Keep participating in barriers would deadlock anyway; the SPMD
-        // contract is that a throwing body aborts the whole run.  We let
-        // the other ranks deadlock-free by dropping this thread's barrier
-        // participation only if the body throws outside a collective.
+        state_->exceptions[as_index(r)] = std::current_exception();
+        state_->rendezvous.poison("rank " + std::to_string(r) +
+                                  " aborted with a non-standard exception");
+        if (state_->board != nullptr) {
+          state_->board->poison("rank " + std::to_string(r) + " aborted");
+        }
       }
-      rank_stats[r] = comm.stats();
+      rank_stats[as_index(r)] = comm.stats();
     });
   }
   for (auto& t : threads) {
@@ -278,10 +334,27 @@ void ThreadGroup::run(const std::function<void(ThreadComm&)>& body) {
   if (obs::TraceSession::global().enabled()) {
     publish_comm_stats(last_stats_, "thread");
   }
+  // Rethrow the first *primary* failure by rank order: CommPoisoned is a
+  // secondary symptom (the rank was woken because another rank failed), so
+  // it is reported only when no rank holds a primary exception.
+  std::exception_ptr fallback = nullptr;
   for (int r = 0; r < size_; ++r) {
-    if (state_->exceptions[r]) {
-      std::rethrow_exception(state_->exceptions[r]);
+    const std::exception_ptr err = state_->exceptions[as_index(r)];
+    if (err == nullptr) {
+      continue;
     }
+    try {
+      std::rethrow_exception(err);
+    } catch (const check::CommPoisoned&) {
+      if (fallback == nullptr) {
+        fallback = err;
+      }
+    } catch (...) {
+      std::rethrow_exception(err);
+    }
+  }
+  if (fallback != nullptr) {
+    std::rethrow_exception(fallback);
   }
 }
 

@@ -14,11 +14,23 @@
 // Both schedules produce identical results for the same rank count, and are
 // bitwise deterministic run-to-run, which the convergence experiments rely
 // on.
+//
+// Failure semantics: every rendezvous is a check::TimedBarrier bounded by
+// the stall timeout of check::CheckOptions (RCF_COMM_TIMEOUT_MS; 0 waits
+// forever), so a rank that never shows up is diagnosed as CommTimeout
+// naming the missing ranks instead of hanging the world, and a rank whose
+// SPMD body throws poisons the rendezvous so the surviving ranks fail fast
+// with CommPoisoned.  With checking enabled (RCF_CHECK=1 or an explicit
+// CheckOptions), every collective additionally exchanges a
+// check::Fingerprint across ranks *before data moves* and throws
+// check::ContractViolation on any schedule divergence (see src/check).
 #pragma once
 
 #include <functional>
 #include <memory>
 
+#include "check/fingerprint.hpp"
+#include "check/options.hpp"
 #include "dist/comm.hpp"
 
 namespace rcf::dist {
@@ -40,29 +52,48 @@ class ThreadComm final : public Communicator {
 
   [[nodiscard]] int rank() const override { return rank_; }
   [[nodiscard]] int size() const override { return size_; }
-  void allreduce_sum(std::span<double> inout) override;
-  void allreduce_max(std::span<double> inout) override;
-  void broadcast(std::span<double> buffer, int root) override;
-  void allgather(std::span<const double> input,
-                 std::span<double> output) override;
-  void barrier() override;
+  void allreduce_sum(
+      std::span<double> inout,
+      std::source_location site = std::source_location::current()) override;
+  void allreduce_max(
+      std::span<double> inout,
+      std::source_location site = std::source_location::current()) override;
+  void broadcast(
+      std::span<double> buffer, int root,
+      std::source_location site = std::source_location::current()) override;
+  void allgather(
+      std::span<const double> input, std::span<double> output,
+      std::source_location site = std::source_location::current()) override;
+  void barrier(
+      std::source_location site = std::source_location::current()) override;
   [[nodiscard]] const CommStats& stats() const override { return stats_; }
   [[nodiscard]] std::string backend_name() const override { return "thread"; }
 
  private:
   void allreduce_central(std::span<double> inout, bool use_max);
   void allreduce_recursive_doubling(std::span<double> inout, bool use_max);
+  /// Data-movement rendezvous (stall-timeout bounded).
+  void rendezvous(const char* what);
+  /// Contract-checker hook: fingerprints + cross-checks the collective
+  /// about to execute.  No-op (one null test) when checking is off.
+  void contract_check(check::CollectiveKind kind, std::size_t words,
+                      std::uint64_t extra, const std::source_location& site);
 
   int rank_;
   int size_;
   detail::GroupState* state_;
   CommStats stats_;
+  check::SequenceTracker tracker_;
 };
 
 /// Owns the shared state of a thread world and launches SPMD bodies.
 class ThreadGroup {
  public:
-  explicit ThreadGroup(int size, AllreduceAlgo algo = AllreduceAlgo::kCentral);
+  /// `check` controls the rendezvous stall timeout and the per-collective
+  /// contract checker; the default reflects RCF_CHECK / RCF_COMM_TIMEOUT_MS
+  /// (see check::effective_options).
+  explicit ThreadGroup(int size, AllreduceAlgo algo = AllreduceAlgo::kCentral,
+                       check::CheckOptions check = check::effective_options());
   ~ThreadGroup();
 
   ThreadGroup(const ThreadGroup&) = delete;
@@ -71,8 +102,10 @@ class ThreadGroup {
   [[nodiscard]] int size() const { return size_; }
 
   /// Runs `body(comm)` on `size` threads, one rank each, and joins them.
-  /// If any rank throws, the first exception (by rank order) is rethrown
-  /// after all ranks have been joined.
+  /// If any rank throws, the first primary exception (by rank order,
+  /// skipping secondary CommPoisoned failures) is rethrown after all ranks
+  /// have been joined.  A throwing rank poisons the rendezvous, so the
+  /// other ranks abort promptly instead of deadlocking.
   void run(const std::function<void(ThreadComm&)>& body);
 
   /// Stats summed over all ranks of the last run().

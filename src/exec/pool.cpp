@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "check/partition.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -206,6 +207,14 @@ void parallel_for(std::size_t n, const char* label,
     return;
   }
   const int width = pool->width();
+  if (check::partition_audit_due()) {
+    check::audit_partition(
+        label != nullptr ? label : "exec.parallel_for", n,
+        static_cast<std::size_t>(width), [&](std::size_t part) {
+          const Range r = block_range(n, width, static_cast<int>(part));
+          return std::pair<std::size_t, std::size_t>{r.begin, r.end};
+        });
+  }
   pool->run(label, [&fn, n, width](int t) {
     const Range range = block_range(n, width, t);
     if (!range.empty()) {

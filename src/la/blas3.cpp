@@ -1,5 +1,6 @@
 #include <algorithm>
 
+#include "check/partition.hpp"
 #include "exec/pool.hpp"
 #include "la/blas.hpp"
 
@@ -86,6 +87,15 @@ void syrk(double alpha, const Matrix& a, double beta, Matrix& c) {
     row_block(0, {0, n});
   } else {
     const int width = pool->width();
+    if (check::partition_audit_due()) {
+      check::audit_partition(
+          "la.syrk", n, static_cast<std::size_t>(width),
+          [&](std::size_t part) {
+            const exec::Range r =
+                exec::triangle_range(n, width, static_cast<int>(part));
+            return std::pair<std::size_t, std::size_t>{r.begin, r.end};
+          });
+    }
     pool->run("la.syrk", [&](int t) {
       const exec::Range range = exec::triangle_range(n, width, t);
       if (!range.empty()) {
@@ -116,6 +126,19 @@ void symmetrize_from_upper(Matrix& c) {
     return;
   }
   const int width = pool->width();
+  if (check::partition_audit_due()) {
+    // Audit parts in reverse so claimed ranges match the dispatch below;
+    // the auditor only cares that the union of [n-rev.end, n-rev.begin)
+    // tiles [0, n) exactly.
+    check::audit_partition(
+        "la.symmetrize", n, static_cast<std::size_t>(width),
+        [&](std::size_t part) {
+          const exec::Range rev = exec::triangle_range(
+              n, width, width - 1 - static_cast<int>(part));
+          return std::pair<std::size_t, std::size_t>{n - rev.end,
+                                                     n - rev.begin};
+        });
+  }
   pool->run("la.symmetrize", [&](int t) {
     // Lower-triangle row j carries j copies: mirror-image triangle balance
     // (row 0 is empty), so reuse triangle_range on the reversed index.

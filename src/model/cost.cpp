@@ -128,7 +128,7 @@ void CostTracker::reset() {
 }
 
 CostTracker& CostTracker::operator+=(const CostTracker& other) {
-  for (int i = 0; i < kNumPhases; ++i) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(kNumPhases); ++i) {
     flops_[i] += other.flops_[i];
     messages_[i] += other.messages_[i];
     words_[i] += other.words_[i];

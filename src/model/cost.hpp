@@ -56,7 +56,7 @@ class CostTracker {
   explicit CostTracker(CollectiveModel model) : model_(model) {}
 
   void add_flops(Phase phase, double flops) {
-    flops_[static_cast<int>(phase)] += flops;
+    flops_[static_cast<std::size_t>(phase)] += flops;
   }
   /// Charges one allreduce of `words` doubles over `p` ranks.
   void add_allreduce(int p, std::uint64_t words) {
@@ -77,7 +77,7 @@ class CostTracker {
   /// Charges DRAM traffic for working sets that spill the cache (model
   /// extension; see MachineSpec::beta_mem).
   void add_mem_words(Phase phase, double words) {
-    mem_words_[static_cast<int>(phase)] += words;
+    mem_words_[static_cast<std::size_t>(phase)] += words;
   }
 
   [[nodiscard]] double flops() const;
@@ -85,7 +85,7 @@ class CostTracker {
   [[nodiscard]] double words() const;
   [[nodiscard]] double mem_words() const;
   [[nodiscard]] double flops(Phase phase) const {
-    return flops_[static_cast<int>(phase)];
+    return flops_[static_cast<std::size_t>(phase)];
   }
 
   /// Simulated execution time

@@ -43,7 +43,8 @@ void Histogram::observe(double value) {
   if (value < 0.0) {
     value = 0.0;
   }
-  bins_[bin_index(value)].fetch_add(1, std::memory_order_relaxed);
+  bins_[static_cast<std::size_t>(bin_index(value))].fetch_add(
+      1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
   atomic_max(max_, value);
@@ -65,7 +66,8 @@ double Histogram::percentile(double p) const {
       std::ceil(p * static_cast<double>(total)));
   std::uint64_t seen = 0;
   for (int i = 0; i < kNumBins; ++i) {
-    seen += bins_[i].load(std::memory_order_relaxed);
+    seen += bins_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
     if (seen >= rank) {
       return bin_upper_edge(i);
     }

@@ -241,10 +241,12 @@ CsrMatrix CsrMatrix::select_rows(std::span<const std::uint32_t> rows) const {
   m.values_.reserve(total);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const std::size_t r = rows[i];
-    m.col_idx_.insert(m.col_idx_.end(), col_idx_.begin() + row_ptr_[r],
-                      col_idx_.begin() + row_ptr_[r + 1]);
-    m.values_.insert(m.values_.end(), values_.begin() + row_ptr_[r],
-                     values_.begin() + row_ptr_[r + 1]);
+    const auto lo = static_cast<std::ptrdiff_t>(row_ptr_[r]);
+    const auto hi = static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+    m.col_idx_.insert(m.col_idx_.end(), col_idx_.begin() + lo,
+                      col_idx_.begin() + hi);
+    m.values_.insert(m.values_.end(), values_.begin() + lo,
+                     values_.begin() + hi);
     m.row_ptr_[i + 1] = m.values_.size();
   }
   return m;
@@ -257,8 +259,10 @@ CsrMatrix CsrMatrix::slice_rows(std::size_t begin, std::size_t end) const {
   m.cols_ = cols_;
   m.row_ptr_.assign(m.rows_ + 1, 0);
   const std::size_t base = row_ptr_[begin];
-  m.col_idx_.assign(col_idx_.begin() + base, col_idx_.begin() + row_ptr_[end]);
-  m.values_.assign(values_.begin() + base, values_.begin() + row_ptr_[end]);
+  const auto lo = static_cast<std::ptrdiff_t>(base);
+  const auto hi = static_cast<std::ptrdiff_t>(row_ptr_[end]);
+  m.col_idx_.assign(col_idx_.begin() + lo, col_idx_.begin() + hi);
+  m.values_.assign(values_.begin() + lo, values_.begin() + hi);
   for (std::size_t r = 0; r <= m.rows_; ++r) {
     m.row_ptr_[r] = row_ptr_[begin + r] - base;
   }

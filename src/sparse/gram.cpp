@@ -4,6 +4,7 @@
 #include <numeric>
 #include <vector>
 
+#include "check/partition.hpp"
 #include "common/error.hpp"
 #include "exec/pool.hpp"
 #include "la/blas.hpp"
@@ -84,6 +85,15 @@ void accumulate_rows(const CsrMatrix& xt, std::span<const std::uint32_t> idx,
     return;
   }
   const int width = pool->width();
+  if (check::partition_audit_due()) {
+    check::audit_partition(
+        "gram.task", d, static_cast<std::size_t>(width),
+        [&](std::size_t part) {
+          const exec::Range pr =
+              exec::triangle_range(d, width, static_cast<int>(part));
+          return std::pair<std::size_t, std::size_t>{pr.begin, pr.end};
+        });
+  }
   pool->run("gram.task", [&](int t) {
     const exec::Range range = exec::triangle_range(d, width, t);
     if (!range.empty()) {

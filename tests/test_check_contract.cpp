@@ -1,0 +1,486 @@
+// Tests for the verification layer (src/check): seeded collective-contract
+// defects must be *reported* (named ranks + call sites), never hung; seeded
+// partition defects must name the colliding parts; and a clean 4-rank
+// distributed solve under RCF_CHECK=1 must pass with zero reports and the
+// identical iterate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/checked_comm.hpp"
+#include "check/contract.hpp"
+#include "check/fingerprint.hpp"
+#include "check/options.hpp"
+#include "check/partition.hpp"
+#include "check/rendezvous.hpp"
+#include "common/error.hpp"
+#include "core/distributed.hpp"
+#include "core/problem.hpp"
+#include "core/solvers.hpp"
+#include "data/synthetic.hpp"
+#include "dist/thread_comm.hpp"
+#include "exec/pool.hpp"
+#include "la/blas.hpp"
+#include "obs/metrics.hpp"
+
+namespace rcf::check {
+namespace {
+
+CheckOptions checked_options(int timeout_ms = 5000) {
+  CheckOptions opts;
+  opts.enabled = true;
+  opts.timeout_ms = timeout_ms;
+  return opts;
+}
+
+std::uint64_t violations() {
+  return obs::MetricsRegistry::global()
+      .counter("check.contract_violations")
+      .value();
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------------
+
+TEST(Fingerprint, IdenticalStreamsMatch) {
+  SequenceTracker a, b;
+  const auto site = std::source_location::current();
+  for (int i = 0; i < 4; ++i) {
+    const auto fa = a.next(CollectiveKind::kAllreduceSum, 7, 0, false, site);
+    const auto fb = b.next(CollectiveKind::kAllreduceSum, 7, 0, false, site);
+    EXPECT_TRUE(fa.matches(fb)) << i;
+    EXPECT_EQ(fa.seq, static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(Fingerprint, DivergenceStaysInRollingHash) {
+  SequenceTracker a, b;
+  const auto site = std::source_location::current();
+  a.next(CollectiveKind::kAllreduceSum, 7, 0, false, site);
+  b.next(CollectiveKind::kBroadcast, 7, 0, false, site);
+  // Same kind/words from here on, but the rolling hash remembers the
+  // divergence forever.
+  const auto fa = a.next(CollectiveKind::kBarrier, 0, 0, false, site);
+  const auto fb = b.next(CollectiveKind::kBarrier, 0, 0, false, site);
+  EXPECT_FALSE(fa.matches(fb));
+  EXPECT_NE(fa.rolling, fb.rolling);
+}
+
+TEST(Fingerprint, AuxSpaceIsIndependent) {
+  SequenceTracker a, b;
+  const auto site = std::source_location::current();
+  // a interleaves aux traffic, b does not; the engine streams stay equal.
+  a.next(CollectiveKind::kAllreduceSum, 3, 0, true, site);
+  const auto fa = a.next(CollectiveKind::kAllreduceSum, 9, 0, false, site);
+  const auto fb = b.next(CollectiveKind::kAllreduceSum, 9, 0, false, site);
+  EXPECT_TRUE(fa.matches(fb));
+  EXPECT_EQ(fa.space, 0);
+  const auto ga = a.next(CollectiveKind::kBarrier, 0, 0, true, site);
+  EXPECT_EQ(ga.space, 1);
+  EXPECT_EQ(ga.seq, 1u) << "aux space counts its own calls";
+}
+
+TEST(Fingerprint, DescribeNamesKindSpaceAndSite) {
+  SequenceTracker t;
+  const auto fp = t.next(CollectiveKind::kAllreduceSum, 132, 0, false,
+                         std::source_location::current());
+  const std::string text = fp.describe();
+  EXPECT_NE(text.find("allreduce_sum"), std::string::npos) << text;
+  EXPECT_NE(text.find("engine"), std::string::npos) << text;
+  EXPECT_NE(text.find("words=132"), std::string::npos) << text;
+  EXPECT_NE(text.find("test_check_contract.cpp"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------------
+// Contract checker on the threaded backend: seeded defects
+// ---------------------------------------------------------------------------
+
+TEST(CheckContract, PayloadMismatchReported) {
+  const auto before = violations();
+  dist::ThreadGroup group(2, dist::AllreduceAlgo::kCentral, checked_options());
+  try {
+    group.run([&](dist::ThreadComm& comm) {
+      std::vector<double> buf(comm.rank() == 0 ? 4u : 5u, 1.0);
+      comm.allreduce_sum(buf);
+    });
+    FAIL() << "payload mismatch was not reported";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("contract violation"), std::string::npos) << what;
+    EXPECT_NE(what.find("words=4"), std::string::npos) << what;
+    EXPECT_NE(what.find("words=5"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_check_contract.cpp"), std::string::npos) << what;
+  }
+  EXPECT_GT(violations(), before);
+}
+
+TEST(CheckContract, RankDivergentSequenceReported) {
+  dist::ThreadGroup group(2, dist::AllreduceAlgo::kCentral, checked_options());
+  try {
+    group.run([&](dist::ThreadComm& comm) {
+      std::vector<double> buf(8, 0.0);
+      if (comm.rank() == 0) {
+        comm.allreduce_sum(buf);
+      } else {
+        comm.broadcast(buf, 0);
+      }
+    });
+    FAIL() << "rank-divergent schedule was not reported";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("allreduce_sum"), std::string::npos) << what;
+    EXPECT_NE(what.find("broadcast"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckContract, BroadcastRootDivergenceReported) {
+  dist::ThreadGroup group(2, dist::AllreduceAlgo::kCentral, checked_options());
+  EXPECT_THROW(group.run([&](dist::ThreadComm& comm) {
+    std::vector<double> buf(4, 0.0);
+    comm.broadcast(buf, comm.rank());  // roots disagree
+  }),
+               ContractViolation);
+}
+
+TEST(CheckContract, DeadlockReportedAsTimeoutNamingMissingRank) {
+  dist::ThreadGroup group(2, dist::AllreduceAlgo::kCentral,
+                          checked_options(/*timeout_ms=*/250));
+  try {
+    group.run([&](dist::ThreadComm& comm) {
+      if (comm.rank() == 0) {
+        comm.barrier();  // rank 1 never shows up
+      }
+    });
+    FAIL() << "collective deadlock was not reported";
+  } catch (const CommTimeout& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("stall"), std::string::npos) << what;
+    EXPECT_NE(what.find("never arrived"), std::string::npos) << what;
+    EXPECT_NE(what.find("1"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckContract, AuxAgainstEngineCollectiveReported) {
+  dist::ThreadGroup group(2, dist::AllreduceAlgo::kCentral, checked_options());
+  EXPECT_THROW(group.run([&](dist::ThreadComm& comm) {
+    std::vector<double> buf(4, 0.0);
+    if (comm.rank() == 0) {
+      dist::Communicator::AuxScope aux(comm);
+      comm.allreduce_sum(buf);
+    } else {
+      comm.allreduce_sum(buf);
+    }
+  }),
+               ContractViolation);
+}
+
+TEST(CheckContract, MatchedAuxTrafficIsClean) {
+  const auto before = violations();
+  dist::ThreadGroup group(4, dist::AllreduceAlgo::kCentral, checked_options());
+  group.run([&](dist::ThreadComm& comm) {
+    std::vector<double> buf(4, 1.0);
+    comm.allreduce_sum(buf);
+    {
+      dist::Communicator::AuxScope aux(comm);
+      comm.allreduce_max(buf);
+      comm.barrier();
+    }
+    comm.allreduce_sum(buf);
+    ASSERT_DOUBLE_EQ(buf[0], 16.0);
+  });
+  EXPECT_EQ(violations(), before);
+}
+
+TEST(CheckContract, BodyExceptionDoesNotHangOtherRanks) {
+  dist::ThreadGroup group(4, dist::AllreduceAlgo::kCentral, checked_options());
+  EXPECT_THROW(group.run([&](dist::ThreadComm& comm) {
+    if (comm.rank() == 2) {
+      throw InvalidArgument("rank 2 gives up");
+    }
+    comm.barrier();  // survivors are released by the poison, not a hang
+  }),
+               InvalidArgument);
+}
+
+TEST(CheckContract, GroupIsReusableAfterViolation) {
+  dist::ThreadGroup group(2, dist::AllreduceAlgo::kCentral, checked_options());
+  EXPECT_THROW(group.run([&](dist::ThreadComm& comm) {
+    std::vector<double> buf(comm.rank() == 0 ? 1u : 2u, 0.0);
+    comm.allreduce_sum(buf);
+  }),
+               ContractViolation);
+  group.run([&](dist::ThreadComm& comm) {
+    std::vector<double> buf(2, 1.0);
+    comm.allreduce_sum(buf);
+    ASSERT_DOUBLE_EQ(buf[0], 2.0);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// CheckedComm decorator (backend-agnostic epoch exchange)
+// ---------------------------------------------------------------------------
+
+/// Single-rank loopback communicator (SeqComm is final) whose aux-mode
+/// allreduce_max pretends some other rank reported a larger value:
+/// simulates a diverged fleet for the epoch exchange without needing a
+/// second real rank.
+class DivergentMaxComm final : public dist::Communicator {
+ public:
+  [[nodiscard]] int rank() const override { return 0; }
+  [[nodiscard]] int size() const override { return 1; }
+  void allreduce_sum(std::span<double>,
+                     std::source_location =
+                         std::source_location::current()) override {
+    ++stats_.allreduce_calls;
+  }
+  void allreduce_max(std::span<double> inout,
+                     std::source_location =
+                         std::source_location::current()) override {
+    ++stats_.allreduce_max_calls;
+    if (aux_mode() && !inout.empty()) {
+      inout[0] += 1.0;  // fleet max above this rank's hash -> divergence
+    }
+  }
+  void broadcast(std::span<double>, int,
+                 std::source_location =
+                     std::source_location::current()) override {
+    ++stats_.broadcast_calls;
+  }
+  void allgather(std::span<const double> input, std::span<double> output,
+                 std::source_location =
+                     std::source_location::current()) override {
+    std::copy(input.begin(), input.end(), output.begin());
+    ++stats_.allgather_calls;
+  }
+  void barrier(std::source_location =
+                   std::source_location::current()) override {
+    ++stats_.barrier_calls;
+  }
+  [[nodiscard]] const dist::CommStats& stats() const override {
+    return stats_;
+  }
+  [[nodiscard]] std::string backend_name() const override {
+    return "divergent";
+  }
+
+ private:
+  dist::CommStats stats_;
+};
+
+TEST(CheckedComm, CleanScheduleIsQuiet) {
+  dist::SeqComm inner;
+  CheckOptions opts = checked_options();
+  opts.epoch = 2;
+  CheckedComm comm(inner, opts);
+  EXPECT_TRUE(comm.enabled());
+  EXPECT_EQ(comm.backend_name(), "seq+check");
+  std::vector<double> buf(4, 1.0);
+  for (int i = 0; i < 10; ++i) {
+    comm.allreduce_sum(buf);
+  }
+  comm.barrier();
+  // The epoch exchange runs in aux mode: engine stats stay exact.
+  EXPECT_EQ(comm.stats().allreduce_calls, 10u);
+  EXPECT_EQ(comm.stats().barrier_calls, 1u);
+}
+
+TEST(CheckedComm, EpochExchangeReportsHashDivergence) {
+  DivergentMaxComm inner;
+  CheckOptions opts = checked_options();
+  opts.epoch = 4;
+  CheckedComm comm(inner, opts);
+  std::vector<double> buf(4, 1.0);
+  comm.allreduce_sum(buf);
+  comm.allreduce_sum(buf);
+  comm.allreduce_sum(buf);
+  try {
+    comm.allreduce_sum(buf);  // 4th engine collective -> exchange fires
+    FAIL() << "diverged rolling hash was not reported";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rolling hash diverged"), std::string::npos) << what;
+    EXPECT_NE(what.find("allreduce_sum"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_check_contract.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckedComm, DisabledForwardsUntouched) {
+  dist::SeqComm inner;
+  CheckOptions opts;  // enabled = false
+  CheckedComm comm(inner, opts);
+  EXPECT_FALSE(comm.enabled());
+  std::vector<double> buf(3, 2.0);
+  comm.allreduce_sum(buf);
+  comm.broadcast(buf, 0);
+  EXPECT_EQ(inner.stats().allreduce_calls, 1u);
+  EXPECT_EQ(inner.stats().broadcast_calls, 1u);
+  EXPECT_DOUBLE_EQ(buf[0], 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Partition auditor
+// ---------------------------------------------------------------------------
+
+TEST(CheckPartition, OverlapNamesBothPartsAndIndex) {
+  PartitionAudit audit("unit.overlap", 10);
+  audit.mark(0, 0, 6);
+  try {
+    audit.mark(1, 5, 10);
+    FAIL() << "overlap was not reported";
+  } catch (const PartitionViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unit.overlap"), std::string::npos) << what;
+    EXPECT_NE(what.find("index 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("part 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("part 1"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckPartition, GapNamesFirstUncoveredIndex) {
+  PartitionAudit audit("unit.gap", 10);
+  audit.mark(0, 0, 4);
+  audit.mark(1, 5, 10);
+  try {
+    audit.finish();
+    FAIL() << "gap was not reported";
+  } catch (const PartitionViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("index 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("gap"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckPartition, OutOfBoundsRangeReported) {
+  PartitionAudit audit("unit.oob", 10);
+  EXPECT_THROW(audit.mark(0, 5, 11), PartitionViolation);
+  EXPECT_THROW(audit.mark(0, 7, 6), PartitionViolation);
+}
+
+TEST(CheckPartition, BlockAndTriangleRangesAlwaysTile) {
+  for (const std::size_t n : {0u, 1u, 5u, 17u, 64u, 1000u}) {
+    for (const int parts : {1, 2, 3, 7, 16}) {
+      const auto nparts = static_cast<std::size_t>(parts);
+      audit_partition("sweep.block", n, nparts, [&](std::size_t part) {
+        const exec::Range r = exec::block_range(n, parts,
+                                                static_cast<int>(part));
+        return std::pair<std::size_t, std::size_t>{r.begin, r.end};
+      });
+      audit_partition("sweep.triangle", n, nparts, [&](std::size_t part) {
+        const exec::Range r =
+            exec::triangle_range(n, parts, static_cast<int>(part));
+        return std::pair<std::size_t, std::size_t>{r.begin, r.end};
+      });
+    }
+  }
+}
+
+TEST(CheckPartition, AuditPartitionReportsSeededOverlap) {
+  const auto before = obs::MetricsRegistry::global()
+                          .counter("check.partition_violations")
+                          .value();
+  EXPECT_THROW(
+      audit_partition("seeded.overlap", 8, 2,
+                      [](std::size_t) {
+                        // Both parts claim the full range.
+                        return std::pair<std::size_t, std::size_t>{0, 8};
+                      }),
+      PartitionViolation);
+  EXPECT_GT(obs::MetricsRegistry::global()
+                .counter("check.partition_violations")
+                .value(),
+            before);
+}
+
+TEST(CheckPartition, SampledGateRespectsScopedEnable) {
+  {
+    ScopedCheckEnable off(false);
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_FALSE(partition_audit_due());
+    }
+  }
+  {
+    ScopedCheckEnable on(true);
+    // Default sampling audits every 16th dispatch; 16 consecutive calls
+    // must therefore hit at least one audit regardless of counter phase.
+    bool any = false;
+    for (int i = 0; i < 16; ++i) {
+      any = any || partition_audit_due();
+    }
+    EXPECT_TRUE(any);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Positive control: clean 4-rank prox-Newton-style solve under RCF_CHECK=1
+// ---------------------------------------------------------------------------
+
+TEST(CheckContract, CleanDistributedSolveUnderCheckIsBitwiseIdentical) {
+  const auto dataset = [] {
+    data::SyntheticOptions o;
+    o.num_samples = 600;
+    o.num_features = 24;
+    o.density = 0.4;
+    o.condition = 30.0;
+    o.noise_stddev = 0.05;
+    o.seed = 13;
+    return data::make_regression(o);
+  }();
+  const core::LassoProblem problem(dataset, 0.01);
+  core::SolverOptions opts;
+  opts.max_iters = 32;
+  opts.sampling_rate = 0.2;
+  opts.k = 4;  // PN-style block schedule: k Hessians per allreduce round
+  opts.s = 2;
+  opts.track_history = false;
+
+  // Reference: checking off.
+  core::SolveResult plain;
+  {
+    ScopedCheckEnable off(false);
+    dist::ThreadGroup group(4);
+    plain = core::solve_rc_sfista_distributed(problem, opts, group);
+  }
+
+  const auto violations_before = violations();
+  const auto partition_violations_before =
+      obs::MetricsRegistry::global()
+          .counter("check.partition_violations")
+          .value();
+
+  // Checked: RCF_CHECK=1 configuration via the scoped override.
+  core::SolveResult checked;
+  {
+    ScopedCheckEnable on(true);
+    dist::ThreadGroup group(4);
+    checked = core::solve_rc_sfista_distributed(problem, opts, group);
+  }
+
+  // Zero reports...
+  EXPECT_EQ(violations(), violations_before);
+  EXPECT_EQ(obs::MetricsRegistry::global()
+                .counter("check.partition_violations")
+                .value(),
+            partition_violations_before);
+  // ...the checker actually ran...
+  EXPECT_GT(obs::MetricsRegistry::global()
+                .counter("check.collectives_checked")
+                .value(),
+            0u);
+  // ...and checking perturbed nothing: same iterate bit for bit, same
+  // engine comm schedule.
+  ASSERT_EQ(checked.w.size(), plain.w.size());
+  EXPECT_EQ(la::max_abs_diff(checked.w.span(), plain.w.span()), 0.0);
+  EXPECT_EQ(checked.comm_stats.allreduce_calls,
+            plain.comm_stats.allreduce_calls);
+  EXPECT_EQ(checked.comm_stats.allreduce_words,
+            plain.comm_stats.allreduce_words);
+}
+
+}  // namespace
+}  // namespace rcf::check

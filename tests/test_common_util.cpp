@@ -64,8 +64,8 @@ TEST(Cli, BadIntThrows) {
   CliParser cli("t", "test");
   const char* argv[] = {"t", "--a=xyz"};
   ASSERT_TRUE(cli.parse(2, argv));
-  EXPECT_THROW(cli.get_int("a", 0), InvalidArgument);
-  EXPECT_THROW(cli.get_double("a", 0.0), InvalidArgument);
+  EXPECT_THROW((void)cli.get_int("a", 0), InvalidArgument);
+  EXPECT_THROW((void)cli.get_double("a", 0.0), InvalidArgument);
 }
 
 TEST(Cli, NegativeNumberAsValue) {

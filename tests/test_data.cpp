@@ -95,7 +95,7 @@ TEST(PaperClones, SpecsMatchTable2) {
   const auto& eps = paper_dataset_spec("epsilon");
   EXPECT_EQ(eps.cols, 2000u);
   EXPECT_DOUBLE_EQ(eps.lambda, 0.0001);
-  EXPECT_THROW(paper_dataset_spec("nonexistent"), InvalidArgument);
+  EXPECT_THROW((void)paper_dataset_spec("nonexistent"), InvalidArgument);
 }
 
 TEST(PaperClones, CloneMatchesShapeContract) {
@@ -120,7 +120,7 @@ TEST(PaperClones, ScaleValidation) {
   EXPECT_THROW(make_paper_clone("covtype", 0.0), InvalidArgument);
   EXPECT_THROW(make_paper_clone("covtype", 1.5), InvalidArgument);
   EXPECT_THROW(make_paper_clone("unknown", 0.5), InvalidArgument);
-  EXPECT_THROW(default_clone_scale("unknown"), InvalidArgument);
+  EXPECT_THROW((void)default_clone_scale("unknown"), InvalidArgument);
 }
 
 TEST(Dataset, ValidateChecksLabelCount) {
@@ -195,7 +195,7 @@ TEST(Partition, Owner) {
   EXPECT_EQ(p.owner(3), 0);
   EXPECT_EQ(p.owner(4), 1);
   EXPECT_EQ(p.owner(9), 2);
-  EXPECT_THROW(p.owner(10), InvalidArgument);
+  EXPECT_THROW((void)p.owner(10), InvalidArgument);
 }
 
 TEST(Partition, SplitSorted) {
@@ -240,7 +240,8 @@ TEST(Synthetic, LatentRankLimitsEffectiveRank) {
     for (int b = 0; b < kR; ++b) {
       double acc = 0.0;
       for (std::size_t j = 0; j < 30; ++j) {
-        acc += dense[a * 30 + j] * dense[b * 30 + j];
+        acc += dense[static_cast<std::size_t>(a) * 30 + j] *
+               dense[static_cast<std::size_t>(b) * 30 + j];
       }
       gram[a][b] = acc;
     }

@@ -113,8 +113,9 @@ TEST_P(ThreadCommTest, Allgather) {
     std::vector<double> all(6);
     comm.allgather(mine, all);
     for (int r = 0; r < 3; ++r) {
-      ASSERT_DOUBLE_EQ(all[2 * r], r);
-      ASSERT_DOUBLE_EQ(all[2 * r + 1], r);
+      const auto i = static_cast<std::size_t>(r);
+      ASSERT_DOUBLE_EQ(all[2 * i], r);
+      ASSERT_DOUBLE_EQ(all[2 * i + 1], r);
     }
   });
 }

@@ -56,7 +56,7 @@ TEST(Blas1, MaxAbsDiff) {
 TEST(Blas1, SizeMismatchThrows) {
   Vector a(3), b(4);
   EXPECT_THROW(axpy(1.0, a.span(), b.span()), DimensionMismatch);
-  EXPECT_THROW(dot(a.span(), b.span()), DimensionMismatch);
+  EXPECT_THROW((void)dot(a.span(), b.span()), DimensionMismatch);
   EXPECT_THROW(copy(a.span(), b.span()), DimensionMismatch);
 }
 
@@ -177,7 +177,7 @@ TEST(Matrix, SymmetrizeFromUpper) {
 
 TEST(Matrix, MaxAbsDiffShapeChecks) {
   Matrix a(2, 2), b(2, 3);
-  EXPECT_THROW(Matrix::max_abs_diff(a, b), DimensionMismatch);
+  EXPECT_THROW((void)Matrix::max_abs_diff(a, b), DimensionMismatch);
 }
 
 }  // namespace

@@ -72,7 +72,8 @@ TEST(Eq25, ScalesInverselyWithDSquared) {
   EXPECT_NEAR(k_bound_latency_bandwidth(spec, 10.0) /
                   k_bound_latency_bandwidth(spec, 20.0),
               4.0, 1e-9);
-  EXPECT_THROW(k_bound_latency_bandwidth(spec, 0.0), InvalidArgument);
+  EXPECT_THROW((void)k_bound_latency_bandwidth(spec, 0.0),
+               InvalidArgument);
 }
 
 TEST(Eq26, MonotoneInAlpha) {
@@ -109,10 +110,10 @@ TEST(Eq28, DependsOnBetaGammaRatio) {
 TEST(Bounds, DegenerateShapesRejected) {
   AlgorithmShape s = base_shape();
   s.p = 0.5;
-  EXPECT_THROW(sfista_cost(s), InvalidArgument);
+  EXPECT_THROW((void)sfista_cost(s), InvalidArgument);
   s = base_shape();
   s.k = 0.0;
-  EXPECT_THROW(rcsfista_cost(s), InvalidArgument);
+  EXPECT_THROW((void)rcsfista_cost(s), InvalidArgument);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "common/rng.hpp"
@@ -151,7 +152,7 @@ TEST_P(ProxNonexpansive, Holds) {
     default:
       reg = std::make_unique<ZeroRegularizer>();
   }
-  Rng rng(23, GetParam());
+  Rng rng(23, static_cast<std::uint64_t>(GetParam()));
   for (int trial = 0; trial < 100; ++trial) {
     la::Vector a(6), b(6);
     for (std::size_t i = 0; i < 6; ++i) {

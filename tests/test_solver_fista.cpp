@@ -69,8 +69,8 @@ TEST(MomentumSchedule, RandomAccessConsistency) {
   const double late = a.mu(100);  // force extension out of order
   EXPECT_DOUBLE_EQ(a.mu(3), b.mu(3));
   EXPECT_DOUBLE_EQ(late, b.mu(100));
-  EXPECT_THROW(a.mu(0), InvalidArgument);
-  EXPECT_THROW(a.t(-1), InvalidArgument);
+  EXPECT_THROW((void)a.mu(0), InvalidArgument);
+  EXPECT_THROW((void)a.t(-1), InvalidArgument);
 }
 
 TEST_F(FistaTest, ProblemBasics) {
@@ -240,8 +240,8 @@ TEST_F(FistaTest, Theorem1StepBound) {
             problem_.theorem1_step_bound(400));
   // The bound never exceeds the classical 2/L region boundary scaled form.
   EXPECT_LE(problem_.theorem1_step_bound(8), 1.0 / l);
-  EXPECT_THROW(problem_.theorem1_step_bound(0), InvalidArgument);
-  EXPECT_THROW(problem_.theorem1_step_bound(801), InvalidArgument);
+  EXPECT_THROW((void)problem_.theorem1_step_bound(0), InvalidArgument);
+  EXPECT_THROW((void)problem_.theorem1_step_bound(801), InvalidArgument);
 }
 
 TEST_F(FistaTest, ExplicitStepSizeHonored) {
