@@ -60,6 +60,18 @@ int main(int argc, char** argv) {
 
   const auto distributed =
       core::solve_rc_sfista_distributed(problem, opts, group);
+  if (!distributed.ok()) {
+    // Structured failure (e.g. an RCF_FAULT abort or unrecoverable
+    // poison): report the cause instead of comparing a partial iterate.
+    std::fprintf(stderr, "distributed solve failed: %s\n",
+                 distributed.failure_reason.c_str());
+    std::printf("retries      : %llu, faults injected: %llu\n",
+                static_cast<unsigned long long>(
+                    distributed.comm_stats.retries),
+                static_cast<unsigned long long>(
+                    distributed.comm_stats.faults_injected));
+    return 1;
+  }
   // The sequential verification run opts out of tracing so the captured
   // trace holds exactly the distributed execution's spans (one "allreduce"
   // per ThreadComm collective, matching CommStats::allreduce_calls).

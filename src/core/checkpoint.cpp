@@ -1,0 +1,80 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace rcf::core {
+
+std::string to_json(const PnCheckpoint& ck) {
+  std::string out = "{\"outer\": " + std::to_string(ck.outer);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", ck.objective);
+  out += ", \"objective\": ";
+  out += buf;
+  out += ", \"w\": [";
+  for (std::size_t i = 0; i < ck.w.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%.17g", ck.w[i]);
+    if (i != 0) {
+      out += ", ";
+    }
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+PnCheckpoint checkpoint_from_json(std::string_view text) {
+  const auto doc = parse_json(text);
+  if (!doc.has_value() || !doc->is_object()) {
+    throw IoError("checkpoint: not a JSON object");
+  }
+  const JsonValue* outer = doc->find("outer");
+  const JsonValue* objective = doc->find("objective");
+  const JsonValue* w = doc->find("w");
+  if (outer == nullptr || !outer->is_number() || objective == nullptr ||
+      !objective->is_number() || w == nullptr || !w->is_array()) {
+    throw IoError(
+        "checkpoint: missing or mistyped field (need outer, objective, w)");
+  }
+  PnCheckpoint ck;
+  ck.outer = static_cast<int>(outer->number);
+  if (ck.outer < 0) {
+    throw IoError("checkpoint: outer must be >= 0");
+  }
+  ck.objective = objective->number;
+  ck.w.reserve(w->array.size());
+  for (const JsonValue& v : w->array) {
+    if (!v.is_number()) {
+      throw IoError("checkpoint: non-numeric entry in w");
+    }
+    ck.w.push_back(v.number);
+  }
+  return ck;
+}
+
+void save_checkpoint(const std::string& path, const PnCheckpoint& ck) {
+  std::ofstream out(path);
+  if (!out) {
+    throw IoError("checkpoint: cannot open for writing: " + path);
+  }
+  out << to_json(ck) << '\n';
+  if (!out) {
+    throw IoError("checkpoint: write failed: " + path);
+  }
+}
+
+PnCheckpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw IoError("checkpoint: cannot open: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return checkpoint_from_json(buf.str());
+}
+
+}  // namespace rcf::core

@@ -1,0 +1,39 @@
+// Proximal-Newton outer-iteration checkpointing.
+//
+// The PN driver's cross-iteration state is exactly (outer index, iterate w,
+// objective at w): every other quantity -- the sampled-Hessian index set,
+// the power-iteration start vector, the inner momentum sequence -- is
+// re-derived per outer iteration from (seed, outer) via the counter-based
+// RNG.  A solve resumed from a checkpoint therefore replays the remaining
+// outer iterations *bitwise* identically to the uninterrupted run, which
+// is what makes checkpoint/restore a testable resilience primitive (see
+// tools/rcf-chaos and tests/test_fault.cpp) rather than a best-effort one.
+//
+// Serialization is JSON with %.17g doubles (exact round-trip).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rcf::core {
+
+/// State captured after a completed PN outer iteration.
+struct PnCheckpoint {
+  int outer = 0;           ///< last completed outer iteration (1-based).
+  double objective = 0.0;  ///< F(w) at the checkpointed iterate.
+  std::vector<double> w;   ///< iterate, length d.
+};
+
+/// Serializes to a single-line JSON object.
+[[nodiscard]] std::string to_json(const PnCheckpoint& ck);
+
+/// Parses to_json output.  Throws rcf::IoError on malformed input
+/// (syntax error, missing field, non-numeric entries).
+[[nodiscard]] PnCheckpoint checkpoint_from_json(std::string_view text);
+
+/// File convenience wrappers (throw rcf::IoError on I/O failure).
+void save_checkpoint(const std::string& path, const PnCheckpoint& ck);
+[[nodiscard]] PnCheckpoint load_checkpoint(const std::string& path);
+
+}  // namespace rcf::core

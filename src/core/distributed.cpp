@@ -1,10 +1,12 @@
 #include "core/distributed.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <vector>
 
 #include "check/checked_comm.hpp"
+#include "check/options.hpp"
 #include "check/partition.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -12,7 +14,10 @@
 #include "core/engine.hpp"
 #include "core/momentum.hpp"
 #include "data/partition.hpp"
+#include "dist/retry.hpp"
 #include "exec/pool.hpp"
+#include "fault/faulty_comm.hpp"
+#include "fault/plan.hpp"
 #include "la/blas.hpp"
 #include "obs/aggregate.hpp"
 #include "obs/metrics.hpp"
@@ -21,6 +26,26 @@
 #include "sparse/gram.hpp"
 
 namespace rcf::core {
+
+namespace {
+
+/// Corruption bound for the reduced [H|R] payload guard.  A poisoned
+/// contribution is either non-finite (NaN injection, exponent-bit flips
+/// that produce Inf/NaN) or astronomically large (a flipped high exponent
+/// bit scales a value by ~2^512); legitimate Gram blocks of normalized
+/// datasets live many orders of magnitude below this.
+constexpr double kPayloadBound = 1e100;
+
+bool payload_sane(std::span<const double> payload) {
+  for (const double v : payload) {
+    if (!std::isfinite(v) || std::abs(v) > kPayloadBound) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
                                         const SolverOptions& opts,
@@ -59,13 +84,47 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
   obs::FleetMetrics fleet;
   obs::ConvergenceRing conv;
 
-  group.run([&](dist::ThreadComm& comm) {
+  // Resilience bookkeeping.  The fault/retry decorators live on each rank's
+  // stack, so their counters are folded into the run totals through shared
+  // atomics (ThreadGroup::last_run_stats only sums the backend endpoints).
+  // The payload guard is armed only when it could matter -- a chaos plan is
+  // installed or the verification layer is on -- so fault-free production
+  // solves never pay the O(payload) scan.
+  const fault::FaultPlan* plan = fault::active_plan();
+  const bool guard_payload = plan != nullptr || check::globally_enabled();
+  std::atomic<std::uint64_t> total_retries{0};
+  std::atomic<std::uint64_t> total_faults{0};
+
+  const auto body = [&](dist::ThreadComm& comm) {
     const int rank = comm.rank();
+    // Collective decorator stack, innermost first:
+    //   ThreadComm <- FaultyComm <- RetryingComm <- CheckedComm.
+    // The chaos layer throws transient failures *before* the backend call,
+    // so a retried collective enters the rendezvous exactly once and the
+    // contract checker above it records exactly one schedule entry -- no
+    // false positives from legitimate retries.
+    fault::FaultyComm faulty(comm, plan);
+    dist::RetryingComm retrying(faulty, opts.retry);
+    // Fold the decorator counters into the shared totals on scope exit --
+    // including when this rank dies mid-schedule (injected aborts and
+    // exhausted retries throw through this frame), so failure results
+    // still report how many faults actually fired.
+    struct CounterFold {
+      fault::FaultyComm& faulty;
+      dist::RetryingComm& retrying;
+      std::atomic<std::uint64_t>& retries;
+      std::atomic<std::uint64_t>& faults;
+      ~CounterFold() {
+        retries.fetch_add(retrying.retries(), std::memory_order_relaxed);
+        faults.fetch_add(faulty.faults_injected(),
+                         std::memory_order_relaxed);
+      }
+    } fold{faulty, retrying, total_retries, total_faults};
     // Contract decorator: with RCF_CHECK on, every collective below is
     // fingerprinted and the rolling schedule hash is epoch-checked across
     // ranks (on top of the threaded backend's per-call board); with
     // checking off it forwards untouched.
-    check::CheckedComm checked(comm);
+    check::CheckedComm checked(retrying);
     // Per-rank pool: width 0 divides the hardware among the SPMD ranks so
     // P ranks x W pool threads never oversubscribes the machine.
     exec::Pool pool(exec::Pool::resolve_width(opts.threads, group.size()));
@@ -105,44 +164,71 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
 
       // Stages A + B: every rank draws the *global* index set from the
       // shared (seed, n) stream -- no communication needed to agree on it --
-      // and accumulates the outer products of its own samples.
-      for (int j = 0; j < kk; ++j) {
-        const int n = block_start + j;
-        obs::timed_phase(tracing, lp_sampling, "sampling", 0.0, [&] {
-          Rng rng(opts.seed, static_cast<std::uint64_t>(n));
-          idx = rng.sample_without_replacement(m, mbar);
-          local_idx.clear();
-          for (const auto i : idx) {
-            if (i >= lo && i < hi) {
-              local_idx.push_back(static_cast<std::uint32_t>(i - lo));
+      // and accumulates the outer products of its own samples.  Factored
+      // into a lambda because it is a pure function of (seed, block_start):
+      // the poison-recovery path below re-runs it to rebuild a corrupted
+      // rank-local contribution from scratch.
+      const auto build_blocks = [&] {
+        for (int j = 0; j < kk; ++j) {
+          const int n = block_start + j;
+          obs::timed_phase(tracing, lp_sampling, "sampling", 0.0, [&] {
+            Rng rng(opts.seed, static_cast<std::uint64_t>(n));
+            idx = rng.sample_without_replacement(m, mbar);
+            local_idx.clear();
+            for (const auto i : idx) {
+              if (i >= lo && i < hi) {
+                local_idx.push_back(static_cast<std::uint32_t>(i - lo));
+              }
             }
-          }
-        });
-        obs::timed_phase(tracing, lp_gram, "gram", 0.0, [&] {
-          h_local.fill(0.0);
-          la::set_zero(r_local.span());
-          sparse::accumulate_sampled_gram(
-              local_xt, local_y.span(), local_idx,
-              1.0 / static_cast<double>(idx.size()), h_local, r_local.span());
-          la::symmetrize_from_upper(h_local);
-          double* dst =
-              pack.data() + static_cast<std::size_t>(j) * (d * d + d);
-          std::copy(h_local.data(), h_local.data() + d * d, dst);
-          std::copy(r_local.data(), r_local.data() + d, dst + d * d);
-        });
-      }
+          });
+          obs::timed_phase(tracing, lp_gram, "gram", 0.0, [&] {
+            h_local.fill(0.0);
+            la::set_zero(r_local.span());
+            sparse::accumulate_sampled_gram(
+                local_xt, local_y.span(), local_idx,
+                1.0 / static_cast<double>(idx.size()), h_local,
+                r_local.span());
+            la::symmetrize_from_upper(h_local);
+            double* dst =
+                pack.data() + static_cast<std::size_t>(j) * (d * d + d);
+            std::copy(h_local.data(), h_local.data() + d * d, dst);
+            std::copy(r_local.data(), r_local.data() + d, dst + d * d);
+          });
+        }
+      };
 
       // Stage C: one allreduce combines all ranks' partial blocks.  Counted
       // and timed as the "allreduce" phase, but the span itself is emitted
       // inside ThreadComm (one per collective call, matching CommStats).
-      {
-        const std::size_t payload = static_cast<std::size_t>(kk) * (d * d + d);
+      const std::size_t payload = static_cast<std::size_t>(kk) * (d * d + d);
+      const auto reduce_blocks = [&] {
         ++lp_allreduce.count;
         lp_allreduce.words += static_cast<double>(payload);
         const std::int64_t t0 = tracing ? session.now_us() : 0;
         checked.allreduce_sum({pack.data(), payload});
         if (tracing) {
           lp_allreduce.us += session.now_us() - t0;
+        }
+      };
+
+      build_blocks();
+      reduce_blocks();
+
+      // Poison detection + recovery.  Corruption is injected into the
+      // rank-local contribution *before* the reduce, so after the allreduce
+      // every rank holds the identical poisoned sums and takes this branch
+      // symmetrically: all ranks rebuild their (deterministic) local blocks
+      // and re-reduce once, which yields the bitwise fault-free payload when
+      // the corruption was transient.  Persistent corruption is rejected as
+      // a structured failure rather than propagated into the iterate.
+      if (guard_payload && !payload_sane({pack.data(), payload})) {
+        build_blocks();
+        reduce_blocks();
+        if (!payload_sane({pack.data(), payload})) {
+          throw fault::PoisonedPayload(
+              "distributed: reduced [H|R] payload still corrupt after "
+              "recompute fallback (block_start=" +
+              std::to_string(block_start) + ")");
         }
       }
 
@@ -260,7 +346,7 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
       obs::append_phase(local_phases, "gram", lp_gram);
       obs::append_phase(local_phases, "allreduce", lp_allreduce);
       obs::append_phase(local_phases, "update", lp_update);
-      const dist::CommStats rank_stats = comm.stats();
+      const dist::CommStats rank_stats = checked.stats();
       obs::MetricsRegistry local;
       obs::record_solve_metrics(local, local_phases, &rank_stats);
       obs::FleetMetrics rank_fleet = obs::aggregate(local, checked);
@@ -277,18 +363,70 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
       ph_update = lp_update;
       conv = std::move(local_conv);
     }
-  });
+  };
+
+  // ThreadGroup publishes the raw endpoint counters to the registry, but
+  // retries/faults live in the decorators wrapped around each endpoint;
+  // mirror them so the metrics file (and rcf-report's resilience view)
+  // agrees with SolveResult::comm_stats.
+  const auto publish_resilience = [&] {
+    if (!obs::TraceSession::global().enabled()) {
+      return;
+    }
+    auto& registry = obs::MetricsRegistry::global();
+    registry.counter("comm.thread.retries")
+        .add(total_retries.load(std::memory_order_relaxed));
+    registry.counter("comm.thread.faults_injected")
+        .add(total_faults.load(std::memory_order_relaxed));
+  };
+
+  const auto structured_failure = [&](const char* reason) {
+    SolveResult failed =
+        SolveResult::failure("rc-sfista-distributed", reason);
+    failed.wall_seconds = wall.seconds();
+    // Partial stats: ThreadGroup sums the per-rank endpoint counters even
+    // when the run throws; decorator counters from ranks that threw before
+    // reaching the fold are lost, so retries/faults are a lower bound here.
+    failed.comm_stats = group.last_run_stats();
+    failed.comm_stats.retries +=
+        total_retries.load(std::memory_order_relaxed);
+    failed.comm_stats.faults_injected +=
+        total_faults.load(std::memory_order_relaxed);
+    publish_resilience();
+    return failed;
+  };
+
+  try {
+    group.run(body);
+  } catch (const fault::FaultAbort& e) {
+    return structured_failure(e.what());
+  } catch (const fault::PoisonedPayload& e) {
+    return structured_failure(e.what());
+  } catch (const dist::TransientCommFailure& e) {
+    return structured_failure(e.what());
+  }
 
   SolveResult result;
   result.solver = "rc-sfista-distributed";
   result.w = final_w;
   result.iterations = opts.max_iters;
   result.objective = problem.objective(result.w.span());
+  if (!std::isfinite(result.objective)) {
+    SolveResult failed = structured_failure(
+        "distributed: non-finite objective at the final iterate");
+    failed.w = std::move(result.w);
+    failed.iterations = result.iterations;
+    return failed;
+  }
   if (!std::isnan(opts.f_star) && opts.f_star != 0.0) {
     result.rel_error = std::abs((result.objective - opts.f_star) / opts.f_star);
   }
   result.wall_seconds = wall.seconds();
   result.comm_stats = group.last_run_stats();
+  result.comm_stats.retries += total_retries.load(std::memory_order_relaxed);
+  result.comm_stats.faults_injected +=
+      total_faults.load(std::memory_order_relaxed);
+  publish_resilience();
   obs::append_phase(result.phases, "sampling", ph_sampling);
   obs::append_phase(result.phases, "gram", ph_gram);
   obs::append_phase(result.phases, "allreduce", ph_allreduce);

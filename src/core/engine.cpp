@@ -445,6 +445,13 @@ SolveResult run_sfista_engine(const LassoProblem& problem,
   result.w = st.w;
   result.iterations = iterations_done;
   result.objective = eval_objective(result.w.span());
+  if (!std::isfinite(result.objective)) {
+    // Divergence (or corrupted inputs) is reported as a structured failure
+    // rather than handing the caller a NaN/Inf objective to misinterpret.
+    result.failed = true;
+    result.failure_reason =
+        "engine: non-finite objective at the final iterate";
+  }
   if (!std::isnan(opts.f_star) && opts.f_star != 0.0) {
     result.rel_error = std::abs((result.objective - opts.f_star) / opts.f_star);
   }

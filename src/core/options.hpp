@@ -2,8 +2,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 
+#include "core/checkpoint.hpp"
+#include "dist/retry.hpp"
 #include "model/cost.hpp"
 #include "model/machine.hpp"
 
@@ -101,6 +104,13 @@ struct SolverOptions {
   /// oversubscribe.  Results are bit-identical at every width.
   int threads = 1;
 
+  // -- resilience -------------------------------------------------------------
+  /// Retry/backoff policy for transient collective failures on the real
+  /// SPMD backend (see dist/retry.hpp).  The defaults absorb up to three
+  /// transient faults per collective; retries surface as
+  /// CommStats::retries and the "comm.backoff_us" obs counter.
+  dist::RetryPolicy retry;
+
   // -- cost model (simulated distributed execution) ---------------------------
   int procs = 1;  ///< P, logical processor count for cost accounting.
   model::CollectiveModel collective = model::CollectiveModel::kPaperLogP;
@@ -135,6 +145,16 @@ struct PnOptions {
   int procs = 1;
   model::CollectiveModel collective = model::CollectiveModel::kPaperLogP;
   model::MachineSpec machine = model::comet();
+
+  // -- checkpoint / restore ---------------------------------------------------
+  /// Called after every completed outer iteration with the state needed to
+  /// resume (see core/checkpoint.hpp).  Null disables checkpointing.
+  std::function<void(const PnCheckpoint&)> checkpoint_sink;
+  /// Resume from this checkpoint instead of w = 0: the solve replays outer
+  /// iterations resume_from->outer + 1 .. max_outer bitwise identically to
+  /// the uninterrupted run (per-outer state is re-derived from
+  /// (seed, outer)).  The pointee must outlive the solve.
+  const PnCheckpoint* resume_from = nullptr;
 };
 
 /// Aggregation mode for the ProxCoCoA baseline.

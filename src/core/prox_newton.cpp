@@ -8,8 +8,10 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "core/checkpoint.hpp"
 #include "core/momentum.hpp"
 #include "data/partition.hpp"
+#include "fault/plan.hpp"
 #include "exec/pool.hpp"
 #include "la/blas.hpp"
 #include "la/eigen.hpp"
@@ -123,9 +125,31 @@ SolveResult solve_proximal_newton(const LassoProblem& problem,
 
   double objective = problem.objective(w.span());
 
+  // Checkpoint resume: restore (outer, w, F(w)) and replay the remaining
+  // outer iterations.  All other per-iteration state -- Hessian index
+  // sets, power-iteration start vectors, inner momentum streams -- is
+  // derived from (seed, outer), so the resumed trajectory is bitwise
+  // identical to the uninterrupted one (asserted by tests/test_fault.cpp
+  // and the rcf-chaos pn-resume suite).
+  int first_outer = 1;
+  if (opts.resume_from != nullptr) {
+    const PnCheckpoint& ck = *opts.resume_from;
+    RCF_CHECK_MSG(ck.w.size() == d,
+                  "pn: resume checkpoint dimension mismatch");
+    RCF_CHECK_MSG(ck.outer >= 0 && ck.outer <= opts.max_outer,
+                  "pn: resume checkpoint outer out of range");
+    std::copy(ck.w.begin(), ck.w.end(), w.data());
+    objective = ck.objective;
+    first_outer = ck.outer + 1;
+  }
+
   bool done = false;
-  int outer = 0;
-  for (outer = 1; outer <= opts.max_outer && !done; ++outer) {
+  int outer = first_outer - 1;
+  try {
+  for (outer = first_outer; outer <= opts.max_outer && !done; ++outer) {
+    // Chaos hook: an `abort:at=pn.outer,index=N` plan kills the solve here,
+    // before iteration N runs (see fault/plan.hpp).
+    fault::iteration_point("pn.outer", static_cast<std::uint64_t>(outer));
     la::copy(w.span(), w_prev_outer.span());
     // Exact gradient of f at w_n: two SpMVs over distributed data plus one
     // allreduce of the length-d partial sums.
@@ -337,11 +361,30 @@ SolveResult solve_proximal_newton(const LassoProblem& problem,
       result.converged = true;
       done = true;
     }
+    if (opts.checkpoint_sink) {
+      PnCheckpoint ck;
+      ck.outer = outer;
+      ck.objective = objective;
+      ck.w.assign(w.data(), w.data() + d);
+      opts.checkpoint_sink(ck);
+    }
+  }
+  } catch (const fault::FaultAbort& e) {
+    // Structured failure: report the partial iterate and how far the solve
+    // got; a checkpoint_sink caller can resume from the last completed
+    // outer iteration.
+    result.failed = true;
+    result.failure_reason = e.what();
   }
 
   result.w = w;
-  result.iterations = std::min(outer, opts.max_outer);
+  result.iterations = result.failed ? outer - 1
+                                    : std::min(outer, opts.max_outer);
   result.objective = objective;
+  if (!result.failed && !std::isfinite(objective)) {
+    result.failed = true;
+    result.failure_reason = "pn: non-finite objective at the final iterate";
+  }
   if (!std::isnan(opts.f_star) && opts.f_star != 0.0) {
     result.rel_error = std::abs((result.objective - opts.f_star) / opts.f_star);
   }

@@ -3,6 +3,7 @@
 
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dist/comm.hpp"
@@ -42,9 +43,29 @@ struct SolveResult {
   std::string solver;        ///< solver name ("rc-sfista", ...).
   int iterations = 0;        ///< iterations actually executed.
   bool converged = false;    ///< tol-based stop triggered.
+  /// Structured failure flag: the solve was rejected (poisoned payload
+  /// surviving the recompute fallback, injected rank abort, exhausted
+  /// collective retries, non-finite objective) instead of diverging
+  /// silently.  `w` may hold a partial iterate; `failure_reason` names the
+  /// cause.  Callers should test ok() before consuming numeric fields.
+  bool failed = false;
+  std::string failure_reason;
   double objective = 0.0;    ///< F at the final iterate.
   double rel_error = std::numeric_limits<double>::quiet_NaN();
   std::vector<IterationRecord> history;
+
+  [[nodiscard]] bool ok() const { return !failed; }
+
+  /// Factory for a structured failure outcome.
+  [[nodiscard]] static SolveResult failure(std::string solver_name,
+                                           std::string reason) {
+    SolveResult r;
+    r.solver = std::move(solver_name);
+    r.failed = true;
+    r.failure_reason = std::move(reason);
+    r.objective = std::numeric_limits<double>::quiet_NaN();
+    return r;
+  }
 
   /// alpha-beta-gamma counters accumulated by the run.
   model::CostTracker cost;

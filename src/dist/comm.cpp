@@ -33,6 +33,8 @@ void publish_comm_stats(const CommStats& stats, const std::string& backend) {
   registry.counter(prefix + "allgather_calls").add(stats.allgather_calls);
   registry.counter(prefix + "allgather_words").add(stats.allgather_words);
   registry.counter(prefix + "barrier_calls").add(stats.barrier_calls);
+  registry.counter(prefix + "retries").add(stats.retries);
+  registry.counter(prefix + "faults_injected").add(stats.faults_injected);
   auto& high_water = registry.gauge(prefix + "max_payload_words");
   if (static_cast<double>(stats.max_payload_words) > high_water.value()) {
     high_water.set(static_cast<double>(stats.max_payload_words));

@@ -41,6 +41,12 @@ struct CommStats {
   std::uint64_t barrier_calls = 0;
   /// Largest payload (doubles) of any single collective call.
   std::uint64_t max_payload_words = 0;
+  /// Collective attempts repeated after a TransientCommFailure (counted by
+  /// the dist::RetryingComm decorator; see dist/retry.hpp).
+  std::uint64_t retries = 0;
+  /// Faults fired into this endpoint by the chaos layer (counted by
+  /// fault::FaultyComm; 0 outside injected runs).
+  std::uint64_t faults_injected = 0;
 
   CommStats& operator+=(const CommStats& o) {
     allreduce_calls += o.allreduce_calls;
@@ -51,6 +57,8 @@ struct CommStats {
     allgather_calls += o.allgather_calls;
     allgather_words += o.allgather_words;
     barrier_calls += o.barrier_calls;
+    retries += o.retries;
+    faults_injected += o.faults_injected;
     max_payload_words = max_payload_words > o.max_payload_words
                             ? max_payload_words
                             : o.max_payload_words;

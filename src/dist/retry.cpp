@@ -1,0 +1,79 @@
+#include "dist/retry.hpp"
+
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace rcf::dist {
+
+RetryingComm::RetryingComm(Communicator& inner, RetryPolicy policy)
+    : inner_(inner),
+      policy_(policy),
+      backoff_counter_(
+          obs::MetricsRegistry::global().counter("comm.backoff_us")) {
+  RCF_CHECK_MSG(policy_.max_retries >= 0, "retry: max_retries must be >= 0");
+  RCF_CHECK_MSG(policy_.backoff_us >= 0, "retry: backoff_us must be >= 0");
+  RCF_CHECK_MSG(policy_.multiplier >= 1.0, "retry: multiplier must be >= 1");
+}
+
+template <typename Fn>
+void RetryingComm::with_retries(Fn&& attempt) {
+  std::optional<AuxScope> fwd;
+  if (aux_mode()) {
+    fwd.emplace(inner_);
+  }
+  double backoff = static_cast<double>(policy_.backoff_us);
+  for (int tries = 0;; ++tries) {
+    try {
+      attempt();
+      return;
+    } catch (const TransientCommFailure&) {
+      if (tries >= policy_.max_retries) {
+        throw;
+      }
+      ++retries_;
+      const auto sleep_us = static_cast<std::uint64_t>(backoff);
+      if (sleep_us > 0) {
+        backoff_counter_.add(sleep_us);
+        std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+      }
+      backoff *= policy_.multiplier;
+    }
+  }
+}
+
+void RetryingComm::allreduce_sum(std::span<double> inout,
+                                 std::source_location site) {
+  with_retries([&] { inner_.allreduce_sum(inout, site); });
+}
+
+void RetryingComm::allreduce_max(std::span<double> inout,
+                                 std::source_location site) {
+  with_retries([&] { inner_.allreduce_max(inout, site); });
+}
+
+void RetryingComm::broadcast(std::span<double> buffer, int root,
+                             std::source_location site) {
+  with_retries([&] { inner_.broadcast(buffer, root, site); });
+}
+
+void RetryingComm::allgather(std::span<const double> input,
+                             std::span<double> output,
+                             std::source_location site) {
+  with_retries([&] { inner_.allgather(input, output, site); });
+}
+
+void RetryingComm::barrier(std::source_location site) {
+  with_retries([&] { inner_.barrier(site); });
+}
+
+const CommStats& RetryingComm::stats() const {
+  merged_ = inner_.stats();
+  merged_.retries += retries_;
+  return merged_;
+}
+
+}  // namespace rcf::dist

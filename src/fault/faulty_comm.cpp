@@ -1,0 +1,200 @@
+#include "fault/faulty_comm.hpp"
+
+#include <bit>
+#include <chrono>
+#include <limits>
+#include <optional>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "dist/retry.hpp"
+
+namespace rcf::fault {
+
+namespace {
+
+void sleep_us(std::uint64_t us) {
+  if (us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
+}  // namespace
+
+FaultyComm::FaultyComm(dist::Communicator& inner, const FaultPlan* plan)
+    : inner_(inner) {
+  if (plan == nullptr) {
+    return;
+  }
+  for (const FaultSpec& spec : plan->specs) {
+    if (spec.kind == FaultKind::kIterAbort) {
+      continue;  // driver-level faults; see fault::iteration_point.
+    }
+    if (spec.rank >= 0 && spec.rank != inner_.rank()) {
+      continue;
+    }
+    armed_.push_back(Armed{spec, 0});
+  }
+}
+
+bool FaultyComm::Armed::matches(std::uint64_t call) const {
+  if (spec.count != 0 && fired >= spec.count) {
+    return false;
+  }
+  if (spec.call.has_value()) {
+    return call == *spec.call;
+  }
+  if (spec.every != 0) {
+    return call % spec.every == 0;
+  }
+  return true;
+}
+
+void FaultyComm::before_collective(std::span<double> payload) {
+  const std::uint64_t call = calls_;
+  for (Armed& a : armed_) {
+    if (!a.matches(call)) {
+      continue;
+    }
+    switch (a.spec.kind) {
+      case FaultKind::kDelay:
+        ++a.fired;
+        ++injected_;
+        sleep_us(a.spec.us);
+        break;
+      case FaultKind::kSkew: {
+        ++a.fired;
+        ++injected_;
+        // Each rank draws its own offset from the shared counter-based
+        // stream, keyed on (seed, call, rank): deterministic, replayable.
+        Rng rng(a.spec.seed,
+                (call << 16) ^ static_cast<std::uint64_t>(inner_.rank()));
+        sleep_us(rng.uniform_index(a.spec.us));
+        break;
+      }
+      case FaultKind::kNanPoison: {
+        if (payload.empty()) {
+          break;  // stays armed for the next payload-carrying collective.
+        }
+        ++a.fired;
+        ++injected_;
+        const std::size_t n =
+            std::min<std::size_t>(a.spec.words, payload.size());
+        for (std::size_t i = 0; i < n; ++i) {
+          payload[i] = std::numeric_limits<double>::quiet_NaN();
+        }
+        break;
+      }
+      case FaultKind::kBitFlip: {
+        if (a.spec.word >= payload.size()) {
+          break;
+        }
+        ++a.fired;
+        ++injected_;
+        auto bits = std::bit_cast<std::uint64_t>(payload[a.spec.word]);
+        bits ^= std::uint64_t{1} << a.spec.bit;
+        payload[a.spec.word] = std::bit_cast<double>(bits);
+        break;
+      }
+      case FaultKind::kTransient:
+        // Thrown *before* the inner communicator is touched: the attempt
+        // never enters the rendezvous, so a retry re-issues this call
+        // index and downstream sees exactly one collective.
+        ++a.fired;
+        ++injected_;
+        throw dist::TransientCommFailure(
+            "injected transient failure on rank " +
+            std::to_string(inner_.rank()) + " at collective call " +
+            std::to_string(call));
+      case FaultKind::kAbort:
+        ++a.fired;
+        ++injected_;
+        throw FaultAbort("injected abort on rank " +
+                         std::to_string(inner_.rank()) +
+                         " at collective call " + std::to_string(call));
+      case FaultKind::kIterAbort:
+        break;  // filtered out in the constructor.
+    }
+  }
+}
+
+void FaultyComm::allreduce_sum(std::span<double> inout,
+                               std::source_location site) {
+  std::optional<AuxScope> fwd;
+  if (aux_mode()) {
+    fwd.emplace(inner_);
+  } else {
+    before_collective(inout);
+  }
+  inner_.allreduce_sum(inout, site);
+  if (!aux_mode()) {
+    ++calls_;
+  }
+}
+
+void FaultyComm::allreduce_max(std::span<double> inout,
+                               std::source_location site) {
+  std::optional<AuxScope> fwd;
+  if (aux_mode()) {
+    fwd.emplace(inner_);
+  } else {
+    before_collective(inout);
+  }
+  inner_.allreduce_max(inout, site);
+  if (!aux_mode()) {
+    ++calls_;
+  }
+}
+
+void FaultyComm::broadcast(std::span<double> buffer, int root,
+                           std::source_location site) {
+  std::optional<AuxScope> fwd;
+  if (aux_mode()) {
+    fwd.emplace(inner_);
+  } else {
+    // Only the root's buffer is input data; corrupting a non-root buffer
+    // would be overwritten by the broadcast itself.
+    before_collective(inner_.rank() == root ? buffer : std::span<double>{});
+  }
+  inner_.broadcast(buffer, root, site);
+  if (!aux_mode()) {
+    ++calls_;
+  }
+}
+
+void FaultyComm::allgather(std::span<const double> input,
+                           std::span<double> output,
+                           std::source_location site) {
+  std::optional<AuxScope> fwd;
+  if (aux_mode()) {
+    fwd.emplace(inner_);
+  } else {
+    // Input is immutable; only delay / transient / abort kinds can fire.
+    before_collective({});
+  }
+  inner_.allgather(input, output, site);
+  if (!aux_mode()) {
+    ++calls_;
+  }
+}
+
+void FaultyComm::barrier(std::source_location site) {
+  std::optional<AuxScope> fwd;
+  if (aux_mode()) {
+    fwd.emplace(inner_);
+  } else {
+    before_collective({});
+  }
+  inner_.barrier(site);
+  if (!aux_mode()) {
+    ++calls_;
+  }
+}
+
+const dist::CommStats& FaultyComm::stats() const {
+  merged_ = inner_.stats();
+  merged_.faults_injected += injected_;
+  return merged_;
+}
+
+}  // namespace rcf::fault

@@ -1,0 +1,263 @@
+#include "fault/plan.hpp"
+
+#include <atomic>
+#include <charconv>
+#include <cstdlib>
+
+namespace rcf::fault {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[noreturn]] void parse_error(std::string_view clause, const std::string& why) {
+  throw InvalidArgument("fault plan: bad clause '" + std::string(clause) +
+                        "': " + why);
+}
+
+std::uint64_t parse_u64(std::string_view clause, std::string_view value) {
+  std::uint64_t out = 0;
+  const auto* end = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(value.data(), end, out);
+  if (ec != std::errc{} || ptr != end) {
+    parse_error(clause, "'" + std::string(value) + "' is not an unsigned "
+                        "integer");
+  }
+  return out;
+}
+
+FaultSpec parse_clause(std::string_view clause) {
+  const auto colon = clause.find(':');
+  const std::string_view kind_name =
+      trim(colon == std::string_view::npos ? clause : clause.substr(0, colon));
+  FaultSpec spec;
+  bool has_at = false;
+  bool is_abort = false;
+  if (kind_name == "delay") {
+    spec.kind = FaultKind::kDelay;
+  } else if (kind_name == "skew") {
+    spec.kind = FaultKind::kSkew;
+  } else if (kind_name == "transient") {
+    spec.kind = FaultKind::kTransient;
+  } else if (kind_name == "nan") {
+    spec.kind = FaultKind::kNanPoison;
+  } else if (kind_name == "bitflip") {
+    spec.kind = FaultKind::kBitFlip;
+  } else if (kind_name == "abort") {
+    is_abort = true;
+    spec.kind = FaultKind::kAbort;  // kIterAbort if an `at=` key appears.
+  } else {
+    parse_error(clause, "unknown fault kind '" + std::string(kind_name) +
+                        "' (expected delay|skew|transient|nan|bitflip|abort)");
+  }
+
+  std::string_view rest =
+      colon == std::string_view::npos ? std::string_view{} : clause.substr(colon + 1);
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string_view kv = trim(rest.substr(0, comma));
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (kv.empty()) {
+      continue;
+    }
+    const auto eq = kv.find('=');
+    if (eq == std::string_view::npos) {
+      parse_error(clause, "key '" + std::string(kv) + "' lacks '='");
+    }
+    const std::string_view key = trim(kv.substr(0, eq));
+    const std::string_view value = trim(kv.substr(eq + 1));
+    if (key == "rank") {
+      spec.rank = static_cast<int>(parse_u64(clause, value));
+    } else if (key == "call") {
+      spec.call = parse_u64(clause, value);
+    } else if (key == "every") {
+      spec.every = parse_u64(clause, value);
+    } else if (key == "count") {
+      spec.count = parse_u64(clause, value);
+    } else if (key == "us") {
+      spec.us = parse_u64(clause, value);
+    } else if (key == "words") {
+      spec.words = parse_u64(clause, value);
+    } else if (key == "word") {
+      spec.word = parse_u64(clause, value);
+    } else if (key == "bit") {
+      spec.bit = static_cast<std::uint32_t>(parse_u64(clause, value));
+    } else if (key == "seed") {
+      spec.seed = parse_u64(clause, value);
+    } else if (key == "at") {
+      has_at = true;
+      spec.at = std::string(value);
+    } else if (key == "index") {
+      spec.index = parse_u64(clause, value);
+    } else {
+      parse_error(clause, "unknown key '" + std::string(key) + "'");
+    }
+  }
+
+  if (is_abort && has_at) {
+    spec.kind = FaultKind::kIterAbort;
+    if (spec.at.empty()) {
+      parse_error(clause, "abort:at= needs a point name");
+    }
+  }
+  switch (spec.kind) {
+    case FaultKind::kDelay:
+    case FaultKind::kSkew:
+      if (spec.us == 0) {
+        parse_error(clause, "delay/skew need us=<microseconds> > 0");
+      }
+      break;
+    case FaultKind::kNanPoison:
+      if (spec.words == 0) {
+        parse_error(clause, "nan needs words >= 1");
+      }
+      break;
+    case FaultKind::kBitFlip:
+      if (spec.bit > 63) {
+        parse_error(clause, "bitflip bit must be in [0, 63]");
+      }
+      break;
+    case FaultKind::kTransient:
+    case FaultKind::kAbort:
+    case FaultKind::kIterAbort:
+      break;
+  }
+  // Single-shot default for the kinds that break something; a delay or a
+  // skew left unbounded models a persistently slow rank.
+  if (spec.count == 0 && spec.kind != FaultKind::kDelay &&
+      spec.kind != FaultKind::kSkew) {
+    spec.count = 1;
+  }
+  return spec;
+}
+
+const char* kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kSkew:
+      return "skew";
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kNanPoison:
+      return "nan";
+    case FaultKind::kBitFlip:
+      return "bitflip";
+    case FaultKind::kAbort:
+      return "abort";
+    case FaultKind::kIterAbort:
+      return "abort-at";
+  }
+  return "?";
+}
+
+/// The innermost ScopedFaultPlan (set before SPMD threads launch, read by
+/// every rank; atomic so TSan sees the publication ordering).
+std::atomic<const FaultPlan*> g_scoped{nullptr};
+
+const FaultPlan* env_plan() {
+  static const FaultPlan* plan = []() -> const FaultPlan* {
+    const char* text = std::getenv("RCF_FAULT");
+    if (text == nullptr || *text == '\0') {
+      return nullptr;
+    }
+    static FaultPlan parsed = parse_fault_plan(text);
+    return parsed.empty() ? nullptr : &parsed;
+  }();
+  return plan;
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(std::string_view text) {
+  FaultPlan plan;
+  plan.text = std::string(text);
+  std::string_view rest = text;
+  while (!rest.empty()) {
+    const auto semi = rest.find(';');
+    const std::string_view clause = trim(rest.substr(0, semi));
+    rest = semi == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(semi + 1);
+    if (clause.empty()) {
+      continue;
+    }
+    plan.specs.push_back(parse_clause(clause));
+  }
+  return plan;
+}
+
+std::string describe(const FaultPlan& plan) {
+  std::string out;
+  for (const FaultSpec& s : plan.specs) {
+    if (!out.empty()) {
+      out += "; ";
+    }
+    out += kind_name(s.kind);
+    out += "(";
+    if (s.kind == FaultKind::kIterAbort) {
+      out += "at=" + s.at + ",index=" + std::to_string(s.index);
+    } else {
+      out += "rank=" + std::to_string(s.rank);
+      if (s.call.has_value()) {
+        out += ",call=" + std::to_string(*s.call);
+      }
+      if (s.every != 0) {
+        out += ",every=" + std::to_string(s.every);
+      }
+      if (s.count != 0) {
+        out += ",count=" + std::to_string(s.count);
+      }
+      if (s.us != 0) {
+        out += ",us=" + std::to_string(s.us);
+      }
+      if (s.kind == FaultKind::kNanPoison) {
+        out += ",words=" + std::to_string(s.words);
+      }
+      if (s.kind == FaultKind::kBitFlip) {
+        out += ",word=" + std::to_string(s.word) +
+               ",bit=" + std::to_string(s.bit);
+      }
+    }
+    out += ")";
+  }
+  return out.empty() ? "(empty plan)" : out;
+}
+
+const FaultPlan* active_plan() {
+  const FaultPlan* scoped = g_scoped.load(std::memory_order_acquire);
+  return scoped != nullptr ? scoped : env_plan();
+}
+
+ScopedFaultPlan::ScopedFaultPlan(FaultPlan plan)
+    : plan_(std::move(plan)),
+      previous_(g_scoped.load(std::memory_order_relaxed)) {
+  g_scoped.store(&plan_, std::memory_order_release);
+}
+
+ScopedFaultPlan::~ScopedFaultPlan() {
+  g_scoped.store(previous_, std::memory_order_release);
+}
+
+void iteration_point(std::string_view point, std::uint64_t index) {
+  const FaultPlan* plan = active_plan();
+  if (plan == nullptr) {
+    return;
+  }
+  for (const FaultSpec& s : plan->specs) {
+    if (s.kind == FaultKind::kIterAbort && s.at == point && s.index == index) {
+      throw FaultAbort("injected abort at " + std::string(point) + "[" +
+                       std::to_string(index) + "] (plan: " + plan->text + ")");
+    }
+  }
+}
+
+}  // namespace rcf::fault

@@ -1,0 +1,127 @@
+// Declarative fault plans for the chaos / resilience layer (rcf_fault).
+//
+// A FaultPlan is a list of FaultSpecs, each describing one deterministic
+// fault to inject into the communication schedule: straggler delays,
+// rendezvous skew, payload corruption (NaN poisoning / bit flips),
+// transient collective failures (which the dist::RetryingComm decorator
+// absorbs), hard rank aborts, and named iteration-point aborts (e.g. the
+// proximal Newton outer loop, for checkpoint/restore testing).
+//
+// Plans come from two sources, in precedence order:
+//
+//  1. ScopedFaultPlan -- a test/tool-scoped override (nests).
+//  2. The RCF_FAULT environment variable, parsed once per process.
+//
+// The grammar is `kind:key=value,key=value;kind:...` -- e.g.
+//
+//   RCF_FAULT="delay:rank=1,us=2000,every=3;transient:rank=2,call=4"
+//
+// Every fault is a pure function of (plan, rank, collective-call index) --
+// randomized skew draws flow through the counter-based rcf::Rng keyed on
+// (spec seed, call index, rank) -- so a faulted run replays exactly from
+// its plan string, the same way solver runs replay from their seed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rcf::fault {
+
+/// Thrown on a hard injected abort (fault kind `abort`): the faulted rank
+/// dies mid-schedule, the surviving ranks observe a poisoned rendezvous,
+/// and the solve surfaces a structured SolveResult::failure.
+class FaultAbort : public Error {
+ public:
+  explicit FaultAbort(const std::string& what) : Error(what) {}
+};
+
+/// Thrown by the engine's payload guard when the reduced [H|R] blocks are
+/// still corrupt after the recompute fallback (persistent poisoning).
+class PoisonedPayload : public Error {
+ public:
+  explicit PoisonedPayload(const std::string& what) : Error(what) {}
+};
+
+/// Fault taxonomy (DESIGN.md "Fault injection & resilience").
+enum class FaultKind {
+  kDelay,      ///< straggler: sleep `us` before the collective on one rank.
+  kSkew,       ///< rendezvous skew: every rank sleeps a seeded draw in [0,us).
+  kTransient,  ///< throw dist::TransientCommFailure before the collective.
+  kNanPoison,  ///< overwrite leading payload words with quiet NaN.
+  kBitFlip,    ///< XOR one bit of one payload word (default: exponent bit 62).
+  kAbort,      ///< throw FaultAbort before the collective (rank death).
+  kIterAbort,  ///< throw FaultAbort at a named iteration_point().
+};
+
+/// One declarative fault.  Matching: a spec fires on rank `rank` (or every
+/// rank when rank < 0) at engine-collective call indices selected by
+/// `call` (exact index, counted per rank from 0) or `every` (fires when
+/// index % every == 0); with neither set it matches every call.  `count`
+/// bounds the number of firings (corruption/failure/abort kinds default to
+/// a single shot, delay/skew to unlimited).
+struct FaultSpec {
+  FaultKind kind = FaultKind::kDelay;
+  int rank = -1;                      ///< target rank; -1 = all ranks.
+  std::optional<std::uint64_t> call;  ///< exact call index.
+  std::uint64_t every = 0;            ///< fire every Nth call (0 = off).
+  std::uint64_t count = 0;            ///< max firings (0 = kind default).
+  std::uint64_t us = 0;               ///< delay/skew microseconds.
+  std::uint64_t words = 1;            ///< NaN-poison span length.
+  std::uint64_t word = 0;             ///< bit-flip word index.
+  std::uint32_t bit = 62;             ///< bit-flip bit (62 = top exponent).
+  std::uint64_t seed = 0;             ///< skew RNG seed.
+  std::string at;                     ///< iteration point name (kIterAbort).
+  std::uint64_t index = 0;            ///< iteration index (kIterAbort).
+};
+
+/// A parsed fault plan: the specs plus the original text (for diagnostics).
+struct FaultPlan {
+  std::vector<FaultSpec> specs;
+  std::string text;
+
+  [[nodiscard]] bool empty() const { return specs.empty(); }
+};
+
+/// Parses the `kind:key=val,...;kind:...` grammar.  Throws
+/// rcf::InvalidArgument naming the offending clause on any error.
+[[nodiscard]] FaultPlan parse_fault_plan(std::string_view text);
+
+/// Human-readable one-line summary ("delay(rank=1,us=2000,every=3); ...").
+[[nodiscard]] std::string describe(const FaultPlan& plan);
+
+/// The plan in effect: the innermost ScopedFaultPlan if any is alive, else
+/// the RCF_FAULT environment plan, else nullptr (no injection).  The
+/// returned pointer stays valid while the scope / process lives.  This is
+/// the fast gate the engine guards test: nullptr means the whole fault
+/// layer is inactive and costs one atomic load.
+[[nodiscard]] const FaultPlan* active_plan();
+
+/// Scoped programmatic plan override (nests; restores on destruction).
+/// Install before spawning SPMD ranks; the plan must stay immutable while
+/// threads run.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(FaultPlan plan);
+  explicit ScopedFaultPlan(std::string_view text)
+      : ScopedFaultPlan(parse_fault_plan(text)) {}
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+  ~ScopedFaultPlan();
+
+ private:
+  FaultPlan plan_;
+  const FaultPlan* previous_;
+};
+
+/// Iteration-point hook for drivers (e.g. the PN outer loop calls
+/// iteration_point("pn.outer", outer)).  Throws FaultAbort when the active
+/// plan carries a matching `abort:at=<point>,index=<n>` spec; otherwise a
+/// single pointer test.
+void iteration_point(std::string_view point, std::uint64_t index);
+
+}  // namespace rcf::fault

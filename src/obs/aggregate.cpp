@@ -268,6 +268,8 @@ void record_solve_metrics(MetricsRegistry& registry,
     registry.counter("comm.allgather_calls").add(s.allgather_calls);
     registry.counter("comm.allgather_words").add(s.allgather_words);
     registry.counter("comm.barrier_calls").add(s.barrier_calls);
+    registry.counter("comm.retries").add(s.retries);
+    registry.counter("comm.faults_injected").add(s.faults_injected);
     registry.gauge("comm.max_payload_words")
         .set(static_cast<double>(s.max_payload_words));
   }

@@ -1,53 +1,118 @@
 #include "sparse/io.hpp"
 
+#include <algorithm>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <string_view>
 
 #include "common/error.hpp"
 
 namespace rcf::sparse {
+
+namespace {
+
+// Strict full-token numeric parsing.  The sto*/stream extractors accept
+// trailing junk ("3x" parses as 3) and signed wraparound ("-3" parses as a
+// huge unsigned), which turns corrupt files into silently misparsed data;
+// from_chars either consumes the whole token or the token is rejected.
+
+bool parse_full_u64(std::string_view token, std::uint64_t& out) {
+  if (token.empty()) {
+    return false;
+  }
+  const auto* end = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(token.data(), end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool parse_full_double(std::string_view token, double& out) {
+  if (!token.empty() && token.front() == '+') {
+    token.remove_prefix(1);  // from_chars rejects an explicit plus sign.
+  }
+  if (token.empty()) {
+    return false;
+  }
+  const auto* end = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(token.data(), end, out);
+  // Overflowing values ("1e999") and the textual inf/nan forms are all
+  // rejected: a dataset value the solver cannot compute with is a parse
+  // error, not a number.
+  return ec == std::errc{} && ptr == end && std::isfinite(out);
+}
+
+[[noreturn]] void libsvm_error(std::size_t line_no, const std::string& why) {
+  throw IoError("libsvm parse error at line " + std::to_string(line_no) +
+                ": " + why);
+}
+
+/// Rejects duplicate (row, col) coordinates: from_triplets sums duplicates,
+/// so a corrupt file with a repeated entry would silently change values
+/// instead of failing.  `what` names the format for the diagnostic.
+void reject_duplicates(std::vector<Triplet> triplets, const char* what) {
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  const auto dup = std::adjacent_find(
+      triplets.begin(), triplets.end(), [](const Triplet& a, const Triplet& b) {
+        return a.row == b.row && a.col == b.col;
+      });
+  if (dup != triplets.end()) {
+    throw IoError(std::string(what) + ": duplicate entry at row " +
+                  std::to_string(dup->row + 1) + ", column " +
+                  std::to_string(dup->col + 1));
+  }
+}
+
+}  // namespace
 
 LabelledMatrix read_libsvm_stream(std::istream& in, std::size_t num_features) {
   std::vector<Triplet> triplets;
   std::vector<double> labels;
   std::size_t max_feature = 0;
   std::string line;
+  std::string token;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    // Strip comments and blank lines.
+    // Strip comments.
     if (const auto hash = line.find('#'); hash != std::string::npos) {
       line.resize(hash);
     }
     std::istringstream ls(line);
+    if (!(ls >> token)) {
+      continue;  // blank or comment-only line
+    }
     double label;
-    if (!(ls >> label)) {
-      continue;  // blank line
+    if (!parse_full_double(token, label)) {
+      libsvm_error(line_no, "bad label '" + token + "'");
     }
     const auto row = static_cast<std::uint32_t>(labels.size());
     labels.push_back(label);
-    std::string token;
     while (ls >> token) {
       const auto colon = token.find(':');
       if (colon == std::string::npos) {
-        throw IoError("libsvm parse error at line " + std::to_string(line_no) +
-                      ": token '" + token + "' lacks ':'");
+        libsvm_error(line_no, "token '" + token + "' lacks ':'");
       }
-      std::size_t idx;
+      std::uint64_t idx;
       double value;
-      try {
-        idx = std::stoull(token.substr(0, colon));
-        value = std::stod(token.substr(colon + 1));
-      } catch (const std::exception&) {
-        throw IoError("libsvm parse error at line " + std::to_string(line_no) +
-                      ": bad token '" + token + "'");
+      if (!parse_full_u64(std::string_view(token).substr(0, colon), idx) ||
+          !parse_full_double(std::string_view(token).substr(colon + 1),
+                             value)) {
+        libsvm_error(line_no, "bad token '" + token + "'");
       }
       if (idx == 0) {
-        throw IoError("libsvm parse error at line " + std::to_string(line_no) +
-                      ": indices are 1-based");
+        libsvm_error(line_no, "indices are 1-based");
       }
-      max_feature = std::max(max_feature, idx);
+      if (idx > std::numeric_limits<std::uint32_t>::max()) {
+        libsvm_error(line_no, "feature index " + std::to_string(idx) +
+                                  " exceeds the supported range");
+      }
+      max_feature = std::max(max_feature, static_cast<std::size_t>(idx));
       triplets.push_back({row, static_cast<std::uint32_t>(idx - 1), value});
     }
   }
@@ -57,6 +122,7 @@ LabelledMatrix read_libsvm_stream(std::istream& in, std::size_t num_features) {
                   std::to_string(max_feature) + " > requested dimension " +
                   std::to_string(num_features));
   }
+  reject_duplicates(triplets, "libsvm");
   LabelledMatrix out;
   out.xt = CsrMatrix::from_triplets(labels.size(), d, std::move(triplets));
   out.y = la::Vector(std::move(labels));
@@ -103,7 +169,18 @@ CsrMatrix read_matrix_market(const std::string& path) {
   if (!std::getline(in, line) || line.rfind("%%MatrixMarket", 0) != 0) {
     throw IoError("not a MatrixMarket file: " + path);
   }
-  const bool symmetric = line.find("symmetric") != std::string::npos;
+  // Validate the full banner instead of substring-matching: pattern /
+  // complex / integer / array files would otherwise be misread as real
+  // coordinate data.
+  std::istringstream banner(line);
+  std::string tag, object, format, field, symmetry;
+  banner >> tag >> object >> format >> field >> symmetry;
+  if (object != "matrix" || format != "coordinate" || field != "real" ||
+      (symmetry != "general" && symmetry != "symmetric")) {
+    throw IoError("unsupported MatrixMarket banner in " + path +
+                  " (need: matrix coordinate real general|symmetric)");
+  }
+  const bool symmetric = symmetry == "symmetric";
   while (std::getline(in, line)) {
     if (!line.empty() && line[0] != '%') {
       break;
@@ -114,13 +191,48 @@ CsrMatrix read_matrix_market(const std::string& path) {
   if (!(header >> rows >> cols >> nnz)) {
     throw IoError("MatrixMarket: bad size line in " + path);
   }
+  std::string trailing;
+  if (header >> trailing) {
+    throw IoError("MatrixMarket: trailing junk on size line in " + path);
+  }
+  if (symmetric && rows != cols) {
+    throw IoError("MatrixMarket: symmetric matrix must be square in " + path);
+  }
+  if (rows > std::numeric_limits<std::uint32_t>::max() ||
+      cols > std::numeric_limits<std::uint32_t>::max()) {
+    throw IoError("MatrixMarket: dimensions exceed the supported range in " +
+                  path);
+  }
+  // A claimed nnz above rows * cols is corrupt (division form avoids the
+  // product overflowing).
+  if (rows == 0 || cols == 0) {
+    if (nnz != 0) {
+      throw IoError("MatrixMarket: nonzero count in an empty matrix in " +
+                    path);
+    }
+  } else if (nnz / rows > cols || (nnz / rows == cols && nnz % rows != 0)) {
+    throw IoError("MatrixMarket: claimed nnz " + std::to_string(nnz) +
+                  " exceeds rows * cols in " + path);
+  }
   std::vector<Triplet> triplets;
-  triplets.reserve(symmetric ? 2 * nnz : nnz);
+  // Cap the up-front reservation: a corrupt-but-plausible nnz claim must
+  // fail with "truncated entry list", not a multi-gigabyte allocation.
+  triplets.reserve(std::min<std::size_t>(nnz, std::size_t{1} << 20));
   for (std::size_t i = 0; i < nnz; ++i) {
     std::size_t r, c;
     double v;
     if (!(in >> r >> c >> v)) {
       throw IoError("MatrixMarket: truncated entry list in " + path);
+    }
+    if (r == 0 || c == 0 || r > rows || c > cols) {
+      throw IoError("MatrixMarket: entry (" + std::to_string(r) + ", " +
+                    std::to_string(c) + ") outside the declared " +
+                    std::to_string(rows) + " x " + std::to_string(cols) +
+                    " shape in " + path);
+    }
+    if (!std::isfinite(v)) {
+      throw IoError("MatrixMarket: non-finite value at entry " +
+                    std::to_string(i + 1) + " in " + path);
     }
     triplets.push_back({static_cast<std::uint32_t>(r - 1),
                         static_cast<std::uint32_t>(c - 1), v});
@@ -129,6 +241,7 @@ CsrMatrix read_matrix_market(const std::string& path) {
                           static_cast<std::uint32_t>(r - 1), v});
     }
   }
+  reject_duplicates(triplets, "MatrixMarket");
   return CsrMatrix::from_triplets(rows, cols, std::move(triplets));
 }
 

@@ -1,0 +1,117 @@
+// Minimal property-based testing harness over the repo's counter-based RNG.
+//
+// Why not a third-party library: the container must stay dependency-free,
+// and the repo's determinism rules (no ambient randomness, replay from
+// (seed, stream)) are exactly what a property tester needs anyway.  Every
+// generated case is a pure function of (suite seed, case index, shrink
+// scale): a failure report prints that triple and re-running the property
+// with it reproduces the counterexample bit-for-bit on any machine.
+//
+// Shrinking is scale-based rather than structural: the generator multiplies
+// every size request by the current scale in (0, 1], so re-running the
+// property at geometrically smaller scales yields structurally similar but
+// smaller inputs.  The harness keeps the smallest scale that still fails
+// and reports it.  This is deliberately simpler than tree-shrinking -- the
+// properties below are over dense/sparse kernels where "smaller dimensions"
+// is the only shrink that matters.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rcf::prop {
+
+/// Source of generated values for one property case.  All draws flow
+/// through one rcf::Rng stream keyed on (seed, case index), so a Gen is
+/// replayable from its constructor arguments alone.
+class Gen {
+ public:
+  Gen(std::uint64_t seed, std::uint64_t case_index, double scale = 1.0)
+      : rng_(seed, case_index), scale_(scale) {}
+
+  /// Integer in [lo, hi], with the span above lo shrunk by the current
+  /// scale (scale 1 = full range, smaller scales bias toward lo).
+  std::size_t size(std::size_t lo, std::size_t hi) {
+    const auto span = static_cast<double>(hi - lo);
+    const auto scaled = static_cast<std::uint64_t>(scale_ * span) + 1;
+    return lo + static_cast<std::size_t>(rng_.uniform_index(scaled));
+  }
+
+  /// Uniform double in [lo, hi).  Not scaled: magnitudes rarely shrink a
+  /// kernel counterexample, dimensions do.
+  double real(double lo, double hi) { return rng_.uniform(lo, hi); }
+
+  /// Standard normal deviate.
+  double normal() { return rng_.normal(); }
+
+  /// Uniform index in [0, n).
+  std::uint64_t index(std::uint64_t n) { return rng_.uniform_index(n); }
+
+  /// Length-n vector of Normal(0, 1) entries.
+  std::vector<double> vector(std::size_t n) {
+    std::vector<double> v(n);
+    for (double& x : v) {
+      x = rng_.normal();
+    }
+    return v;
+  }
+
+  /// Fresh child seed for APIs that take a seed themselves (e.g.
+  /// sparse::generate_random), keeping those draws on this case's stream.
+  std::uint64_t seed() { return rng_.next_u64(); }
+
+  /// The underlying stream, for draws the helpers above don't cover.
+  Rng& rng() { return rng_; }
+
+  [[nodiscard]] double scale() const { return scale_; }
+
+ private:
+  Rng rng_;
+  double scale_;
+};
+
+/// A property: generate inputs from `g`, check the invariant, return
+/// AssertionFailure() (with a message) to reject.
+using Property = std::function<testing::AssertionResult(Gen& g)>;
+
+/// Smallest shrink scale tried (dimensions of ~1/1024 of the original).
+inline constexpr double kMinShrinkScale = 1.0 / 1024.0;
+
+/// Runs `prop` against `cases` independently generated inputs.  On the
+/// first failing case, re-runs at geometrically decreasing scales to find
+/// the smallest still-failing input, then reports one gtest failure with
+/// the (seed, case, scale) replay triple and stops.
+inline void for_all(const char* name, std::uint64_t seed, int cases,
+                    const Property& prop) {
+  for (int c = 0; c < cases; ++c) {
+    Gen g(seed, static_cast<std::uint64_t>(c));
+    testing::AssertionResult result = prop(g);
+    if (result) {
+      continue;
+    }
+    double worst_scale = 1.0;
+    std::string worst_message = result.message();
+    for (double scale = 0.5; scale >= kMinShrinkScale; scale *= 0.5) {
+      Gen shrunk(seed, static_cast<std::uint64_t>(c), scale);
+      const testing::AssertionResult at_scale = prop(shrunk);
+      if (!at_scale) {
+        worst_scale = scale;
+        worst_message = at_scale.message();
+      }
+    }
+    ADD_FAILURE() << "property '" << name << "' failed\n"
+                  << "  replay: seed=" << seed << " case=" << c
+                  << " scale=" << worst_scale << "\n"
+                  << "  " << worst_message;
+    return;
+  }
+}
+
+}  // namespace rcf::prop

@@ -1,0 +1,263 @@
+// Golden-trajectory regression tests.  Each fixture in tests/golden/ pins
+// one solver's full objective trace and final iterate, written with %.17g
+// (exact double round-trip).  The suite then asserts:
+//
+//  * width 1 reproduces the fixture bitwise (the repo's determinism
+//    contract: a trajectory is a pure function of (problem, options)),
+//  * pool widths 2 and 7 reproduce it bitwise too (kernels are
+//    width-invariant by construction),
+//  * the 4-rank SPMD execution of RC-SFISTA matches within 1e-9 (the
+//    distributed reduction reassociates, so bitwise is not guaranteed).
+//
+// Regenerate fixtures after an intentional numerical change with
+//   RCF_GOLDEN_REGEN=1 ./test_golden
+// which rewrites the files under RCF_GOLDEN_DIR (the source tree) so the
+// diff shows up in review.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "core/distributed.hpp"
+#include "core/prox_newton.hpp"
+#include "core/solvers.hpp"
+#include "data/synthetic.hpp"
+#include "dist/comm.hpp"
+#include "la/blas.hpp"
+
+#ifndef RCF_GOLDEN_DIR
+#error "RCF_GOLDEN_DIR must point at the fixture directory"
+#endif
+
+namespace rcf::core {
+namespace {
+
+data::Dataset golden_dataset() {
+  data::SyntheticOptions opts;
+  opts.num_samples = 400;
+  opts.num_features = 16;
+  opts.density = 0.4;
+  opts.condition = 30.0;
+  opts.noise_stddev = 0.05;
+  opts.seed = 13;
+  return data::make_regression(opts);
+}
+
+/// The pinned trajectory: per-iteration objectives plus the final iterate.
+struct Trajectory {
+  std::vector<double> objectives;
+  std::vector<double> w;
+};
+
+Trajectory trajectory_of(const SolveResult& result) {
+  Trajectory t;
+  for (const auto& rec : result.history) {
+    t.objectives.push_back(rec.objective);
+  }
+  t.w.assign(result.w.span().begin(), result.w.span().end());
+  return t;
+}
+
+std::string fixture_path(const std::string& name) {
+  return std::string(RCF_GOLDEN_DIR) + "/" + name + ".json";
+}
+
+void append_doubles(std::string& out, const std::vector<double>& values) {
+  char buf[40];
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%.17g", values[i]);
+    if (i != 0) {
+      out += ", ";
+    }
+    out += buf;
+  }
+  out += ']';
+}
+
+void write_fixture(const std::string& name, const Trajectory& t) {
+  std::string body = "{\n  \"solver\": \"" + name + "\",\n";
+  body += "  \"objectives\": ";
+  append_doubles(body, t.objectives);
+  body += ",\n  \"w\": ";
+  append_doubles(body, t.w);
+  body += "\n}\n";
+  std::ofstream out(fixture_path(name));
+  ASSERT_TRUE(out) << "cannot write fixture " << fixture_path(name);
+  out << body;
+}
+
+std::vector<double> numbers_of(const JsonValue& v) {
+  std::vector<double> out;
+  for (const auto& e : v.array) {
+    out.push_back(e.number);
+  }
+  return out;
+}
+
+bool load_fixture(const std::string& name, Trajectory& t) {
+  std::ifstream in(fixture_path(name));
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto parsed = parse_json(buf.str());
+  if (!parsed || !parsed->is_object()) {
+    return false;
+  }
+  const auto* objectives = parsed->find("objectives");
+  const auto* w = parsed->find("w");
+  if (objectives == nullptr || w == nullptr) {
+    return false;
+  }
+  t.objectives = numbers_of(*objectives);
+  t.w = numbers_of(*w);
+  return true;
+}
+
+bool regen_requested() {
+  const char* env = std::getenv("RCF_GOLDEN_REGEN");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+/// Runs the solver, then either regenerates the fixture or asserts the
+/// trajectory matches it bitwise.
+void check_against_fixture(const std::string& name, const Trajectory& got) {
+  if (regen_requested()) {
+    write_fixture(name, got);
+    return;
+  }
+  Trajectory want;
+  ASSERT_TRUE(load_fixture(name, want))
+      << "missing or unreadable fixture " << fixture_path(name)
+      << " -- regenerate with RCF_GOLDEN_REGEN=1";
+  ASSERT_EQ(want.objectives.size(), got.objectives.size());
+  for (std::size_t i = 0; i < want.objectives.size(); ++i) {
+    EXPECT_EQ(want.objectives[i], got.objectives[i])
+        << name << ": objective diverged at iteration " << i;
+  }
+  ASSERT_EQ(want.w.size(), got.w.size());
+  for (std::size_t i = 0; i < want.w.size(); ++i) {
+    EXPECT_EQ(want.w[i], got.w[i]) << name << ": w diverged at index " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SFISTA.
+
+SolveResult run_sfista(int threads) {
+  const auto dataset = golden_dataset();
+  const LassoProblem problem(dataset, 0.005);
+  SolverOptions opts;
+  opts.max_iters = 48;
+  opts.sampling_rate = 0.5;
+  opts.seed = 42;
+  opts.threads = threads;
+  return solve_sfista(problem, opts);
+}
+
+TEST(Golden, SfistaMatchesFixture) {
+  check_against_fixture("sfista", trajectory_of(run_sfista(1)));
+}
+
+TEST(Golden, SfistaIsWidthInvariant) {
+  const auto base = run_sfista(1);
+  for (const int threads : {2, 7}) {
+    const auto wide = run_sfista(threads);
+    EXPECT_EQ(base.w, wide.w) << "threads=" << threads;
+    EXPECT_EQ(base.objective, wide.objective) << "threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RC-SFISTA (k-overlap + Hessian reuse).
+
+SolveResult run_rcsfista(int threads) {
+  const auto dataset = golden_dataset();
+  const LassoProblem problem(dataset, 0.005);
+  SolverOptions opts;
+  opts.max_iters = 48;
+  opts.sampling_rate = 0.2;
+  opts.k = 4;
+  opts.s = 2;
+  opts.seed = 42;
+  opts.threads = threads;
+  return solve_rc_sfista(problem, opts);
+}
+
+TEST(Golden, RcSfistaMatchesFixture) {
+  check_against_fixture("rcsfista", trajectory_of(run_rcsfista(1)));
+}
+
+TEST(Golden, RcSfistaIsWidthInvariant) {
+  const auto base = run_rcsfista(1);
+  for (const int threads : {2, 7}) {
+    const auto wide = run_rcsfista(threads);
+    EXPECT_EQ(base.w, wide.w) << "threads=" << threads;
+  }
+}
+
+TEST(Golden, RcSfistaFourRankAgreesWithFixture) {
+  // The SPMD reduction reassociates the per-rank partial Gram sums, so
+  // cross-rank agreement is within tolerance rather than bitwise.
+  Trajectory want;
+  if (regen_requested()) {
+    GTEST_SKIP() << "regen run";
+  }
+  ASSERT_TRUE(load_fixture("rcsfista", want));
+  const auto dataset = golden_dataset();
+  const LassoProblem problem(dataset, 0.005);
+  SolverOptions opts;
+  opts.max_iters = 48;
+  opts.sampling_rate = 0.2;
+  opts.k = 4;
+  opts.s = 2;
+  opts.seed = 42;
+  opts.track_history = false;
+  dist::ThreadGroup group(4);
+  const auto par = solve_rc_sfista_distributed(problem, opts, group);
+  ASSERT_TRUE(par.ok()) << par.failure_reason;
+  ASSERT_EQ(want.w.size(), par.w.size());
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < want.w.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(want.w[i] - par.w[i]));
+  }
+  EXPECT_LT(max_diff, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Proximal Newton (RC-SFISTA inner).
+
+SolveResult run_pn(int threads) {
+  const auto dataset = golden_dataset();
+  const LassoProblem problem(dataset, 0.005);
+  PnOptions opts;
+  opts.max_outer = 6;
+  opts.inner_iters = 20;
+  opts.hessian_sampling_rate = 0.3;
+  opts.inner = PnInnerSolver::kRcSfista;
+  opts.k = 2;
+  opts.s = 2;
+  opts.seed = 42;
+  opts.threads = threads;
+  return solve_proximal_newton(problem, opts);
+}
+
+TEST(Golden, ProxNewtonMatchesFixture) {
+  check_against_fixture("pn", trajectory_of(run_pn(1)));
+}
+
+TEST(Golden, ProxNewtonIsWidthInvariant) {
+  const auto base = run_pn(1);
+  const auto wide = run_pn(3);
+  EXPECT_EQ(base.w, wide.w);
+}
+
+}  // namespace
+}  // namespace rcf::core

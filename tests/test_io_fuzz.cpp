@@ -1,0 +1,359 @@
+// Fuzz-style negative tests for the sparse I/O parsers: every malformed
+// input class must surface a structured IoError -- never a crash, never a
+// silently misparsed matrix.  The generative suites at the bottom drive the
+// parsers with seeded random mutations of valid files.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sparse/generate.hpp"
+#include "sparse/io.hpp"
+
+namespace rcf::sparse {
+namespace {
+
+namespace fs = std::filesystem;
+
+class IoFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("rcf_io_fuzz_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string write_file(const std::string& name, const std::string& body) {
+    const auto path = (dir_ / name).string();
+    std::ofstream out(path);
+    out << body;
+    return path;
+  }
+
+  fs::path dir_;
+};
+
+LabelledMatrix parse_libsvm(const std::string& body,
+                            std::size_t num_features = 0) {
+  std::istringstream in(body);
+  return read_libsvm_stream(in, num_features);
+}
+
+CsrMatrix random_csr(std::size_t rows, std::size_t cols, double density,
+                     std::uint64_t seed) {
+  GenerateOptions opts;
+  opts.rows = rows;
+  opts.cols = cols;
+  opts.density = density;
+  opts.seed = seed;
+  return generate_random(opts);
+}
+
+LabelledMatrix random_labelled(std::size_t rows, std::size_t cols,
+                               double density, std::uint64_t seed) {
+  LabelledMatrix data;
+  data.xt = random_csr(rows, cols, density, seed);
+  std::vector<double> labels(rows);
+  Rng rng(seed, 0xF022);
+  for (double& y : labels) {
+    y = rng.normal();
+  }
+  data.y = la::Vector(std::move(labels));
+  return data;
+}
+
+// ---------------------------------------------------------------------------
+// LIBSVM: malformed labels and tokens.
+
+TEST_F(IoFuzzTest, LibsvmBadLabelThrowsInsteadOfSkipping) {
+  // A line whose label fails to parse used to be skipped silently,
+  // dropping a sample from the dataset.  It must be a structured error.
+  EXPECT_THROW(parse_libsvm("nonsense 1:2.0\n"), IoError);
+  EXPECT_THROW(parse_libsvm(":3 1:2.0\n"), IoError);
+  EXPECT_THROW(parse_libsvm("1.5.7 1:2.0\n"), IoError);
+}
+
+TEST_F(IoFuzzTest, LibsvmLabelTrailingJunkThrows) {
+  EXPECT_THROW(parse_libsvm("1x 1:2.0\n"), IoError);
+  EXPECT_THROW(parse_libsvm("1.0e 1:2.0\n"), IoError);
+}
+
+TEST_F(IoFuzzTest, LibsvmExplicitPlusLabelParses) {
+  const auto data = parse_libsvm("+1 1:2.0\n-1 1:3.0\n");
+  ASSERT_EQ(data.y.size(), 2u);
+  EXPECT_EQ(data.y[0], 1.0);
+  EXPECT_EQ(data.y[1], -1.0);
+}
+
+TEST_F(IoFuzzTest, LibsvmIndexTrailingJunkThrows) {
+  EXPECT_THROW(parse_libsvm("1 2x:1.0\n"), IoError);
+  EXPECT_THROW(parse_libsvm("1 2 :1.0\n"), IoError);
+}
+
+TEST_F(IoFuzzTest, LibsvmNegativeIndexThrows) {
+  // stoull would wrap "-3" to a huge unsigned value; the strict parser
+  // must reject the sign outright.
+  EXPECT_THROW(parse_libsvm("1 -3:1.0\n"), IoError);
+}
+
+TEST_F(IoFuzzTest, LibsvmIndexOverflowThrows) {
+  EXPECT_THROW(parse_libsvm("1 99999999999999999999:1.0\n"), IoError);
+  EXPECT_THROW(parse_libsvm("1 4294967296:1.0\n"), IoError);  // 2^32
+}
+
+TEST_F(IoFuzzTest, LibsvmValueTrailingJunkThrows) {
+  EXPECT_THROW(parse_libsvm("1 2:1.0junk\n"), IoError);
+  EXPECT_THROW(parse_libsvm("1 2:\n"), IoError);
+}
+
+TEST_F(IoFuzzTest, LibsvmNonFiniteValueThrows) {
+  EXPECT_THROW(parse_libsvm("1 2:nan\n"), IoError);
+  EXPECT_THROW(parse_libsvm("1 2:inf\n"), IoError);
+  EXPECT_THROW(parse_libsvm("1 2:-inf\n"), IoError);
+  EXPECT_THROW(parse_libsvm("1 2:1e999\n"), IoError);  // overflows to inf
+}
+
+TEST_F(IoFuzzTest, LibsvmDuplicateFeatureThrows) {
+  // from_triplets sums duplicates, so "3:1.0 3:2.0" would silently become
+  // 3.0 -- corrupt data must not change values.
+  EXPECT_THROW(parse_libsvm("1 3:1.0 3:2.0\n"), IoError);
+}
+
+TEST_F(IoFuzzTest, LibsvmEmbeddedColonInValueThrows) {
+  EXPECT_THROW(parse_libsvm("1 2:3:4\n"), IoError);
+}
+
+TEST_F(IoFuzzTest, LibsvmWellFormedEdgeCasesStillParse) {
+  const auto data = parse_libsvm("0 1:0.0\n-2.5e-3 2:1.0 4:-7\n");
+  ASSERT_EQ(data.y.size(), 2u);
+  EXPECT_EQ(data.xt.cols(), 4u);
+  EXPECT_EQ(data.y[1], -2.5e-3);
+}
+
+// ---------------------------------------------------------------------------
+// MatrixMarket: banner, size line, and entry corruption.
+
+TEST_F(IoFuzzTest, MatrixMarketNonRealBannerThrows) {
+  for (const char* banner :
+       {"%%MatrixMarket matrix coordinate pattern general",
+        "%%MatrixMarket matrix coordinate complex general",
+        "%%MatrixMarket matrix coordinate integer general",
+        "%%MatrixMarket matrix array real general",
+        "%%MatrixMarket vector coordinate real general",
+        "%%MatrixMarket matrix coordinate real hermitian",
+        "%%MatrixMarket matrix coordinate real"}) {
+    const auto path =
+        write_file("banner.mtx", std::string(banner) + "\n2 2 1\n1 1 1.0\n");
+    EXPECT_THROW(read_matrix_market(path), IoError) << banner;
+  }
+}
+
+TEST_F(IoFuzzTest, MatrixMarketSizeLineJunkThrows) {
+  const auto path = write_file(
+      "junk.mtx", "%%MatrixMarket matrix coordinate real general\n"
+                  "2 2 1 extra\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(path), IoError);
+}
+
+TEST_F(IoFuzzTest, MatrixMarketNnzExceedsShapeThrows) {
+  const auto path = write_file(
+      "nnz.mtx", "%%MatrixMarket matrix coordinate real general\n"
+                 "2 2 5\n1 1 1.0\n1 2 1.0\n2 1 1.0\n2 2 1.0\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(path), IoError);
+}
+
+TEST_F(IoFuzzTest, MatrixMarketHugeClaimedNnzFailsCheaply) {
+  // A multi-exabyte nnz claim must fail with a structured error before
+  // any proportional allocation happens.
+  const auto path = write_file(
+      "huge.mtx", "%%MatrixMarket matrix coordinate real general\n"
+                  "1000000 1000000 999999999999\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(path), IoError);
+}
+
+TEST_F(IoFuzzTest, MatrixMarketZeroCoordinateThrows) {
+  // MatrixMarket is 1-based; a 0 coordinate used to wrap to a huge
+  // uint32 row index.
+  const auto zero_row = write_file(
+      "zr.mtx", "%%MatrixMarket matrix coordinate real general\n"
+                "2 2 1\n0 1 1.0\n");
+  const auto zero_col = write_file(
+      "zc.mtx", "%%MatrixMarket matrix coordinate real general\n"
+                "2 2 1\n1 0 1.0\n");
+  EXPECT_THROW(read_matrix_market(zero_row), IoError);
+  EXPECT_THROW(read_matrix_market(zero_col), IoError);
+}
+
+TEST_F(IoFuzzTest, MatrixMarketOutOfBoundsCoordinateThrows) {
+  const auto path = write_file(
+      "oob.mtx", "%%MatrixMarket matrix coordinate real general\n"
+                 "2 2 1\n3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(path), IoError);
+}
+
+TEST_F(IoFuzzTest, MatrixMarketNonFiniteValueThrows) {
+  const auto path = write_file(
+      "nan.mtx", "%%MatrixMarket matrix coordinate real general\n"
+                 "2 2 1\n1 1 nan\n");
+  EXPECT_THROW(read_matrix_market(path), IoError);
+}
+
+TEST_F(IoFuzzTest, MatrixMarketDuplicateEntryThrows) {
+  const auto path = write_file(
+      "dup.mtx", "%%MatrixMarket matrix coordinate real general\n"
+                 "2 2 2\n1 1 1.0\n1 1 2.0\n");
+  EXPECT_THROW(read_matrix_market(path), IoError);
+}
+
+TEST_F(IoFuzzTest, MatrixMarketSymmetricDiagonalDuplicateThrows) {
+  // The mirrored copy of an off-diagonal entry collides with an explicit
+  // entry at the transposed coordinate.
+  const auto path = write_file(
+      "symdup.mtx", "%%MatrixMarket matrix coordinate real symmetric\n"
+                    "2 2 2\n2 1 1.0\n2 1 2.0\n");
+  EXPECT_THROW(read_matrix_market(path), IoError);
+}
+
+TEST_F(IoFuzzTest, MatrixMarketSymmetricNonSquareThrows) {
+  const auto path = write_file(
+      "rect.mtx", "%%MatrixMarket matrix coordinate real symmetric\n"
+                  "2 3 1\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(path), IoError);
+}
+
+TEST_F(IoFuzzTest, MatrixMarketEmptyMatrixParses) {
+  const auto path = write_file(
+      "empty.mtx", "%%MatrixMarket matrix coordinate real general\n0 0 0\n");
+  const auto m = read_matrix_market(path);
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.nnz(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Generative fuzzing: random single-character mutations of valid files must
+// either round-trip to the same matrix (mutation hit a don't-care byte) or
+// throw IoError -- never crash or change parsed values silently.
+
+std::string render_libsvm(const LabelledMatrix& data) {
+  std::ostringstream out;
+  char buf[64];
+  for (std::size_t r = 0; r < data.xt.rows(); ++r) {
+    std::snprintf(buf, sizeof buf, "%.17g", data.y[r]);
+    out << buf;
+    const auto row = data.xt.row(r);
+    for (std::size_t i = 0; i < row.nnz(); ++i) {
+      std::snprintf(buf, sizeof buf, " %u:%.17g", row.cols[i] + 1,
+                    row.vals[i]);
+      out << buf;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+TEST_F(IoFuzzTest, LibsvmMutationFuzz) {
+  constexpr std::uint64_t kSeed = 20180814;
+  constexpr const char* kMutants = "x:- .#\t\n09e";
+  Rng gen(kSeed, 0);
+  const auto data = random_labelled(/*rows=*/12, /*cols=*/8,
+                                    /*density=*/0.4, /*seed=*/kSeed);
+  const std::string clean = render_libsvm(data);
+  int rejected = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string mutated = clean;
+    const auto pos = static_cast<std::size_t>(
+        gen.uniform_index(static_cast<std::uint64_t>(mutated.size())));
+    mutated[pos] = kMutants[gen.uniform_index(11)];
+    try {
+      const auto parsed = parse_libsvm(mutated);
+      // Accepted: the mutation must not have silently changed sample count
+      // beyond +/-1 (a newline edit can merge or split lines).
+      EXPECT_LE(parsed.y.size(), data.y.size() + 1);
+    } catch (const IoError&) {
+      ++rejected;  // structured rejection is the expected common outcome
+    }
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+TEST_F(IoFuzzTest, MatrixMarketMutationFuzz) {
+  constexpr std::uint64_t kSeed = 20180815;
+  constexpr const char* kMutants = "x:- .%\t\n09e";
+  Rng gen(kSeed, 1);
+  const auto m = random_csr(/*rows=*/9, /*cols=*/7, /*density=*/0.5,
+                            /*seed=*/kSeed);
+  const auto clean_path = (dir_ / "clean.mtx").string();
+  write_matrix_market(clean_path, m);
+  std::string clean;
+  {
+    std::ifstream in(clean_path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    clean = buf.str();
+  }
+  int rejected = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string mutated = clean;
+    const auto pos = static_cast<std::size_t>(
+        gen.uniform_index(static_cast<std::uint64_t>(mutated.size())));
+    mutated[pos] = kMutants[gen.uniform_index(11)];
+    const auto path = write_file("mut.mtx", mutated);
+    try {
+      const auto parsed = read_matrix_market(path);
+      EXPECT_LE(parsed.nnz(), m.nnz());
+    } catch (const IoError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+// Truncating a valid file at any byte must never crash and never yield a
+// larger matrix than the original.
+TEST_F(IoFuzzTest, MatrixMarketTruncationSweep) {
+  const auto m = random_csr(/*rows=*/6, /*cols=*/5, /*density=*/0.6,
+                            /*seed=*/99);
+  const auto clean_path = (dir_ / "trunc_clean.mtx").string();
+  write_matrix_market(clean_path, m);
+  std::string clean;
+  {
+    std::ifstream in(clean_path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    clean = buf.str();
+  }
+  for (std::size_t cut = 0; cut < clean.size(); cut += 3) {
+    const auto path = write_file("trunc.mtx", clean.substr(0, cut));
+    try {
+      const auto parsed = read_matrix_market(path);
+      EXPECT_LE(parsed.nnz(), m.nnz());
+    } catch (const IoError&) {
+      // structured rejection is fine
+    }
+  }
+}
+
+TEST_F(IoFuzzTest, LibsvmRoundTripSurvivesHardening) {
+  // The strict parser must still accept everything the writer emits.
+  const auto data = random_labelled(/*rows=*/20, /*cols=*/11,
+                                    /*density=*/0.35, /*seed=*/7);
+  const auto path = (dir_ / "round.libsvm").string();
+  write_libsvm(path, data);
+  const auto back = read_libsvm(path, data.xt.cols());
+  ASSERT_EQ(back.y.size(), data.y.size());
+  for (std::size_t i = 0; i < data.y.size(); ++i) {
+    EXPECT_EQ(back.y[i], data.y[i]);
+  }
+  EXPECT_EQ(back.xt.nnz(), data.xt.nnz());
+}
+
+}  // namespace
+}  // namespace rcf::sparse

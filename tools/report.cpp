@@ -261,6 +261,26 @@ bool build_report(const std::vector<ReportEvent>& events,
         out.histograms.push_back(std::move(row));
       }
     }
+    if (const JsonValue* counters = doc->find("counters");
+        counters != nullptr && counters->is_object()) {
+      // Resilience view: the retry/backoff/fault-injection counters the
+      // fault layer maintains (see src/fault and dist/retry.hpp).  Zero
+      // rows are dropped so clean runs keep a clean report.
+      for (const auto& [name, value] : counters->members) {
+        const auto ends_with = [&name](std::string_view suffix) {
+          return name.size() >= suffix.size() &&
+                 name.compare(name.size() - suffix.size(), suffix.size(),
+                              suffix) == 0;
+        };
+        const bool resilience_counter =
+            name == "comm.backoff_us" || name.rfind("fault.", 0) == 0 ||
+            (name.rfind("comm.", 0) == 0 &&
+             (ends_with(".retries") || ends_with(".faults_injected")));
+        if (resilience_counter && value.is_number() && value.number != 0.0) {
+          out.resilience.push_back(ResilienceRow{name, value.number});
+        }
+      }
+    }
     if (const JsonValue* gauges = doc->find("gauges");
         gauges != nullptr && gauges->is_object()) {
       // agg.* gauges pass through verbatim; model.<label>.<quantity>.<kind>
@@ -367,6 +387,14 @@ AsciiTable agg_table(const Report& r) {
   return tbl;
 }
 
+AsciiTable resilience_table(const Report& r) {
+  AsciiTable tbl({"resilience counter", "value"});
+  for (const auto& row : r.resilience) {
+    tbl.add_row({row.name, fmt_g(row.value, 6)});
+  }
+  return tbl;
+}
+
 AsciiTable conv_table(const Report& r) {
   AsciiTable tbl({"iter", "objective", "grad norm", "support", "step"});
   // Bound the text rendering; the JSON format carries every row.
@@ -460,6 +488,10 @@ std::string render_text(const Report& r) {
   if (!r.aggregated.empty()) {
     out << "cross-rank aggregated metrics\n" << agg_table(r).str() << "\n";
   }
+  if (!r.resilience.empty()) {
+    out << "resilience (retries / injected faults / backoff)\n"
+        << resilience_table(r).str() << "\n";
+  }
   if (!r.convergence.empty()) {
     out << "convergence trace (" << r.convergence.size() << " records)\n"
         << conv_table(r).str() << "\n";
@@ -524,6 +556,13 @@ std::string render_markdown(const Report& r) {
       tbl.add_row({a.name, fmt_g(a.value, 6)});
     }
     out << "## Cross-rank aggregated metrics\n\n" << tbl.str() << "\n";
+  }
+  if (!r.resilience.empty()) {
+    MarkdownTable tbl({"resilience counter", "value"});
+    for (const auto& row : r.resilience) {
+      tbl.add_row({row.name, fmt_g(row.value, 6)});
+    }
+    out << "## Resilience\n\n" << tbl.str() << "\n";
   }
   if (!r.convergence.empty()) {
     MarkdownTable tbl({"iter", "objective", "grad norm", "support", "step"});
@@ -635,6 +674,14 @@ std::string render_json(const Report& r) {
     json_escape_to(r.aggregated[i].name, out);
     out += "\":";
     append_number(out, r.aggregated[i].value);
+  }
+  out += "},\"resilience\":{";
+  for (std::size_t i = 0; i < r.resilience.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"";
+    json_escape_to(r.resilience[i].name, out);
+    out += "\":";
+    append_number(out, r.resilience[i].value);
   }
   out += "},\"convergence\":[";
   for (std::size_t i = 0; i < r.convergence.size(); ++i) {

@@ -100,6 +100,15 @@ struct AggRow {
   double value = 0.0;
 };
 
+/// One resilience counter from the metrics JSON (comm.retries,
+/// comm.faults_injected, comm.backoff_us, fault.*): how much fault
+/// absorption the run performed.  All-zero rows are omitted, so the
+/// section only appears for runs that actually retried or were injected.
+struct ResilienceRow {
+  std::string name;
+  double value = 0.0;
+};
+
 struct Report {
   std::vector<RankBreakdown> ranks;
   std::vector<PhaseRow> phases;        ///< sorted by critical_s, descending
@@ -107,6 +116,7 @@ struct Report {
   std::vector<HistRow> histograms;
   std::vector<ModelRow> model;
   std::vector<AggRow> aggregated;      ///< agg.* gauges
+  std::vector<ResilienceRow> resilience;  ///< nonzero retry/fault counters
   std::vector<ConvRow> convergence;
   std::uint64_t allreduce_spans = 0;   ///< total "allreduce" span count
 };
