@@ -1,7 +1,16 @@
 // Kernel microbenchmarks (google-benchmark): the primitive operations the
 // solver loop is built from, for performance-regression tracking.
+//
+// Pass --counters (stripped before google-benchmark sees the argv) to
+// sample hardware performance counters around each instrumented kernel and
+// emit roofline rows: cycles/instructions/LLC-misses per iteration, IPC,
+// flops per cycle, arithmetic intensity (flops per LLC-filled byte), and
+// achieved GFLOP/s.  Degrades to a `perf_ok=0` counter where
+// perf_event_open is unavailable (containers, non-Linux).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string_view>
 #include <vector>
 
 #include "rcf.hpp"
@@ -9,6 +18,71 @@
 namespace {
 
 using namespace rcf;
+
+// Set by main() when --counters is passed.
+bool g_counters = false;
+
+/// Publishes roofline counters for one benchmark run.  `flops_per_iter` is
+/// the caller's flop model of one loop body; LLC-miss traffic is converted
+/// to bytes at 64 B per line.
+void roofline_row(benchmark::State& state, const obs::PerfSample& sample,
+                  double flops_per_iter) {
+  state.counters["perf_ok"] = sample.valid ? 1.0 : 0.0;
+  const auto iters = static_cast<double>(state.iterations());
+  if (!sample.valid || iters <= 0.0) {
+    return;
+  }
+  const auto cycles = static_cast<double>(sample.cycles);
+  const auto instrs = static_cast<double>(sample.instructions);
+  state.counters["cycles_per_iter"] = cycles / iters;
+  state.counters["instr_per_iter"] = instrs / iters;
+  state.counters["ipc"] = sample.ipc();
+  state.counters["flops_per_iter"] = flops_per_iter;
+  const double total_flops = flops_per_iter * iters;
+  if (cycles > 0.0) {
+    state.counters["flop_per_cycle"] = total_flops / cycles;
+  }
+  if (sample.llc_ok) {
+    const auto misses = static_cast<double>(sample.llc_misses);
+    state.counters["llc_miss_per_iter"] = misses / iters;
+    const double bytes = misses * 64.0;
+    if (bytes > 0.0) {
+      state.counters["ai_flop_per_byte"] = total_flops / bytes;
+    }
+  }
+  if (sample.time_enabled_ns > 0) {
+    // flops per enabled nanosecond == GFLOP/s.
+    state.counters["gflops"] =
+        total_flops / static_cast<double>(sample.time_enabled_ns);
+  }
+}
+
+/// Runs the benchmark loop, sampling hardware counters around it when
+/// --counters is active.  The counter group covers the whole timed loop,
+/// so per-iteration figures are means over state.iterations().
+template <typename Fn>
+void run_kernel(benchmark::State& state, double flops_per_iter,
+                const Fn& body) {
+  if (!g_counters) {
+    for (auto _ : state) {
+      body();
+    }
+    return;
+  }
+  obs::PerfCounters perf;
+  const bool sampling = perf.available();
+  if (sampling) {
+    perf.start();
+  }
+  for (auto _ : state) {
+    body();
+  }
+  if (sampling) {
+    roofline_row(state, perf.stop(), flops_per_iter);
+  } else {
+    state.counters["perf_ok"] = 0.0;
+  }
+}
 
 sparse::CsrMatrix make_matrix(std::size_t rows, std::size_t cols,
                               double density) {
@@ -42,10 +116,11 @@ void BM_SpMV(benchmark::State& state) {
   const auto rows = static_cast<std::size_t>(state.range(0));
   const auto mat = make_matrix(rows, 256, 0.2);
   std::vector<double> x(256, 1.0), y(rows);
-  for (auto _ : state) {
+  // One multiply-add per stored nonzero.
+  run_kernel(state, 2.0 * static_cast<double>(mat.nnz()), [&] {
     mat.spmv(x, y);
     benchmark::DoNotOptimize(y.data());
-  }
+  });
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(mat.nnz()));
 }
@@ -59,10 +134,17 @@ void BM_SampledGram(benchmark::State& state) {
   la::Vector r(d);
   Rng rng(42, 1);
   const auto idx = rng.sample_without_replacement(20000, 500);
-  for (auto _ : state) {
+  // Flop model: each sampled row contributes ~nnz_row^2 multiply-adds to
+  // the Gram accumulation plus nnz_row for the residual term; estimated
+  // from the mean row density.
+  const double avg_nnz =
+      static_cast<double>(mat.nnz()) / static_cast<double>(mat.rows());
+  const double flops = static_cast<double>(idx.size()) *
+                       (2.0 * avg_nnz * avg_nnz + 2.0 * avg_nnz);
+  run_kernel(state, flops, [&] {
     benchmark::DoNotOptimize(
         sparse::sampled_gram(mat, y.span(), idx, h, r.span()));
-  }
+  });
 }
 BENCHMARK(BM_SampledGram)->Arg(64)->Arg(256);
 
@@ -160,10 +242,11 @@ void BM_Gemv(benchmark::State& state) {
   const auto d = static_cast<std::size_t>(state.range(0));
   la::Matrix h(d, d, 0.5);
   la::Vector x(d, 1.0), y(d);
-  for (auto _ : state) {
-    la::gemv(1.0, h, x.span(), 0.0, y.span());
-    benchmark::DoNotOptimize(y.data());
-  }
+  run_kernel(state, 2.0 * static_cast<double>(d) * static_cast<double>(d),
+             [&] {
+               la::gemv(1.0, h, x.span(), 0.0, y.span());
+               benchmark::DoNotOptimize(y.data());
+             });
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(2 * d * d));
 }
@@ -172,10 +255,11 @@ BENCHMARK(BM_Gemv)->Arg(256)->Arg(1024);
 void BM_SoftThreshold(benchmark::State& state) {
   const auto d = static_cast<std::size_t>(state.range(0));
   la::Vector in(d, 0.3), out(d);
-  for (auto _ : state) {
+  // Compare + subtract per element.
+  run_kernel(state, 2.0 * static_cast<double>(d), [&] {
     prox::soft_threshold(in.span(), 0.1, out.span());
     benchmark::DoNotOptimize(out.data());
-  }
+  });
 }
 BENCHMARK(BM_SoftThreshold)->Arg(1024)->Arg(65536);
 
@@ -248,3 +332,34 @@ void BM_SolverIteration(benchmark::State& state) {
 BENCHMARK(BM_SolverIteration)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+// Custom main (instead of benchmark::benchmark_main): strips --counters
+// before google-benchmark parses the argv (it rejects unknown flags), and
+// turns on the obs::PerfScope sampling that rides the exec::Pool kernel
+// spans for the pooled rows.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--counters") {
+      g_counters = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (g_counters) {
+    rcf::obs::set_perf_scopes_enabled(true);
+    if (!rcf::obs::PerfCounters::supported()) {
+      std::fprintf(stderr,
+                   "bench_kernels: --counters requested but perf_event_open "
+                   "is unavailable; emitting perf_ok=0 rows\n");
+    }
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -39,6 +39,18 @@ obs::Histogram& barrier_wait() {
   return h;
 }
 
+// Post-publish wait for the reduction itself (rank 0's serial combine in
+// the central schedule, the pairwise exchange stages in recursive
+// doubling).  Splitting this from the publish wait separates "a rank
+// arrived late" (collective_wait_us, straggler skew) from "the reduction
+// serialized us" (reduce_wait_us, algorithm cost) -- the two components an
+// async-collective backend would overlap differently.
+obs::Histogram& reduce_wait() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("reduce_wait_us");
+  return h;
+}
+
 std::size_t as_index(int value) { return static_cast<std::size_t>(value); }
 
 }  // namespace
@@ -103,9 +115,14 @@ void ThreadComm::contract_check(check::CollectiveKind kind, std::size_t words,
   state_->board->verify(rank_, fp);
 }
 
+std::int64_t ThreadComm::next_span_seq() {
+  return aux_mode() ? -1 : collective_seq_++;
+}
+
 void ThreadComm::barrier(std::source_location site) {
+  const std::int64_t seq = next_span_seq();
   obs::TraceScope span(aux_mode() ? "aux_collective" : "barrier_wait", 0.0,
-                       aux_mode() ? nullptr : &barrier_wait());
+                       aux_mode() ? nullptr : &barrier_wait(), seq);
   contract_check(check::CollectiveKind::kBarrier, 0, 0, site);
   if (!aux_mode()) {
     ++stats_.barrier_calls;
@@ -115,9 +132,10 @@ void ThreadComm::barrier(std::source_location site) {
 
 void ThreadComm::allreduce_sum(std::span<double> inout,
                                std::source_location site) {
+  const std::int64_t seq = next_span_seq();
   obs::TraceScope span(aux_mode() ? "aux_collective" : "allreduce",
                        static_cast<double>(inout.size()),
-                       aux_mode() ? nullptr : &allreduce_latency());
+                       aux_mode() ? nullptr : &allreduce_latency(), seq);
   contract_check(check::CollectiveKind::kAllreduceSum, inout.size(), 0, site);
   if (!aux_mode()) {
     ++stats_.allreduce_calls;
@@ -127,17 +145,18 @@ void ThreadComm::allreduce_sum(std::span<double> inout,
   }
   if (state_->algo == AllreduceAlgo::kRecursiveDoubling &&
       (size_ & (size_ - 1)) == 0) {
-    allreduce_recursive_doubling(inout, /*use_max=*/false);
+    allreduce_recursive_doubling(inout, /*use_max=*/false, seq);
   } else {
-    allreduce_central(inout, /*use_max=*/false);
+    allreduce_central(inout, /*use_max=*/false, seq);
   }
 }
 
 void ThreadComm::allreduce_max(std::span<double> inout,
                                std::source_location site) {
+  const std::int64_t seq = next_span_seq();
   obs::TraceScope span(aux_mode() ? "aux_collective" : "allreduce",
                        static_cast<double>(inout.size()),
-                       aux_mode() ? nullptr : &allreduce_latency());
+                       aux_mode() ? nullptr : &allreduce_latency(), seq);
   contract_check(check::CollectiveKind::kAllreduceMax, inout.size(), 0, site);
   if (!aux_mode()) {
     ++stats_.allreduce_max_calls;
@@ -147,20 +166,21 @@ void ThreadComm::allreduce_max(std::span<double> inout,
   }
   if (state_->algo == AllreduceAlgo::kRecursiveDoubling &&
       (size_ & (size_ - 1)) == 0) {
-    allreduce_recursive_doubling(inout, /*use_max=*/true);
+    allreduce_recursive_doubling(inout, /*use_max=*/true, seq);
   } else {
-    allreduce_central(inout, /*use_max=*/true);
+    allreduce_central(inout, /*use_max=*/true, seq);
   }
 }
 
-void ThreadComm::allreduce_central(std::span<double> inout, bool use_max) {
+void ThreadComm::allreduce_central(std::span<double> inout, bool use_max,
+                                   std::int64_t seq) {
   GroupState& st = *state_;
   st.publish[as_index(rank_)] = inout.data();
   st.publish_len[as_index(rank_)] = inout.size();
   {
     // Time waiting for the slowest rank to publish: the skew signal.
     obs::TraceScope wait(aux_mode() ? "aux_wait" : "allreduce_wait", 0.0,
-                         aux_mode() ? nullptr : &collective_wait());
+                         aux_mode() ? nullptr : &collective_wait(), seq);
     rendezvous("allreduce:publish");
   }
   if (rank_ == 0) {
@@ -181,13 +201,18 @@ void ThreadComm::allreduce_central(std::span<double> inout, bool use_max) {
       }
     }
   }
-  rendezvous("allreduce:reduce");
+  {
+    // Time blocked on the reduction itself (rank 0's serial combine).
+    obs::TraceScope wait(aux_mode() ? "aux_wait" : "reduce_wait", 0.0,
+                         aux_mode() ? nullptr : &reduce_wait(), seq);
+    rendezvous("allreduce:reduce");
+  }
   std::copy(st.scratch.begin(), st.scratch.end(), inout.begin());
   rendezvous("allreduce:release");  // protect scratch until all have copied
 }
 
 void ThreadComm::allreduce_recursive_doubling(std::span<double> inout,
-                                              bool use_max) {
+                                              bool use_max, std::int64_t seq) {
   GroupState& st = *state_;
   const std::size_t n = inout.size();
   auto* cur = &st.work_a;
@@ -195,7 +220,7 @@ void ThreadComm::allreduce_recursive_doubling(std::span<double> inout,
   (*cur)[as_index(rank_)].assign(inout.begin(), inout.end());
   {
     obs::TraceScope wait(aux_mode() ? "aux_wait" : "allreduce_wait", 0.0,
-                         aux_mode() ? nullptr : &collective_wait());
+                         aux_mode() ? nullptr : &collective_wait(), seq);
     rendezvous("allreduce:publish");
   }
   for (int stride = 1; stride < size_; stride <<= 1) {
@@ -212,7 +237,12 @@ void ThreadComm::allreduce_recursive_doubling(std::span<double> inout,
     for (std::size_t i = 0; i < n; ++i) {
       out[i] = use_max ? std::max(lo[i], hi[i]) : lo[i] + hi[i];
     }
-    rendezvous("allreduce:exchange");
+    {
+      // Time blocked on the partner's pairwise stage.
+      obs::TraceScope wait(aux_mode() ? "aux_wait" : "reduce_wait", 0.0,
+                           aux_mode() ? nullptr : &reduce_wait(), seq);
+      rendezvous("allreduce:exchange");
+    }
     std::swap(cur, nxt);
   }
   std::copy((*cur)[as_index(rank_)].begin(), (*cur)[as_index(rank_)].end(),
@@ -223,8 +253,9 @@ void ThreadComm::allreduce_recursive_doubling(std::span<double> inout,
 void ThreadComm::broadcast(std::span<double> buffer, int root,
                            std::source_location site) {
   RCF_CHECK_MSG(root >= 0 && root < size_, "broadcast: bad root");
+  const std::int64_t seq = next_span_seq();
   obs::TraceScope span(aux_mode() ? "aux_collective" : "broadcast",
-                       static_cast<double>(buffer.size()));
+                       static_cast<double>(buffer.size()), nullptr, seq);
   contract_check(check::CollectiveKind::kBroadcast, buffer.size(),
                  static_cast<std::uint64_t>(root), site);
   if (!aux_mode()) {
@@ -253,8 +284,9 @@ void ThreadComm::allgather(std::span<const double> input,
                            std::source_location site) {
   RCF_CHECK_MSG(output.size() == input.size() * as_index(size_),
                 "allgather: output size must be size() * input size");
+  const std::int64_t seq = next_span_seq();
   obs::TraceScope span(aux_mode() ? "aux_collective" : "allgather",
-                       static_cast<double>(input.size()));
+                       static_cast<double>(input.size()), nullptr, seq);
   contract_check(check::CollectiveKind::kAllgather, input.size(), 0, site);
   if (!aux_mode()) {
     ++stats_.allgather_calls;

@@ -26,6 +26,7 @@
 // check::ContractViolation on any schedule divergence (see src/check).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 
@@ -70,20 +71,28 @@ class ThreadComm final : public Communicator {
   [[nodiscard]] std::string backend_name() const override { return "thread"; }
 
  private:
-  void allreduce_central(std::span<double> inout, bool use_max);
-  void allreduce_recursive_doubling(std::span<double> inout, bool use_max);
+  void allreduce_central(std::span<double> inout, bool use_max,
+                         std::int64_t seq);
+  void allreduce_recursive_doubling(std::span<double> inout, bool use_max,
+                                    std::int64_t seq);
   /// Data-movement rendezvous (stall-timeout bounded).
   void rendezvous(const char* what);
   /// Contract-checker hook: fingerprints + cross-checks the collective
   /// about to execute.  No-op (one null test) when checking is off.
   void contract_check(check::CollectiveKind kind, std::size_t words,
                       std::uint64_t extra, const std::source_location& site);
+  /// Sequence number stamped on this collective's spans for the cross-rank
+  /// timeline merge: the engine-space per-endpoint collective count (the
+  /// same counting scheme check::SequenceTracker fingerprints), -1 in aux
+  /// mode (aux spans are not aligned).
+  [[nodiscard]] std::int64_t next_span_seq();
 
   int rank_;
   int size_;
   detail::GroupState* state_;
   CommStats stats_;
   check::SequenceTracker tracker_;
+  std::int64_t collective_seq_ = 0;
 };
 
 /// Owns the shared state of a thread world and launches SPMD bodies.

@@ -7,6 +7,7 @@
 #include "check/partition.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perfctr.hpp"
 #include "obs/trace.hpp"
 
 namespace rcf::exec {
@@ -89,6 +90,9 @@ void Pool::run_slice(int index) {
   try {
     if (label_ != nullptr) {
       obs::TraceScope span(label_);
+      // Hardware-counter sampling for this kernel slice (gram.task,
+      // sparse.spmv, ...); one relaxed load when RCF_PERFCTR is off.
+      obs::PerfScope perf(label_);
       (*task_)(index);
     } else {
       (*task_)(index);

@@ -128,10 +128,10 @@ std::string FleetMetrics::table() const {
   std::ostringstream out;
   out << "cross-rank metrics (" << ranks << " ranks)\n" << tbl.str();
   if (!histograms.empty()) {
-    AsciiTable htbl({"histogram", "count", "p50", "p95", "p99", "max"});
+    AsciiTable htbl({"histogram", "count", "min", "p50", "p95", "p99", "max"});
     for (const auto& h : histograms) {
-      htbl.add_row({h.name, fmt_count(h.count), fmt_g(h.p50), fmt_g(h.p95),
-                    fmt_g(h.p99), fmt_g(h.max)});
+      htbl.add_row({h.name, fmt_count(h.count), fmt_g(h.min), fmt_g(h.p50),
+                    fmt_g(h.p95), fmt_g(h.p99), fmt_g(h.max)});
     }
     out << htbl.str();
   }
@@ -173,9 +173,13 @@ FleetMetrics aggregate(MetricsRegistry& local, dist::Communicator& comm) {
   // recomputed from the merged bins so they reflect the whole fleet rather
   // than any single rank.
   const std::size_t stride = Histogram::kNumBins + 2;  // bins, count, sum
-  std::vector<double> hbuf(histogram_names.size() * stride);
-  std::vector<double> hmax(histogram_names.size());
-  for (std::size_t i = 0; i < histogram_names.size(); ++i) {
+  const std::size_t nh = histogram_names.size();
+  std::vector<double> hbuf(nh * stride);
+  // Extremes buffer: max in the first half, negated min in the second
+  // (same max/-min trick as reduce_values; empty histograms contribute
+  // -inf to the min half so they never win).
+  std::vector<double> hext(2 * nh);
+  for (std::size_t i = 0; i < nh; ++i) {
     const Histogram& h = local.histogram(histogram_names[i]);
     double* row = hbuf.data() + i * stride;
     for (int b = 0; b < Histogram::kNumBins; ++b) {
@@ -183,20 +187,24 @@ FleetMetrics aggregate(MetricsRegistry& local, dist::Communicator& comm) {
     }
     row[Histogram::kNumBins] = static_cast<double>(h.count());
     row[Histogram::kNumBins + 1] = h.sum();
-    hmax[i] = h.max();
+    hext[i] = h.max();
+    hext[nh + i] = h.count() > 0
+                       ? -h.min()
+                       : -std::numeric_limits<double>::infinity();
   }
   if (!hbuf.empty()) {
     comm.allreduce_sum({hbuf.data(), hbuf.size()});
-    comm.allreduce_max({hmax.data(), hmax.size()});
+    comm.allreduce_max({hext.data(), hext.size()});
   }
-  fleet.histograms.resize(histogram_names.size());
-  for (std::size_t i = 0; i < histogram_names.size(); ++i) {
+  fleet.histograms.resize(nh);
+  for (std::size_t i = 0; i < nh; ++i) {
     AggregatedHistogram& h = fleet.histograms[i];
     const double* row = hbuf.data() + i * stride;
     h.name = histogram_names[i];
     h.count = static_cast<std::uint64_t>(row[Histogram::kNumBins]);
     h.sum = row[Histogram::kNumBins + 1];
-    h.max = hmax[i];
+    h.max = hext[i];
+    h.min = h.count > 0 && std::isfinite(hext[nh + i]) ? -hext[nh + i] : 0.0;
     if (h.count > 0) {
       auto quantile = [&row, &h](double p) {
         const auto rank = static_cast<std::uint64_t>(
@@ -242,6 +250,7 @@ void publish(const FleetMetrics& fleet, MetricsRegistry& registry) {
     const std::string base = "agg." + h.name + ".";
     put(base + "count", static_cast<double>(h.count));
     put(base + "sum", h.sum);
+    put(base + "min", h.min);
     put(base + "max", h.max);
     put(base + "p50", h.p50);
     put(base + "p95", h.p95);

@@ -58,6 +58,7 @@ struct AggregatedHistogram {
   std::string name;
   std::uint64_t count = 0;
   double sum = 0.0;
+  double min = 0.0;  ///< smallest observation across ranks (0 when empty)
   double max = 0.0;
   double p50 = 0.0;
   double p95 = 0.0;
@@ -93,8 +94,8 @@ FleetMetrics aggregate(MetricsRegistry& local, dist::Communicator& comm);
 
 /// Publishes a fleet view into `registry` as gauges named
 /// "agg.<metric>.{min,max,sum,mean,imbalance}" (histograms as
-/// "agg.<name>.{count,sum,max,p50,p95,p99}"), so aggregated results ride
-/// the normal metrics JSON export.
+/// "agg.<name>.{count,sum,min,max,p50,p95,p99}"), so aggregated results
+/// ride the normal metrics JSON export.
 void publish(const FleetMetrics& fleet, MetricsRegistry& registry);
 
 /// Records one rank's solve-local observations into `registry`:

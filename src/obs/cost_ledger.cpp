@@ -58,12 +58,21 @@ void CostLedger::add(const std::string& label,
   row.pred_flops = predicted.flops;
   row.pred_rounds = predicted_rounds;
   row.pred_seconds = model::runtime(predicted, spec_);
+  // The alpha-beta slice of Eq. 7: what the machine model says the
+  // communication alone should cost.  Compared against the wall seconds of
+  // the "allreduce" phase when the run was traced.
+  row.pred_comm_seconds = spec_.alpha_effective() * predicted.latency_msgs +
+                          spec_.beta * predicted.bandwidth_words;
   row.meas_latency_msgs = measured.messages();
   row.meas_bw_words = measured.words();
   row.meas_flops = measured.flops();
   if (phases != nullptr) {
     if (const PhaseStat* allreduce = find_phase(*phases, "allreduce")) {
       row.meas_rounds = static_cast<double>(allreduce->count);
+      if (allreduce->seconds > 0.0) {
+        row.meas_comm_seconds = allreduce->seconds;
+        row.meas_comm_is_wall = true;
+      }
     }
     double wall = 0.0;
     for (const auto& stat : *phases) {
@@ -85,9 +94,22 @@ void CostLedger::add(const std::string& label,
   if (!row.meas_seconds_is_wall) {
     row.meas_seconds = measured.seconds(spec_);
   }
+  if (!row.meas_comm_is_wall) {
+    // No wall measurement: report the modeled comm cost of the *measured*
+    // schedule so the column is still populated, but leave comm_err at 0
+    // (comparing the model to itself would fake a perfect fit).
+    row.meas_comm_seconds = spec_.alpha_effective() * row.meas_latency_msgs +
+                            spec_.beta * row.meas_bw_words;
+  }
   row.latency_err = rel_err(row.meas_latency_msgs, row.pred_latency_msgs);
   row.bw_err = rel_err(row.meas_bw_words, row.pred_bw_words);
   row.flops_err = rel_err(row.meas_flops, row.pred_flops);
+  if (row.meas_comm_is_wall) {
+    row.comm_err = rel_err(row.meas_comm_seconds, row.pred_comm_seconds);
+  }
+  if (row.meas_seconds_is_wall) {
+    row.seconds_err = rel_err(row.meas_seconds, row.pred_seconds);
+  }
   rows_.push_back(std::move(row));
 }
 
@@ -103,10 +125,34 @@ double CostLedger::mean_flops_err() const {
   return mean_of(rows_, &CostLedgerRow::flops_err);
 }
 
+double CostLedger::mean_comm_err() const {
+  double total = 0.0;
+  int n = 0;
+  for (const auto& row : rows_) {
+    if (row.meas_comm_is_wall) {
+      total += row.comm_err;
+      ++n;
+    }
+  }
+  return n > 0 ? total / n : 0.0;
+}
+
+double CostLedger::mean_seconds_err() const {
+  double total = 0.0;
+  int n = 0;
+  for (const auto& row : rows_) {
+    if (row.meas_seconds_is_wall) {
+      total += row.seconds_err;
+      ++n;
+    }
+  }
+  return n > 0 ? total / n : 0.0;
+}
+
 std::string CostLedger::table() const {
   AsciiTable tbl({"config", "rounds p/m", "L pred", "L meas", "L err",
                   "W pred", "W meas", "W err", "F pred", "F meas", "F err",
-                  "T pred(s)", "T meas(s)"});
+                  "Tc pred(s)", "Tc meas(s)", "T pred(s)", "T meas(s)"});
   for (const auto& r : rows_) {
     tbl.add_row({r.label,
                  fmt_g(r.pred_rounds, 3) + "/" + fmt_g(r.meas_rounds, 3),
@@ -114,12 +160,16 @@ std::string CostLedger::table() const {
                  fmt_f(r.latency_err, 3), fmt_g(r.pred_bw_words, 3),
                  fmt_g(r.meas_bw_words, 3), fmt_f(r.bw_err, 3),
                  fmt_g(r.pred_flops, 3), fmt_g(r.meas_flops, 3),
-                 fmt_f(r.flops_err, 3), fmt_e(r.pred_seconds, 2),
-                 fmt_e(r.meas_seconds, 2)});
+                 fmt_f(r.flops_err, 3), fmt_e(r.pred_comm_seconds, 2),
+                 fmt_e(r.meas_comm_seconds, 2) +
+                     (r.meas_comm_is_wall ? "" : "*"),
+                 fmt_e(r.pred_seconds, 2), fmt_e(r.meas_seconds, 2)});
   }
   std::ostringstream out;
   out << "cost model (" << spec_.name << "): predicted vs measured\n"
-      << tbl.str();
+      << tbl.str()
+      << "(Tc = alpha_eff*L + beta*W; '*' marks modeled rather than "
+         "wall-measured comm seconds)\n";
   return out.str();
 }
 
@@ -127,6 +177,11 @@ void CostLedger::export_metrics(MetricsRegistry& registry) const {
   registry.gauge("model.latency_err").set(mean_latency_err());
   registry.gauge("model.bw_err").set(mean_bw_err());
   registry.gauge("model.flops_err").set(mean_flops_err());
+  registry.gauge("model.residual.latency").set(mean_latency_err());
+  registry.gauge("model.residual.bw").set(mean_bw_err());
+  registry.gauge("model.residual.flops").set(mean_flops_err());
+  registry.gauge("model.residual.comm").set(mean_comm_err());
+  registry.gauge("model.residual.seconds").set(mean_seconds_err());
   for (const auto& r : rows_) {
     const std::string base = "model." + r.label + ".";
     registry.gauge(base + "latency.pred").set(r.pred_latency_msgs);
@@ -139,9 +194,13 @@ void CostLedger::export_metrics(MetricsRegistry& registry) const {
     registry.gauge(base + "rounds.meas").set(r.meas_rounds);
     registry.gauge(base + "seconds.pred").set(r.pred_seconds);
     registry.gauge(base + "seconds.meas").set(r.meas_seconds);
+    registry.gauge(base + "comm_seconds.pred").set(r.pred_comm_seconds);
+    registry.gauge(base + "comm_seconds.meas").set(r.meas_comm_seconds);
     registry.gauge(base + "latency_err").set(r.latency_err);
     registry.gauge(base + "bw_err").set(r.bw_err);
     registry.gauge(base + "flops_err").set(r.flops_err);
+    registry.gauge(base + "comm_err").set(r.comm_err);
+    registry.gauge(base + "seconds_err").set(r.seconds_err);
   }
 }
 

@@ -45,10 +45,20 @@ struct CostLedgerRow {
   double meas_seconds = 0.0;
   bool meas_seconds_is_wall = false;
 
+  // Communication-time validation: the alpha-beta part of Eq. 7
+  // (alpha_eff * L + beta * W) next to the wall seconds actually spent in
+  // the "allreduce" phase of a traced run.  meas_comm_seconds stays 0 (and
+  // comm_err is not meaningful) when no phase summary was supplied.
+  double pred_comm_seconds = 0.0;
+  double meas_comm_seconds = 0.0;
+  bool meas_comm_is_wall = false;
+
   // Relative errors |meas - pred| / max(|pred|, eps).
   double latency_err = 0.0;
   double bw_err = 0.0;
   double flops_err = 0.0;
+  double comm_err = 0.0;     ///< comm seconds, only when meas_comm_is_wall
+  double seconds_err = 0.0;  ///< total seconds, only when meas_seconds_is_wall
 };
 
 /// Accumulates predicted-vs-measured rows for one machine model.
@@ -78,14 +88,21 @@ class CostLedger {
   [[nodiscard]] double mean_latency_err() const;
   [[nodiscard]] double mean_bw_err() const;
   [[nodiscard]] double mean_flops_err() const;
+  /// Mean comm-/total-seconds model residual over the rows that carry wall
+  /// measurements (0 when none do): how far the alpha-beta-gamma fit is
+  /// from this machine, not just from the counted schedule.
+  [[nodiscard]] double mean_comm_err() const;
+  [[nodiscard]] double mean_seconds_err() const;
 
   /// Predicted-vs-measured table (one row per add()).
   [[nodiscard]] std::string table() const;
 
   /// Publishes gauges into `registry`:
   ///   model.latency_err / model.bw_err / model.flops_err  (means)
-  ///   model.<label>.{latency,bw,flops,rounds,seconds}.{pred,meas}
-  ///   model.<label>.{latency_err,bw_err,flops_err}
+  ///   model.residual.{latency,bw,flops,comm,seconds}  (same means; the
+  ///     comm/seconds residuals cover only wall-measured rows)
+  ///   model.<label>.{latency,bw,flops,rounds,seconds,comm_seconds}.{pred,meas}
+  ///   model.<label>.{latency_err,bw_err,flops_err,comm_err,seconds_err}
   void export_metrics(MetricsRegistry& registry) const;
 
  private:

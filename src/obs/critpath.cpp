@@ -1,0 +1,122 @@
+#include "obs/critpath.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "obs/timeline.hpp"
+
+namespace rcf::obs {
+
+CriticalPath critical_path(const Timeline& timeline, std::size_t top) {
+  CriticalPath path;
+  path.makespan_s = timeline.empty() ? 0.0 : timeline.makespan_s();
+  if (timeline.empty()) {
+    return path;
+  }
+
+  std::int64_t boundary_us = timeline.start_us();
+  for (const CollectiveInstance& inst : timeline.collectives()) {
+    CritSegment seg;
+    seg.name = inst.name;
+    seg.seq = inst.seq;
+    seg.critical_rank = inst.straggler_rank;
+    seg.words = inst.words;
+    const std::int64_t arrival = inst.last_arrival_us;
+    const std::int64_t end = inst.end_max_us();
+    seg.compute_s =
+        static_cast<double>(std::max<std::int64_t>(arrival - boundary_us, 0)) *
+        1e-6;
+    seg.collective_s =
+        static_cast<double>(std::max<std::int64_t>(end - arrival, 0)) * 1e-6;
+    seg.wait_imposed_s = static_cast<double>(inst.wait_imposed_us) * 1e-6;
+    boundary_us = std::max(boundary_us, end);
+    path.compute_s += seg.compute_s;
+    path.comm_s += seg.collective_s;
+    path.wait_s += seg.wait_imposed_s;
+    path.segments.push_back(std::move(seg));
+  }
+
+  // Tail: compute after the last collective, attributed to the rank that
+  // finishes last.
+  if (timeline.end_us() > boundary_us) {
+    CritSegment tail;
+    tail.name = "(tail)";
+    tail.compute_s =
+        static_cast<double>(timeline.end_us() - boundary_us) * 1e-6;
+    for (const RankTimes& rt : timeline.rank_times()) {
+      if (tail.critical_rank < 0 ||
+          rt.last_us > timeline.rank_times()[static_cast<std::size_t>(
+                           timeline.rank_index(tail.critical_rank))]
+                           .last_us) {
+        tail.critical_rank = rt.rank;
+      }
+    }
+    path.compute_s += tail.compute_s;
+    path.segments.push_back(std::move(tail));
+  }
+
+  path.coverage = path.makespan_s > 0.0
+                      ? (path.compute_s + path.comm_s) / path.makespan_s
+                      : 0.0;
+
+  // Straggler table: collectives ranked by how much idle they imposed.
+  std::vector<const CollectiveInstance*> by_imposed;
+  by_imposed.reserve(timeline.collectives().size());
+  for (const CollectiveInstance& inst : timeline.collectives()) {
+    if (inst.straggler_rank >= 0) {
+      by_imposed.push_back(&inst);
+    }
+  }
+  std::sort(by_imposed.begin(), by_imposed.end(),
+            [](const CollectiveInstance* a, const CollectiveInstance* b) {
+              return a->wait_imposed_us != b->wait_imposed_us
+                         ? a->wait_imposed_us > b->wait_imposed_us
+                         : a->seq < b->seq;
+            });
+  const std::size_t n = std::min(top, by_imposed.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const CollectiveInstance& inst = *by_imposed[i];
+    path.top_stragglers.push_back(StragglerRow{
+        inst.name, inst.seq, inst.straggler_rank,
+        static_cast<double>(inst.wait_imposed_us) * 1e-6,
+        static_cast<double>(inst.wait_total_us) * 1e-6});
+  }
+  return path;
+}
+
+std::string critpath_table(const CriticalPath& path) {
+  AsciiTable tbl({"seq", "collective", "crit rank", "compute (s)",
+                  "collective (s)", "imposed wait (s)", "words"});
+  for (const CritSegment& seg : path.segments) {
+    tbl.add_row({seg.seq >= 0 ? std::to_string(seg.seq) : "-", seg.name,
+                 seg.critical_rank >= 0 ? std::to_string(seg.critical_rank)
+                                        : "-",
+                 fmt_f(seg.compute_s, 6), fmt_f(seg.collective_s, 6),
+                 fmt_f(seg.wait_imposed_s, 6), fmt_g(seg.words, 4)});
+  }
+  std::ostringstream out;
+  out << "critical path (makespan " << fmt_f(path.makespan_s, 6)
+      << " s; chain compute " << fmt_f(path.compute_s, 6) << " s + comm "
+      << fmt_f(path.comm_s, 6) << " s, coverage "
+      << fmt_f(100.0 * path.coverage, 1) << "%)\n"
+      << tbl.str();
+  return out.str();
+}
+
+std::string straggler_table(const CriticalPath& path) {
+  AsciiTable tbl(
+      {"seq", "collective", "straggler", "imposed (s)", "total wait (s)"});
+  for (const StragglerRow& row : path.top_stragglers) {
+    tbl.add_row({row.seq >= 0 ? std::to_string(row.seq) : "-", row.name,
+                 std::to_string(row.rank), fmt_f(row.wait_imposed_s, 6),
+                 fmt_f(row.wait_total_s, 6)});
+  }
+  std::ostringstream out;
+  out << "top straggler collectives (idle imposed on other ranks "
+      << fmt_f(path.wait_s, 6) << " s total)\n"
+      << tbl.str();
+  return out.str();
+}
+
+}  // namespace rcf::obs

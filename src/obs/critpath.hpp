@@ -1,0 +1,71 @@
+// Critical-path extraction over a merged Timeline.
+//
+// Every collective in the thread backend is a full rendezvous, so the
+// dependency chain of a solve alternates strictly between (a) the slowest
+// rank's compute leading into each collective and (b) the collective's own
+// post-arrival data movement.  The path is therefore segment-wise: for
+// collective i, the chain runs through the rank that arrived last (the
+// straggler), charging
+//
+//   compute_s    = straggler arrival - previous collective's global end,
+//   collective_s = global end of i   - straggler arrival,
+//
+// and the idle time the straggler imposed on everyone else
+// (wait_imposed_s = max - min nested wait) is reported alongside, since it
+// is exactly the time an overlap-capable backend could reclaim (the
+// ROADMAP's async-collectives arc).  A final "(tail)" segment covers the
+// compute after the last collective.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rcf::obs {
+
+class Timeline;
+
+/// One segment of the longest dependency chain: the compute run-up on the
+/// critical rank, then the collective that closes the segment.
+struct CritSegment {
+  std::string name;            ///< collective name; "(tail)" for the last leg
+  std::int64_t seq = -1;       ///< alignment key of the closing collective
+  int critical_rank = -1;      ///< rank the chain runs through (straggler)
+  double compute_s = 0.0;      ///< critical rank's compute into the collective
+  double collective_s = 0.0;   ///< post-arrival collective time
+  double wait_imposed_s = 0.0; ///< idle the straggler caused on other ranks
+  double words = 0.0;          ///< collective payload (0 for "(tail)")
+};
+
+/// One straggler attribution row: which rank made everyone wait, by how
+/// much, at which collective.
+struct StragglerRow {
+  std::string name;
+  std::int64_t seq = -1;
+  int rank = -1;
+  double wait_imposed_s = 0.0;  ///< max - min wait at this collective
+  double wait_total_s = 0.0;    ///< summed wait across ranks
+};
+
+struct CriticalPath {
+  std::vector<CritSegment> segments;       ///< schedule order
+  std::vector<StragglerRow> top_stragglers;  ///< by wait_imposed_s, desc
+  double compute_s = 0.0;  ///< sum of segment compute along the path
+  double comm_s = 0.0;     ///< sum of post-arrival collective time
+  double wait_s = 0.0;     ///< sum of imposed idle (off-path, reclaimable)
+  double makespan_s = 0.0;
+  /// (compute_s + comm_s) / makespan_s: how much of the wall clock the
+  /// extracted chain explains (1.0 when span coverage is complete).
+  double coverage = 0.0;
+};
+
+/// Extracts the critical path; `top` bounds the straggler table.
+[[nodiscard]] CriticalPath critical_path(const Timeline& timeline,
+                                         std::size_t top = 8);
+
+/// Aligned text tables (for example/bench output; rcf-report renders its
+/// own sections from the struct).
+[[nodiscard]] std::string critpath_table(const CriticalPath& path);
+[[nodiscard]] std::string straggler_table(const CriticalPath& path);
+
+}  // namespace rcf::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/json.hpp"
@@ -34,6 +35,13 @@ void atomic_max(std::atomic<double>& target, double value) {
   }
 }
 
+void atomic_min(std::atomic<double>& target, double value) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
 void Histogram::observe(double value) {
@@ -48,7 +56,15 @@ void Histogram::observe(double value) {
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
   atomic_max(max_, value);
+  atomic_min(min_, value);
 }
+
+double Histogram::min() const {
+  const double v = min_.load(std::memory_order_relaxed);
+  return std::isinf(v) ? 0.0 : v;
+}
+
+double Histogram::bin_edge(int i) { return bin_upper_edge(i); }
 
 double Histogram::percentile(double p) const {
   const std::uint64_t total = count();
@@ -82,6 +98,8 @@ void Histogram::reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
   max_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
 }
 
 MetricsRegistry& MetricsRegistry::global() {
@@ -149,7 +167,9 @@ std::vector<std::string> MetricsRegistry::histogram_names() const {
 std::string MetricsRegistry::to_json() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream out;
-  char buf[192];
+  // Sized for the histogram header: 7 numeric fields at up to ~24 chars
+  // each plus the literal keys.
+  char buf[320];
   out << "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -173,11 +193,28 @@ std::string MetricsRegistry::to_json() const {
     out << (first ? "" : ",") << '"' << json_escape(name) << "\":";
     std::snprintf(
         buf, sizeof(buf),
-        "{\"count\":%llu,\"sum\":%.17g,\"max\":%.17g,"
-        "\"p50\":%.17g,\"p95\":%.17g,\"p99\":%.17g}",
-        static_cast<unsigned long long>(h->count()), h->sum(), h->max(),
-        h->percentile(0.5), h->percentile(0.95), h->percentile(0.99));
+        "{\"count\":%llu,\"sum\":%.17g,\"min\":%.17g,\"max\":%.17g,"
+        "\"p50\":%.17g,\"p95\":%.17g,\"p99\":%.17g,\"buckets\":[",
+        static_cast<unsigned long long>(h->count()), h->sum(), h->min(),
+        h->max(), h->percentile(0.5), h->percentile(0.95),
+        h->percentile(0.99));
     out << buf;
+    // Explicit [upper-edge, count] pairs for the non-empty bins, so
+    // offline tools can re-merge distributions exactly (bin 0 covers
+    // [0, 1); bin i covers [edge(i-1), edge(i))).
+    bool first_bin = true;
+    for (int b = 0; b < Histogram::kNumBins; ++b) {
+      const std::uint64_t n = h->bin_count(b);
+      if (n == 0) {
+        continue;
+      }
+      std::snprintf(buf, sizeof(buf), "%s[%.17g,%llu]", first_bin ? "" : ",",
+                    Histogram::bin_edge(b),
+                    static_cast<unsigned long long>(n));
+      out << buf;
+      first_bin = false;
+    }
+    out << "]}";
     first = false;
   }
   out << "}}\n";

@@ -16,6 +16,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -69,6 +70,8 @@ class Histogram {
   [[nodiscard]] double max() const {
     return max_.load(std::memory_order_relaxed);
   }
+  /// Smallest observed value; 0 when empty.
+  [[nodiscard]] double min() const;
   /// Upper edge of the bin holding the p-quantile (p in [0, 1]); 0 when
   /// empty.
   [[nodiscard]] double percentile(double p) const;
@@ -79,6 +82,10 @@ class Histogram {
     return bins_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
   }
 
+  /// Upper edge of bin `i`: 1 for bin 0 ([0, 1)), else 2^i.  Exported with
+  /// the bucket counts so offline tools can re-aggregate exactly.
+  [[nodiscard]] static double bin_edge(int i);
+
   void reset();
 
  private:
@@ -86,6 +93,8 @@ class Histogram {
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> max_{0.0};
+  /// +inf sentinel when empty; min() maps that back to 0.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
 };
 
 /// Name -> instrument map.  Instruments are created on first touch and

@@ -1,0 +1,212 @@
+#include "obs/perfctr.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace rcf::obs {
+
+#if defined(__linux__) && defined(__NR_perf_event_open)
+
+namespace {
+
+long perf_event_open(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                     unsigned long flags) {
+  return syscall(__NR_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+perf_event_attr make_attr(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;  // permission-friendly under perf_event_paranoid
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return attr;
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  perf_event_attr cycles =
+      make_attr(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+  fd_cycles_ = static_cast<int>(
+      perf_event_open(&cycles, /*pid=*/0, /*cpu=*/-1, /*group_fd=*/-1, 0));
+  if (fd_cycles_ < 0) {
+    error_ = std::string("perf_event_open(cycles): ") + std::strerror(errno);
+    return;
+  }
+  perf_event_attr instr =
+      make_attr(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+  fd_instructions_ = static_cast<int>(
+      perf_event_open(&instr, 0, -1, fd_cycles_, 0));
+  // LLC misses commonly fail inside VMs; the group degrades to two
+  // counters rather than losing cycles/instructions.
+  perf_event_attr llc =
+      make_attr(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+  fd_llc_ = static_cast<int>(perf_event_open(&llc, 0, -1, fd_cycles_, 0));
+}
+
+PerfCounters::~PerfCounters() {
+  if (fd_llc_ >= 0) {
+    close(fd_llc_);
+  }
+  if (fd_instructions_ >= 0) {
+    close(fd_instructions_);
+  }
+  if (fd_cycles_ >= 0) {
+    close(fd_cycles_);
+  }
+}
+
+void PerfCounters::start() {
+  if (!available()) {
+    return;
+  }
+  ioctl(fd_cycles_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(fd_cycles_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfSample PerfCounters::stop() {
+  PerfSample sample;
+  if (!available()) {
+    return sample;
+  }
+  ioctl(fd_cycles_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr]
+  // in group-attach order (cycles, instructions?, llc?).
+  std::uint64_t buf[3 + 3] = {};
+  const ssize_t got = read(fd_cycles_, buf, sizeof(buf));
+  if (got < static_cast<ssize_t>(4 * sizeof(std::uint64_t))) {
+    error_ = "perf read: short group read";
+    return sample;
+  }
+  const std::uint64_t nr = buf[0];
+  sample.time_enabled_ns = buf[1];
+  sample.time_running_ns = buf[2];
+  std::size_t slot = 3;
+  std::uint64_t have = 0;
+  sample.cycles = buf[slot++];
+  ++have;
+  if (fd_instructions_ >= 0 && have < nr) {
+    sample.instructions = buf[slot++];
+    ++have;
+  }
+  if (fd_llc_ >= 0 && have < nr) {
+    sample.llc_misses = buf[slot++];
+    sample.llc_ok = true;
+    ++have;
+  }
+  sample.valid = true;
+  return sample;
+}
+
+bool PerfCounters::supported() {
+  static const bool ok = [] {
+    PerfCounters probe;
+    return probe.available();
+  }();
+  return ok;
+}
+
+#else  // non-Linux / no syscall number: structured no-op build
+
+PerfCounters::PerfCounters()
+    : error_("perf_event_open unavailable on this platform") {}
+PerfCounters::~PerfCounters() = default;
+void PerfCounters::start() {}
+PerfSample PerfCounters::stop() { return PerfSample{}; }
+bool PerfCounters::supported() { return false; }
+
+#endif
+
+namespace {
+
+std::atomic<int> g_perf_scopes_enabled{-1};  // -1 = consult RCF_PERFCTR
+
+bool env_enabled() {
+  const char* p = std::getenv("RCF_PERFCTR");
+  return p != nullptr && *p != '\0' && std::string_view(p) != "0";
+}
+
+// One counter group per thread, opened on first enabled scope; leaked like
+// the trace/metrics singletons so thread-exit ordering cannot bite.
+PerfCounters& thread_counters() {
+  thread_local PerfCounters* counters = new PerfCounters();
+  return *counters;
+}
+
+thread_local int t_perf_depth = 0;
+
+}  // namespace
+
+void set_perf_scopes_enabled(bool enabled) {
+  g_perf_scopes_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool perf_scopes_enabled() {
+  int state = g_perf_scopes_enabled.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = env_enabled() ? 1 : 0;
+    g_perf_scopes_enabled.store(state, std::memory_order_relaxed);
+  }
+  return state == 1;
+}
+
+PerfScope::PerfScope(const char* label) {
+  if (!perf_scopes_enabled()) {
+    return;
+  }
+  if (t_perf_depth++ > 0) {
+    return;  // inner scope: the group is already running for the outer one
+  }
+  PerfCounters& counters = thread_counters();
+  if (!counters.available()) {
+    // Structured no-op: record that sampling was requested but degraded,
+    // once per label, so reports can distinguish "off" from "unavailable".
+    label_ = nullptr;
+    MetricsRegistry::global()
+        .counter(std::string("perf.unavailable.") + label)
+        .add(0);  // materialize the instrument without inflating it
+    return;
+  }
+  label_ = label;
+  counters.start();
+}
+
+PerfScope::~PerfScope() {
+  if (!perf_scopes_enabled()) {
+    return;
+  }
+  const int depth = --t_perf_depth;
+  if (label_ == nullptr || depth > 0) {
+    return;
+  }
+  const PerfSample sample = thread_counters().stop();
+  if (!sample.valid) {
+    return;
+  }
+  auto& registry = MetricsRegistry::global();
+  const std::string base = std::string("perf.") + label_ + ".";
+  registry.counter(base + "cycles").add(sample.cycles);
+  registry.counter(base + "instructions").add(sample.instructions);
+  registry.counter(base + "llc_misses").add(sample.llc_misses);
+  registry.counter(base + "samples").add(1);
+}
+
+}  // namespace rcf::obs

@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -32,9 +33,20 @@ void append_event_json(const TraceEvent& ev, bool chrome, std::string& out) {
                   ev.rank, ev.tid, static_cast<long long>(ev.start_us),
                   static_cast<long long>(ev.dur_us));
     out += buf;
-    if (ev.words != 0.0) {
-      std::snprintf(buf, sizeof(buf), ",\"args\":{\"words\":%.17g}", ev.words);
-      out += buf;
+    if (ev.words != 0.0 || ev.seq >= 0) {
+      out += ",\"args\":{";
+      bool first = true;
+      if (ev.words != 0.0) {
+        std::snprintf(buf, sizeof(buf), "\"words\":%.17g", ev.words);
+        out += buf;
+        first = false;
+      }
+      if (ev.seq >= 0) {
+        std::snprintf(buf, sizeof(buf), "%s\"seq\":%lld", first ? "" : ",",
+                      static_cast<long long>(ev.seq));
+        out += buf;
+      }
+      out += "}";
     }
   } else {
     std::snprintf(buf, sizeof(buf),
@@ -43,11 +55,42 @@ void append_event_json(const TraceEvent& ev, bool chrome, std::string& out) {
                   ev.rank, ev.tid, static_cast<long long>(ev.start_us),
                   static_cast<long long>(ev.dur_us), ev.words);
     out += buf;
+    if (ev.seq >= 0) {
+      std::snprintf(buf, sizeof(buf), ",\"seq\":%lld",
+                    static_cast<long long>(ev.seq));
+      out += buf;
+    }
   }
   out += "}";
 }
 
+void append_chrome_body(const std::vector<TraceEvent>& events,
+                        std::string& body) {
+  body += "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) {
+      body += ",\n";
+    }
+    append_event_json(events[i], /*chrome=*/true, body);
+  }
+  body += "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
 }  // namespace
+
+std::string expand_rank_path(const std::string& path, int rank) {
+  std::string out;
+  out.reserve(path.size() + 4);
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (path[i] == '%' && i + 1 < path.size() && path[i + 1] == 'r') {
+      out += std::to_string(rank);
+      ++i;
+    } else {
+      out += path[i];
+    }
+  }
+  return out;
+}
 
 void set_thread_rank(int rank) { t_rank = rank; }
 
@@ -157,13 +200,14 @@ std::int64_t TraceSession::now_us() const {
 }
 
 void TraceSession::record(const char* name, std::int64_t start_us,
-                          std::int64_t dur_us, double words) {
+                          std::int64_t dur_us, double words,
+                          std::int64_t seq) {
   if (!enabled()) {
     return;
   }
   ThreadBuffer& buffer = local_buffer();
   buffer.events.push_back(
-      TraceEvent{name, t_rank, buffer.tid, start_us, dur_us, words});
+      TraceEvent{name, t_rank, buffer.tid, start_us, dur_us, words, seq});
   if (buffer.events.size() >= kFlushThreshold) {
     flush_buffer(buffer);
   }
@@ -195,14 +239,7 @@ void TraceSession::write_chrome_trace(std::ostream& out) {
   const auto events = snapshot();
   std::string body;
   body.reserve(events.size() * 96 + 64);
-  body += "{\"traceEvents\":[";
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    if (i > 0) {
-      body += ",\n";
-    }
-    append_event_json(events[i], /*chrome=*/true, body);
-  }
-  body += "],\"displayTimeUnit\":\"ms\"}\n";
+  append_chrome_body(events, body);
   out << body;
 }
 
@@ -216,31 +253,104 @@ void TraceSession::write_jsonl(std::ostream& out) {
   }
 }
 
+bool TraceSession::write_trace_file(const std::string& path,
+                                    const std::vector<TraceEvent>& events,
+                                    bool chrome) {
+  const bool per_rank = path.find("%r") != std::string::npos;
+  std::vector<int> ranks{0};
+  if (per_rank) {
+    ranks.clear();
+    for (const auto& ev : events) {
+      if (std::find(ranks.begin(), ranks.end(), ev.rank) == ranks.end()) {
+        ranks.push_back(ev.rank);
+      }
+    }
+    if (ranks.empty()) {
+      ranks.push_back(0);  // still produce the (empty) rank-0 file
+    }
+  }
+  bool ok = true;
+  for (const int rank : ranks) {
+    std::ofstream out(per_rank ? expand_rank_path(path, rank) : path);
+    if (!out) {
+      ok = false;
+      continue;
+    }
+    std::string body;
+    if (chrome) {
+      if (per_rank) {
+        std::vector<TraceEvent> mine;
+        for (const auto& ev : events) {
+          if (ev.rank == rank) {
+            mine.push_back(ev);
+          }
+        }
+        append_chrome_body(mine, body);
+      } else {
+        append_chrome_body(events, body);
+      }
+    } else {
+      for (const auto& ev : events) {
+        if (per_rank && ev.rank != rank) {
+          continue;
+        }
+        append_event_json(ev, /*chrome=*/false, body);
+        body += "\n";
+      }
+    }
+    out << body;
+    ok = static_cast<bool>(out) && ok;
+  }
+  return ok;
+}
+
 bool TraceSession::write_outputs() {
   TraceConfig config;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     config = config_;
   }
+  const std::vector<TraceEvent> events = snapshot();
+  // Warn once when a multi-rank trace goes to a single shared file: the
+  // ranks interleave in one stream, and a second process writing the same
+  // path would clobber it.  `%r` in the path switches to per-rank files.
+  const bool has_placeholder =
+      (config.trace_out.empty() ||
+       config.trace_out.find("%r") != std::string::npos) &&
+      (config.jsonl_out.empty() ||
+       config.jsonl_out.find("%r") != std::string::npos);
+  if (!has_placeholder &&
+      (!config.trace_out.empty() || !config.jsonl_out.empty())) {
+    int first_rank = 0;
+    bool multi_rank = false;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (i == 0) {
+        first_rank = events[i].rank;
+      } else if (events[i].rank != first_rank) {
+        multi_rank = true;
+        break;
+      }
+    }
+    if (multi_rank && !warned_shared_path_.exchange(true)) {
+      std::fprintf(stderr,
+                   "[rcf] warning: multi-rank trace written to a single "
+                   "file; use a %%r rank placeholder in the trace path "
+                   "(e.g. trace.%%r.json) for per-rank files\n");
+    }
+  }
   bool ok = true;
   if (!config.trace_out.empty()) {
-    std::ofstream out(config.trace_out);
-    if (out) {
-      write_chrome_trace(out);
-    } else {
-      ok = false;
-    }
+    ok = write_trace_file(config.trace_out, events, /*chrome=*/true) && ok;
   }
   if (!config.jsonl_out.empty()) {
-    std::ofstream out(config.jsonl_out);
-    if (out) {
-      write_jsonl(out);
-    } else {
-      ok = false;
-    }
+    ok = write_trace_file(config.jsonl_out, events, /*chrome=*/false) && ok;
   }
   if (!config.metrics_out.empty()) {
-    ok = MetricsRegistry::global().write(config.metrics_out) && ok;
+    // Metrics are process-global (one registry, not per rank): a stray
+    // placeholder expands to rank 0 rather than fanning out.
+    ok = MetricsRegistry::global().write(
+             expand_rank_path(config.metrics_out, 0)) &&
+         ok;
   }
   return ok;
 }
@@ -272,7 +382,7 @@ TraceScope::~TraceScope() {
   }
   auto& session = TraceSession::global();
   const std::int64_t end_us = session.now_us();
-  session.record(name_, start_us_, end_us - start_us_, words_);
+  session.record(name_, start_us_, end_us - start_us_, words_, seq_);
   if (latency_ != nullptr) {
     latency_->observe(static_cast<double>(end_us - start_us_));
   }

@@ -46,6 +46,10 @@ struct TraceEvent {
   std::int64_t start_us = 0;  ///< microseconds since session epoch
   std::int64_t dur_us = 0;    ///< span duration in microseconds
   double words = 0.0;       ///< payload counter (0 = omitted from args)
+  /// Engine-space collective sequence number stamped by the comm backends
+  /// (the contract checker's per-endpoint counting scheme); -1 for
+  /// non-collective spans.  The cross-rank timeline merge aligns on it.
+  std::int64_t seq = -1;
 };
 
 /// Per-phase aggregate attached to SolveResult: how many spans of each
@@ -68,11 +72,19 @@ using PhaseSummary = std::vector<PhaseStat>;
 [[nodiscard]] std::string phase_table(const PhaseSummary& summary);
 
 /// Output targets of a trace session; empty path = that output disabled.
+/// Trace paths may contain a `%r` rank placeholder: write_outputs() then
+/// splits the events by rank and writes one file per rank, so multi-rank
+/// runs never interleave or clobber a shared file.  Without the
+/// placeholder a multi-rank session still writes one merged file (all
+/// ranks share the session epoch) but warns once.
 struct TraceConfig {
   std::string trace_out;    ///< Chrome trace-event JSON
   std::string jsonl_out;    ///< flat JSONL stream (one event per line)
   std::string metrics_out;  ///< metrics registry JSON dump
 };
+
+/// Replaces every `%r` in `path` with the decimal rank.
+[[nodiscard]] std::string expand_rank_path(const std::string& path, int rank);
 
 /// SPMD rank used to attribute spans recorded by the calling thread.
 void set_thread_rank(int rank);
@@ -102,8 +114,9 @@ class TraceSession {
 
   /// Records one completed span for the calling thread; rank/tid are
   /// filled in from the thread-local state.  No-op when disabled.
+  /// `seq` is the collective sequence number (-1 = not a collective).
   void record(const char* name, std::int64_t start_us, std::int64_t dur_us,
-              double words = 0.0);
+              double words = 0.0, std::int64_t seq = -1);
 
   /// Flushes the calling thread's buffer and returns a copy of every event
   /// collected so far (events of still-running other threads may be
@@ -129,9 +142,13 @@ class TraceSession {
   struct ThreadBuffer;
   ThreadBuffer& local_buffer();
   void flush_buffer(ThreadBuffer& buffer);
+  /// Writes one trace output, expanding `%r` into per-rank files.
+  bool write_trace_file(const std::string& path,
+                        const std::vector<TraceEvent>& events, bool chrome);
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint32_t> next_tid_{1};
+  std::atomic<bool> warned_shared_path_{false};
   std::chrono::steady_clock::time_point epoch_;
   std::mutex mutex_;  // guards store_ and config_
   std::vector<TraceEvent> store_;
@@ -159,15 +176,18 @@ class ScopedSession {
 /// RAII span: records [construction, destruction) into the global session.
 /// When `latency` is non-null the span duration (microseconds) is also
 /// observed into that histogram (used for collective-latency percentiles).
+/// `seq` stamps the span with a collective sequence number for the
+/// cross-rank timeline merge (-1 = not a collective).
 class TraceScope {
  public:
   explicit TraceScope(const char* name, double words = 0.0,
-                      Histogram* latency = nullptr)
+                      Histogram* latency = nullptr, std::int64_t seq = -1)
       : active_(TraceSession::global().enabled()) {
     if (active_) {
       name_ = name;
       words_ = words;
       latency_ = latency;
+      seq_ = seq;
       start_us_ = TraceSession::global().now_us();
     }
   }
@@ -180,6 +200,7 @@ class TraceScope {
   const char* name_ = "";
   double words_ = 0.0;
   Histogram* latency_ = nullptr;
+  std::int64_t seq_ = -1;
   std::int64_t start_us_ = 0;
 };
 

@@ -38,7 +38,10 @@
 #include "obs/aggregate.hpp"     // IWYU pragma: export
 #include "obs/convergence.hpp"   // IWYU pragma: export
 #include "obs/cost_ledger.hpp"   // IWYU pragma: export
+#include "obs/critpath.hpp"      // IWYU pragma: export
 #include "obs/metrics.hpp"       // IWYU pragma: export
+#include "obs/perfctr.hpp"       // IWYU pragma: export
+#include "obs/timeline.hpp"      // IWYU pragma: export
 #include "obs/trace.hpp"         // IWYU pragma: export
 #include "prox/operators.hpp"    // IWYU pragma: export
 #include "sparse/csr.hpp"        // IWYU pragma: export

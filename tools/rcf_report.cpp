@@ -83,9 +83,20 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::string metrics_json;
-  if (!metrics_path.empty() && !slurp(metrics_path, metrics_json, error)) {
-    std::fprintf(stderr, "rcf-report: %s\n", error.c_str());
-    return 1;
+  if (!metrics_path.empty()) {
+    if (!slurp(metrics_path, metrics_json, error)) {
+      std::fprintf(stderr, "rcf-report: %s\n", error.c_str());
+      return 1;
+    }
+    // An empty or blank metrics file would otherwise be indistinguishable
+    // from "no --metrics passed" and silently drop every metrics section.
+    if (metrics_json.find_first_not_of(" \t\r\n") == std::string::npos) {
+      std::fprintf(stderr,
+                   "rcf-report: %s is empty; expected the metrics JSON a "
+                   "traced run writes via --metrics-out / RCF_METRICS\n",
+                   metrics_path.c_str());
+      return 1;
+    }
   }
 
   rcf::tools::Report report;

@@ -30,7 +30,8 @@ bool read_file(const std::string& path, std::string& out, std::string& error) {
 
 bool is_comm_span(std::string_view name) {
   return name == "allreduce" || name == "allreduce_wait" ||
-         name == "broadcast" || name == "allgather" || name == "barrier_wait";
+         name == "reduce_wait" || name == "broadcast" ||
+         name == "allgather" || name == "barrier_wait";
 }
 
 bool is_aux_span(std::string_view name) {
@@ -104,6 +105,7 @@ bool load_chrome_trace(const std::string& path,
     out.dur_us = static_cast<std::int64_t>(ev.number_or("dur", 0.0));
     if (const JsonValue* args = ev.find("args")) {
       out.words = args->number_or("words", 0.0);
+      out.seq = static_cast<std::int64_t>(args->number_or("seq", -1.0));
     }
     events.push_back(std::move(out));
   }
@@ -135,6 +137,7 @@ bool load_jsonl_trace(const std::string& path,
     out.ts_us = static_cast<std::int64_t>(doc->number_or("ts_us", 0.0));
     out.dur_us = static_cast<std::int64_t>(doc->number_or("dur_us", 0.0));
     out.words = doc->number_or("words", 0.0);
+    out.seq = static_cast<std::int64_t>(doc->number_or("seq", -1.0));
     events.push_back(std::move(out));
   }
   return true;
@@ -240,6 +243,25 @@ bool build_report(const std::vector<ReportEvent>& events,
             });
   out.skew = duration_stats(skew_durs);
 
+  // -- cross-rank merged timeline + critical path ---------------------------
+  if (!events.empty()) {
+    std::vector<obs::TimelineSpan> spans;
+    spans.reserve(events.size());
+    for (const ReportEvent& ev : events) {
+      obs::TimelineSpan s;
+      s.name = ev.name;
+      s.rank = ev.rank;
+      s.seq = ev.seq;
+      s.start_us = ev.ts_us;
+      s.dur_us = ev.dur_us;
+      s.words = ev.words;
+      spans.push_back(std::move(s));
+    }
+    const obs::Timeline timeline = obs::Timeline::build(spans);
+    out.decomposition = timeline.rank_times();
+    out.critpath = obs::critical_path(timeline);
+  }
+
   // -- metrics file: histograms, agg.* gauges, model.* gauges ---------------
   if (!metrics_json.empty()) {
     const auto doc = parse_json(metrics_json);
@@ -280,6 +302,34 @@ bool build_report(const std::vector<ReportEvent>& events,
           out.resilience.push_back(ResilienceRow{name, value.number});
         }
       }
+      // Roofline view: perf.<label>.{cycles,instructions,llc_misses,
+      // samples} counter groups from obs::PerfScope.  perf.unavailable.*
+      // markers (structured no-op fallback) are skipped.
+      std::map<std::string, RooflineRow> perf_rows;
+      for (const auto& [name, value] : counters->members) {
+        if (name.rfind("perf.", 0) != 0 || !value.is_number()) {
+          continue;
+        }
+        const std::string rest = name.substr(5);
+        const auto last_dot = rest.rfind('.');
+        if (last_dot == std::string::npos ||
+            rest.rfind("unavailable.", 0) == 0) {
+          continue;
+        }
+        const std::string label = rest.substr(0, last_dot);
+        const std::string field = rest.substr(last_dot + 1);
+        RooflineRow& row = perf_rows[label];
+        row.label = label;
+        if (field == "cycles") row.cycles = value.number;
+        else if (field == "instructions") row.instructions = value.number;
+        else if (field == "llc_misses") row.llc_misses = value.number;
+        else if (field == "samples") row.samples = value.number;
+      }
+      for (auto& [label, row] : perf_rows) {
+        if (row.samples > 0.0) {
+          out.roofline.push_back(std::move(row));
+        }
+      }
     }
     if (const JsonValue* gauges = doc->find("gauges");
         gauges != nullptr && gauges->is_object()) {
@@ -303,6 +353,9 @@ bool build_report(const std::vector<ReportEvent>& events,
           continue;  // model.latency_err etc. (summary gauges)
         }
         const std::string label = rest.substr(0, first_dot);
+        if (label == "residual") {
+          continue;  // model.residual.* summary gauges, not a config row
+        }
         const std::string field = rest.substr(first_dot + 1);
         ModelRow& row = model_rows[label];
         row.label = label;
@@ -320,6 +373,10 @@ bool build_report(const std::vector<ReportEvent>& events,
         else if (field == "rounds.meas") row.rounds_meas = v;
         else if (field == "seconds.pred") row.seconds_pred = v;
         else if (field == "seconds.meas") row.seconds_meas = v;
+        else if (field == "comm_seconds.pred") row.comm_pred = v;
+        else if (field == "comm_seconds.meas") row.comm_meas = v;
+        else if (field == "comm_err") row.comm_err = v;
+        else if (field == "seconds_err") row.seconds_err = v;
       }
       for (auto& [label, row] : model_rows) {
         out.model.push_back(std::move(row));
@@ -366,7 +423,8 @@ AsciiTable hist_table(const Report& r) {
 
 AsciiTable model_table(const Report& r) {
   AsciiTable tbl({"config", "rounds p/m", "L pred", "L meas", "L err",
-                  "W pred", "W meas", "W err", "F pred", "F meas", "F err"});
+                  "W pred", "W meas", "W err", "F pred", "F meas", "F err",
+                  "Tc pred(s)", "Tc meas(s)", "Tc err"});
   for (const auto& m : r.model) {
     tbl.add_row({m.label,
                  fmt_g(m.rounds_pred, 3) + "/" + fmt_g(m.rounds_meas, 3),
@@ -374,9 +432,54 @@ AsciiTable model_table(const Report& r) {
                  fmt_f(m.latency_err, 3), fmt_g(m.bw_pred, 3),
                  fmt_g(m.bw_meas, 3), fmt_f(m.bw_err, 3),
                  fmt_g(m.flops_pred, 3), fmt_g(m.flops_meas, 3),
-                 fmt_f(m.flops_err, 3)});
+                 fmt_f(m.flops_err, 3), fmt_e(m.comm_pred, 2),
+                 fmt_e(m.comm_meas, 2), fmt_f(m.comm_err, 3)});
   }
   return tbl;
+}
+
+AsciiTable decomposition_table(const Report& r) {
+  AsciiTable tbl({"rank", "compute (s)", "comm (s)", "wait (s)", "aux (s)",
+                  "wait %"});
+  for (const auto& rt : r.decomposition) {
+    const double total = rt.total_s();
+    tbl.add_row({std::to_string(rt.rank), fmt_f(rt.compute_s, 6),
+                 fmt_f(rt.comm_s, 6), fmt_f(rt.wait_s, 6), fmt_f(rt.aux_s, 6),
+                 fmt_f(total > 0.0 ? 100.0 * rt.wait_s / total : 0.0, 1)});
+  }
+  return tbl;
+}
+
+AsciiTable straggler_report_table(const Report& r) {
+  AsciiTable tbl({"collective", "seq", "straggler rank", "imposed wait (s)",
+                  "total wait (s)"});
+  for (const auto& s : r.critpath.top_stragglers) {
+    tbl.add_row({s.name, std::to_string(s.seq), std::to_string(s.rank),
+                 fmt_f(s.wait_imposed_s, 6), fmt_f(s.wait_total_s, 6)});
+  }
+  return tbl;
+}
+
+AsciiTable roofline_table(const Report& r) {
+  AsciiTable tbl({"kernel", "samples", "cycles", "instructions", "ipc",
+                  "llc misses"});
+  for (const auto& row : r.roofline) {
+    tbl.add_row({row.label, fmt_g(row.samples, 4), fmt_g(row.cycles, 4),
+                 fmt_g(row.instructions, 4), fmt_f(row.ipc(), 2),
+                 fmt_g(row.llc_misses, 4)});
+  }
+  return tbl;
+}
+
+std::string critpath_summary(const Report& r) {
+  const auto& cp = r.critpath;
+  std::ostringstream out;
+  out << "critical path: compute=" << fmt_f(cp.compute_s, 6)
+      << "s comm=" << fmt_f(cp.comm_s, 6)
+      << "s imposed wait=" << fmt_f(cp.wait_s, 6)
+      << "s makespan=" << fmt_f(cp.makespan_s, 6)
+      << "s coverage=" << fmt_f(100.0 * cp.coverage, 1) << "%\n";
+  return out.str();
 }
 
 AsciiTable agg_table(const Report& r) {
@@ -475,6 +578,18 @@ std::string render_text(const Report& r) {
         << r.allreduce_spans << ")\n"
         << phase_table(r).str() << "\n";
   }
+  if (!r.decomposition.empty()) {
+    out << "cross-rank timeline: compute / comm / wait decomposition\n"
+        << decomposition_table(r).str() << "\n";
+  }
+  if (!r.critpath.segments.empty()) {
+    out << critpath_summary(r)
+        << obs::critpath_table(r.critpath) << "\n";
+    if (!r.critpath.top_stragglers.empty()) {
+      out << "top straggler collectives\n"
+          << straggler_report_table(r).str() << "\n";
+    }
+  }
   if (r.skew.count > 0) {
     out << skew_line(r) << "\n";
   }
@@ -482,8 +597,13 @@ std::string render_text(const Report& r) {
     out << "latency histograms\n" << hist_table(r).str() << "\n";
   }
   if (!r.model.empty()) {
-    out << "cost model: predicted vs measured\n"
+    out << "cost model: predicted vs measured "
+           "(Tc = alpha_eff*L + beta*W vs traced allreduce-phase wall)\n"
         << model_table(r).str() << "\n";
+  }
+  if (!r.roofline.empty()) {
+    out << "hardware counters (perf.* kernel samples)\n"
+        << roofline_table(r).str() << "\n";
   }
   if (!r.aggregated.empty()) {
     out << "cross-rank aggregated metrics\n" << agg_table(r).str() << "\n";
@@ -524,6 +644,37 @@ std::string render_markdown(const Report& r) {
     }
     out << "## Per-phase critical path\n\n" << tbl.str() << "\n";
   }
+  if (!r.decomposition.empty()) {
+    MarkdownTable tbl({"rank", "compute (s)", "comm (s)", "wait (s)",
+                       "aux (s)"});
+    for (const auto& rt : r.decomposition) {
+      tbl.add_row({std::to_string(rt.rank), fmt_f(rt.compute_s, 6),
+                   fmt_f(rt.comm_s, 6), fmt_f(rt.wait_s, 6),
+                   fmt_f(rt.aux_s, 6)});
+    }
+    out << "## Cross-rank timeline decomposition\n\n" << tbl.str() << "\n";
+  }
+  if (!r.critpath.segments.empty()) {
+    out << "## Critical path\n\n" << critpath_summary(r) << "\n";
+    MarkdownTable tbl({"segment", "seq", "rank", "compute (s)",
+                       "collective (s)", "imposed wait (s)", "words"});
+    for (const auto& s : r.critpath.segments) {
+      tbl.add_row({s.name, std::to_string(s.seq),
+                   std::to_string(s.critical_rank), fmt_f(s.compute_s, 6),
+                   fmt_f(s.collective_s, 6), fmt_f(s.wait_imposed_s, 6),
+                   fmt_g(s.words, 4)});
+    }
+    out << tbl.str() << "\n";
+    if (!r.critpath.top_stragglers.empty()) {
+      MarkdownTable stbl({"collective", "seq", "straggler rank",
+                          "imposed wait (s)", "total wait (s)"});
+      for (const auto& s : r.critpath.top_stragglers) {
+        stbl.add_row({s.name, std::to_string(s.seq), std::to_string(s.rank),
+                      fmt_f(s.wait_imposed_s, 6), fmt_f(s.wait_total_s, 6)});
+      }
+      out << "### Top straggler collectives\n\n" << stbl.str() << "\n";
+    }
+  }
   if (r.skew.count > 0) {
     out << "## Rendezvous skew\n\n" << skew_line(r) << "\n";
   }
@@ -538,7 +689,7 @@ std::string render_markdown(const Report& r) {
   if (!r.model.empty()) {
     MarkdownTable tbl({"config", "rounds p/m", "L pred", "L meas", "L err",
                        "W pred", "W meas", "W err", "F pred", "F meas",
-                       "F err"});
+                       "F err", "Tc pred (s)", "Tc meas (s)", "Tc err"});
     for (const auto& m : r.model) {
       tbl.add_row({m.label,
                    fmt_g(m.rounds_pred, 3) + "/" + fmt_g(m.rounds_meas, 3),
@@ -546,9 +697,20 @@ std::string render_markdown(const Report& r) {
                    fmt_f(m.latency_err, 3), fmt_g(m.bw_pred, 3),
                    fmt_g(m.bw_meas, 3), fmt_f(m.bw_err, 3),
                    fmt_g(m.flops_pred, 3), fmt_g(m.flops_meas, 3),
-                   fmt_f(m.flops_err, 3)});
+                   fmt_f(m.flops_err, 3), fmt_e(m.comm_pred, 2),
+                   fmt_e(m.comm_meas, 2), fmt_f(m.comm_err, 3)});
     }
     out << "## Cost model: predicted vs measured\n\n" << tbl.str() << "\n";
+  }
+  if (!r.roofline.empty()) {
+    MarkdownTable tbl({"kernel", "samples", "cycles", "instructions", "ipc",
+                       "llc misses"});
+    for (const auto& row : r.roofline) {
+      tbl.add_row({row.label, fmt_g(row.samples, 4), fmt_g(row.cycles, 4),
+                   fmt_g(row.instructions, 4), fmt_f(row.ipc(), 2),
+                   fmt_g(row.llc_misses, 4)});
+    }
+    out << "## Hardware counters\n\n" << tbl.str() << "\n";
   }
   if (!r.aggregated.empty()) {
     MarkdownTable tbl({"aggregated metric", "value"});
@@ -665,6 +827,85 @@ std::string render_json(const Report& r) {
     field("rounds_meas", m.rounds_meas);
     field("seconds_pred", m.seconds_pred);
     field("seconds_meas", m.seconds_meas);
+    field("comm_pred", m.comm_pred);
+    field("comm_meas", m.comm_meas);
+    field("comm_err", m.comm_err);
+    field("seconds_err", m.seconds_err);
+    out += "}";
+  }
+  out += "],\"decomposition\":[";
+  for (std::size_t i = 0; i < r.decomposition.size(); ++i) {
+    const auto& rt = r.decomposition[i];
+    if (i > 0) out += ",";
+    out += "{\"rank\":" + std::to_string(rt.rank);
+    out += ",\"compute_s\":";
+    append_number(out, rt.compute_s);
+    out += ",\"comm_s\":";
+    append_number(out, rt.comm_s);
+    out += ",\"wait_s\":";
+    append_number(out, rt.wait_s);
+    out += ",\"aux_s\":";
+    append_number(out, rt.aux_s);
+    out += ",\"spans\":" + std::to_string(rt.spans) + "}";
+  }
+  out += "],\"critical_path\":{\"compute_s\":";
+  append_number(out, r.critpath.compute_s);
+  out += ",\"comm_s\":";
+  append_number(out, r.critpath.comm_s);
+  out += ",\"wait_s\":";
+  append_number(out, r.critpath.wait_s);
+  out += ",\"makespan_s\":";
+  append_number(out, r.critpath.makespan_s);
+  out += ",\"coverage\":";
+  append_number(out, r.critpath.coverage);
+  out += ",\"segments\":[";
+  for (std::size_t i = 0; i < r.critpath.segments.size(); ++i) {
+    const auto& s = r.critpath.segments[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"";
+    json_escape_to(s.name, out);
+    out += "\",\"seq\":" + std::to_string(s.seq);
+    out += ",\"rank\":" + std::to_string(s.critical_rank);
+    out += ",\"compute_s\":";
+    append_number(out, s.compute_s);
+    out += ",\"collective_s\":";
+    append_number(out, s.collective_s);
+    out += ",\"wait_imposed_s\":";
+    append_number(out, s.wait_imposed_s);
+    out += ",\"words\":";
+    append_number(out, s.words);
+    out += "}";
+  }
+  out += "],\"top_stragglers\":[";
+  for (std::size_t i = 0; i < r.critpath.top_stragglers.size(); ++i) {
+    const auto& s = r.critpath.top_stragglers[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"";
+    json_escape_to(s.name, out);
+    out += "\",\"seq\":" + std::to_string(s.seq);
+    out += ",\"rank\":" + std::to_string(s.rank);
+    out += ",\"wait_imposed_s\":";
+    append_number(out, s.wait_imposed_s);
+    out += ",\"wait_total_s\":";
+    append_number(out, s.wait_total_s);
+    out += "}";
+  }
+  out += "]},\"roofline\":[";
+  for (std::size_t i = 0; i < r.roofline.size(); ++i) {
+    const auto& row = r.roofline[i];
+    if (i > 0) out += ",";
+    out += "{\"label\":\"";
+    json_escape_to(row.label, out);
+    out += "\",\"cycles\":";
+    append_number(out, row.cycles);
+    out += ",\"instructions\":";
+    append_number(out, row.instructions);
+    out += ",\"llc_misses\":";
+    append_number(out, row.llc_misses);
+    out += ",\"samples\":";
+    append_number(out, row.samples);
+    out += ",\"ipc\":";
+    append_number(out, row.ipc());
     out += "}";
   }
   out += "],\"aggregated\":{";

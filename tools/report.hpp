@@ -8,8 +8,14 @@
 //
 //  * per-rank communication vs compute breakdown (span time by category),
 //  * the per-phase critical path (slowest rank per span name),
+//  * the cross-rank merged timeline: compute / comm / wait decomposition
+//    per rank and the collective-by-collective critical path with
+//    straggler attribution (obs::Timeline + obs::critical_path, aligned on
+//    the collective sequence numbers the communicator stamps on spans),
 //  * the rendezvous-skew distribution (allreduce_wait spans, exact
 //    quantiles from the raw durations),
+//  * hardware-counter roofline rows (perf.<label>.* counters emitted by
+//    obs::PerfScope under RCF_PERFCTR / bench_kernels --counters),
 //  * latency-histogram quantiles and aggregated agg.* views from the
 //    metrics JSON,
 //  * the predicted-vs-measured cost-model table (model.* gauges emitted by
@@ -21,6 +27,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/critpath.hpp"
+#include "obs/timeline.hpp"
+
 namespace rcf::tools {
 
 /// One span loaded from a Chrome trace or JSONL file.
@@ -30,6 +39,7 @@ struct ReportEvent {
   std::int64_t ts_us = 0;
   std::int64_t dur_us = 0;
   double words = 0.0;
+  std::int64_t seq = -1;  ///< collective sequence number (-1 = unstamped)
 };
 
 /// Per-rank time split: comm spans (allreduce / *_wait / broadcast /
@@ -83,6 +93,21 @@ struct ModelRow {
   double flops_pred = 0.0, flops_meas = 0.0, flops_err = 0.0;
   double rounds_pred = 0.0, rounds_meas = 0.0;
   double seconds_pred = 0.0, seconds_meas = 0.0;
+  double comm_pred = 0.0, comm_meas = 0.0;  ///< alpha-beta seconds
+  double comm_err = 0.0, seconds_err = 0.0;
+};
+
+/// One hardware-counter sample group reconstructed from perf.<label>.*
+/// counters (obs::PerfScope output).
+struct RooflineRow {
+  std::string label;
+  double cycles = 0.0;
+  double instructions = 0.0;
+  double llc_misses = 0.0;
+  double samples = 0.0;
+  [[nodiscard]] double ipc() const {
+    return cycles > 0.0 ? instructions / cycles : 0.0;
+  }
 };
 
 /// One convergence sample from the --conv-out JSONL (NaN = absent).
@@ -117,8 +142,14 @@ struct Report {
   std::vector<ModelRow> model;
   std::vector<AggRow> aggregated;      ///< agg.* gauges
   std::vector<ResilienceRow> resilience;  ///< nonzero retry/fault counters
+  std::vector<RooflineRow> roofline;   ///< perf.<label>.* counter groups
   std::vector<ConvRow> convergence;
   std::uint64_t allreduce_spans = 0;   ///< total "allreduce" span count
+  /// Cross-rank merged timeline decomposition (compute / comm / wait / aux
+  /// seconds per rank) and the collective-by-collective critical path with
+  /// straggler attribution; empty when no trace was loaded.
+  std::vector<obs::RankTimes> decomposition;
+  obs::CriticalPath critpath;
 };
 
 /// Loaders.  Each returns false and fills `error` on parse/IO failure;
