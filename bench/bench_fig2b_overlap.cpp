@@ -4,6 +4,14 @@
 // (seed, iteration) the iterates are *bitwise identical* for every k.  This
 // bench runs k in {1..128} with the same seed and reports both the error
 // trajectory and the max |w_k - w_1| discrepancy (expected: exactly 0).
+//
+// The same identity must survive the nonblocking engine: with
+// --pipeline-ranks > 0 each k is additionally solved SPMD over a
+// dist::ThreadGroup twice -- once with the blocking allreduce, once through
+// the chunk-pipelined iallreduce path -- and the table reports
+// max|w_pipe - w_blk| (expected: exactly 0 at --staleness 0) plus the
+// fraction of the reduced payload whose wait found the collective already
+// complete (the measured overlap the cost ledger credits).
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -16,6 +24,9 @@ int main(int argc, char** argv) {
   cli.add_flag("iters", "iterations per run", "128");
   cli.add_flag("b", "sampling rate", "0.1");
   cli.add_flag("k-list", "overlap depths", "1,2,4,8,16,32,64,128");
+  cli.add_flag("pipeline-ranks",
+               "SPMD ranks for the pipelined comparison (0 = skip)", "4");
+  cli.add_flag("staleness", "pipeline staleness S (0 = bitwise)", "0");
   if (!cli.parse(argc, argv)) {
     return 0;
   }
@@ -28,13 +39,20 @@ int main(int argc, char** argv) {
   const int iters = static_cast<int>(cli.get_int("iters", 128));
   const auto k_list =
       cli.get_int_list("k-list", {1, 2, 4, 8, 16, 32, 64, 128});
+  const int ranks = static_cast<int>(cli.get_int("pipeline-ranks", 4));
+  const int staleness = static_cast<int>(cli.get_int("staleness", 0));
 
   for (const auto& name : bench::requested_datasets(cli, "covtype,mnist")) {
     const bench::BenchProblem bp = bench::make_bench_problem(cli, name);
     std::printf("--- %s ---\n", bp.name().c_str());
 
-    AsciiTable table({"k", "iters", "final rel.err", "comm rounds",
-                      "max|w_k - w_1|"});
+    std::vector<std::string> header = {"k", "iters", "final rel.err",
+                                       "comm rounds", "max|w_k - w_1|"};
+    if (ranks > 0) {
+      header.push_back("max|w_pipe - w_blk|");
+      header.push_back("ovl frac");
+    }
+    AsciiTable table(header);
     la::Vector w_base;
     for (auto k : k_list) {
       core::SolverOptions opts;
@@ -50,16 +68,49 @@ int main(int argc, char** argv) {
       }
       const double diff =
           la::max_abs_diff(result.w.span(), w_base.span());
-      table.add_row({std::to_string(k), std::to_string(result.iterations),
-                     fmt_e(result.rel_error, 3),
-                     std::to_string(result.history.back().comm_rounds),
-                     diff == 0.0 ? "0 (bitwise)" : fmt_e(diff, 2)});
+      std::vector<std::string> row = {
+          std::to_string(k), std::to_string(result.iterations),
+          fmt_e(result.rel_error, 3),
+          std::to_string(result.history.back().comm_rounds),
+          diff == 0.0 ? "0 (bitwise)" : fmt_e(diff, 2)};
+      if (ranks > 0) {
+        // The real pipelined path: same problem SPMD over `ranks` threads,
+        // blocking vs handle-based iallreduce.  At staleness 0 the chunk
+        // pipeline replays the blocking reduction schedule exactly, so the
+        // iterates must match bitwise.
+        core::SolverOptions dopts = opts;
+        dopts.threads = 1;
+        dopts.track_history = false;
+        dist::ThreadGroup blocking_group(ranks);
+        const auto blk =
+            core::solve_rc_sfista_distributed(bp.problem(), dopts,
+                                              blocking_group);
+        dopts.pipeline = true;
+        dopts.staleness = staleness;
+        dist::ThreadGroup pipelined_group(ranks);
+        const auto pipe =
+            core::solve_rc_sfista_distributed(bp.problem(), dopts,
+                                              pipelined_group);
+        const double pdiff = la::max_abs_diff(pipe.w.span(), blk.w.span());
+        const double words =
+            static_cast<double>(pipe.comm_stats.allreduce_words);
+        const double ovl =
+            words > 0.0
+                ? static_cast<double>(pipe.comm_stats.overlapped_words) / words
+                : 0.0;
+        row.push_back(pdiff == 0.0 ? "0 (bitwise)" : fmt_e(pdiff, 2));
+        row.push_back(fmt_f(ovl, 3));
+      }
+      table.add_row(std::move(row));
     }
     std::printf("%s\n", table.str().c_str());
     bench::maybe_write_csv(cli, "fig2b_" + name, table);
   }
   std::printf("Communication rounds fall as N/k while the iterates stay\n"
               "identical -- the exact-arithmetic invariance behind the paper's\n"
-              "O(k) latency reduction.\n");
+              "O(k) latency reduction.  The pipelined columns rerun each k\n"
+              "through the nonblocking engine (post k blocks, overlap the\n"
+              "next chunk's Gram build, wait lazily): identical numerics,\n"
+              "with 'ovl frac' of the payload reduced entirely under compute.\n");
   return 0;
 }

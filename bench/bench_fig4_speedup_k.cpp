@@ -26,6 +26,11 @@ int main(int argc, char** argv) {
   cli.add_flag("k-list", "overlap depths", "1,2,4,8,16,32");
   cli.add_flag("vr", "variance reduction (Eq. 9)", "true");
   cli.add_flag("restart", "adaptive momentum restart (auto = per-dataset)", "auto");
+  cli.add_flag("pipeline-ranks",
+               "SPMD ranks for blocking-vs-pipelined ledger rows (0 = skip)",
+               "4");
+  cli.add_flag("staleness", "pipeline staleness S for the pipelined rows",
+               "1");
   if (!cli.parse(argc, argv)) {
     return 0;
   }
@@ -130,6 +135,75 @@ int main(int argc, char** argv) {
         ledger.add(name + "_k" + std::to_string(k), shape, replay.cost,
                    &replay.phases);
       }
+
+      // Blocking-vs-pipelined rows: rerun a k subset SPMD over a real
+      // dist::ThreadGroup, once through the blocking allreduce and once
+      // through the chunk-pipelined iallreduce path.  The pipelined row
+      // carries an OverlapCredit -- predicted hiding from the machine
+      // model, measured hiding from CommStats::overlapped_words -- so the
+      // ledger compares the predicted *exposed* comm seconds against the
+      // allreduce_wait wall time, which should drop below the blocking
+      // row's allreduce wall as the overlap fraction grows.
+      const int ranks = static_cast<int>(cli.get_int("pipeline-ranks", 4));
+      const int staleness = static_cast<int>(cli.get_int("staleness", 1));
+      if (ranks > 0) {
+        model::AlgorithmShape dshape = shape;
+        dshape.p = static_cast<double>(ranks);
+        for (auto k : k_list) {
+          // Every rank holds one packed [H|R] chunk (blocking) or a
+          // staleness + 2 slot ring of them (pipelined); skip k values
+          // whose buffers would not fit a modest budget (the dense
+          // epsilon clone at large k) rather than thrash the machine.
+          const double chunk_bytes = static_cast<double>(k) *
+                                     (static_cast<double>(d) * d + d) * 8.0;
+          const double peak_bytes =
+              static_cast<double>(ranks) * (staleness + 3) * chunk_bytes;
+          if (peak_bytes > 1.5e9) {
+            std::printf("(skipping %s_k%d blk/pipe rows: ~%.1f GiB of chunk "
+                        "buffers at %d ranks)\n",
+                        name.c_str(), static_cast<int>(k),
+                        peak_bytes / (1024.0 * 1024.0 * 1024.0), ranks);
+            continue;
+          }
+          core::SolverOptions ropts = opts;
+          ropts.max_iters = replay_iters;
+          ropts.tol = 0.0;
+          ropts.variance_reduction = false;
+          ropts.adaptive_restart = false;
+          ropts.track_history = false;
+          ropts.threads = 1;
+          ropts.k = static_cast<int>(k);
+          ropts.procs = ranks;
+          ropts.machine = machine;
+          ropts.collective = collective;
+          dshape.k = static_cast<double>(k);
+          // The distributed engine does not count model costs; a sequential
+          // replay at P=ranks supplies the measured counters for both rows.
+          const auto counted = core::solve_rc_sfista(bp.problem(), ropts);
+          const std::string label = name + "_k" + std::to_string(k);
+          dist::ThreadGroup blocking_group(ranks);
+          const auto blk = core::solve_rc_sfista_distributed(
+              bp.problem(), ropts, blocking_group);
+          ledger.add(label + "_blk", dshape, counted.cost, &blk.phases);
+          ropts.pipeline = true;
+          ropts.staleness = staleness;
+          dist::ThreadGroup pipelined_group(ranks);
+          const auto pipe = core::solve_rc_sfista_distributed(
+              bp.problem(), ropts, pipelined_group);
+          obs::OverlapCredit credit;
+          credit.predicted =
+              model::pipelined_overlap_fraction(dshape, machine, staleness);
+          const double words =
+              static_cast<double>(pipe.comm_stats.allreduce_words);
+          credit.measured =
+              words > 0.0
+                  ? static_cast<double>(pipe.comm_stats.overlapped_words) /
+                        words
+                  : 0.0;
+          ledger.add(label + "_pipe", dshape, counted.cost, &pipe.phases,
+                     &credit);
+        }
+      }
     }
   }
   std::printf("Cells: modeled time-to-tol speedup vs k=1 (same P).  '*' =\n"
@@ -137,9 +211,11 @@ int main(int argc, char** argv) {
               "%s (alpha_eff=%.2e s/msg including collective-call overhead).\n",
               machine.name.c_str(), machine.alpha_effective());
   if (!ledger.rows().empty()) {
-    std::printf("\nCost-model accounting (P=%d replays, %s):\n%s\n",
-                static_cast<int>(p_list.front()), machine.name.c_str(),
-                ledger.table().c_str());
+    std::printf("\nCost-model accounting (P=%d replays; _blk/_pipe rows ran "
+                "SPMD over %d ranks, blocking vs pipelined, %s):\n%s\n",
+                static_cast<int>(p_list.front()),
+                static_cast<int>(cli.get_int("pipeline-ranks", 4)),
+                machine.name.c_str(), ledger.table().c_str());
     ledger.export_metrics(obs::MetricsRegistry::global());
   }
   return 0;

@@ -96,6 +96,54 @@ int main(int argc, char** argv) {
                      std::to_string(cfg.s) + "_p" + std::to_string(cfg.p),
                  triple, pred_rounds, result.cost, &result.phases);
     }
+    // Overlap-efficiency row: one 4-rank solve through the chunk-pipelined
+    // iallreduce path.  The ledger's `ov p/m` column then pairs the
+    // model's predicted hide fraction (pipelined_overlap_fraction) with
+    // the measured overlapped_words ratio, and the row's comm seconds
+    // compare predicted *exposed* time against the allreduce_wait wall.
+    {
+      constexpr int kRanks = 4;
+      constexpr int kStaleness = 1;
+      core::SolverOptions popts;
+      popts.threads = 1;
+      popts.max_iters = iters;
+      popts.sampling_rate = b;
+      popts.k = 4;
+      popts.s = 1;
+      popts.procs = kRanks;
+      popts.track_history = false;
+      popts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+      const auto counted = core::solve_rc_sfista(bp.problem(), popts);
+      popts.pipeline = true;
+      popts.staleness = kStaleness;
+      dist::ThreadGroup group(kRanks);
+      const auto pipe =
+          core::solve_rc_sfista_distributed(bp.problem(), popts, group);
+
+      model::AlgorithmShape shape;
+      shape.n_iters = iters;
+      shape.d = d;
+      shape.m_bar = mbar;
+      shape.fill = fill;
+      shape.p = kRanks;
+      shape.k = 4;
+      shape.s = 1;
+      model::CostTriple triple = model::rcsfista_cost(shape);
+      triple.flops = shape.n_iters * d * d * mbar * fill / kRanks +
+                     static_cast<double>(iters) * 2.0 * d * d;
+      obs::OverlapCredit credit;
+      credit.predicted = model::pipelined_overlap_fraction(
+          shape, ledger.machine(), kStaleness);
+      const double words =
+          static_cast<double>(pipe.comm_stats.allreduce_words);
+      credit.measured =
+          words > 0.0
+              ? static_cast<double>(pipe.comm_stats.overlapped_words) / words
+              : 0.0;
+      ledger.add(name + "_k4_s1_p4_pipe", triple,
+                 std::ceil(static_cast<double>(iters) / 4.0), counted.cost,
+                 &pipe.phases, &credit);
+    }
     std::printf("%s\n", table.str().c_str());
   }
   std::printf("Cost-model accounting (ledger, %s):\n%s\n",

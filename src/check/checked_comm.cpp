@@ -40,7 +40,11 @@ bool CheckedComm::track(CollectiveKind kind, std::uint64_t words,
 
 void CheckedComm::epoch_exchange(const Fingerprint& last) {
   obs::TraceScope span("check.epoch");
-  const std::uint64_t h = tracker_.rolling(false) & kHashMask;
+  // Hash *through the due collective* (last.rolling), not the tracker's
+  // current head: on the pipelined path later posts may already have
+  // advanced the rolling hash by the time the epoch handle is waited, and
+  // every rank must compare the same prefix.
+  const std::uint64_t h = last.rolling & kHashMask;
   // One max-allreduce of {h, -h} yields both the fleet max and (negated)
   // the fleet min; they agree iff every rank's rolling hash agrees.
   double buf[2] = {static_cast<double>(h), -static_cast<double>(h)};
@@ -62,6 +66,69 @@ void CheckedComm::epoch_exchange(const Fingerprint& last) {
         to_hex(fleet_max) + "); last collective on this rank was " +
         last.describe());
   }
+}
+
+/// Handle wrapper for a post that landed on an epoch boundary: the first
+/// successful wait additionally runs the deferred hash exchange.  One-shot
+/// -- a repeated wait must not re-exchange (the aux schedule would diverge
+/// from ranks that waited once).
+class EpochOp final : public dist::detail::PendingOp {
+ public:
+  EpochOp(CheckedComm* owner, std::shared_ptr<dist::detail::PendingOp> inner,
+          const Fingerprint& fp)
+      : owner_(owner), inner_(std::move(inner)), fp_(fp) {}
+
+  void wait() override {
+    inner_->wait();
+    if (!exchanged_) {
+      exchanged_ = true;
+      owner_->epoch_exchange(fp_);
+    }
+  }
+  [[nodiscard]] bool test() override { return inner_->test(); }
+  [[nodiscard]] std::size_t words() const override { return inner_->words(); }
+
+ private:
+  CheckedComm* owner_;
+  std::shared_ptr<dist::detail::PendingOp> inner_;
+  Fingerprint fp_;
+  bool exchanged_ = false;
+};
+
+dist::CommHandle CheckedComm::post_iallreduce(std::span<double> inout,
+                                              bool use_max,
+                                              const std::source_location& site) {
+  if (!opts_.enabled) {
+    std::optional<dist::Communicator::AuxScope> fwd;
+    if (aux_mode()) fwd.emplace(inner_);
+    return use_max ? inner_.iallreduce_max(inout, site)
+                   : inner_.iallreduce_sum(inout, site);
+  }
+  Fingerprint fp;
+  const bool due = track(use_max ? CollectiveKind::kIallreduceMax
+                                 : CollectiveKind::kIallreduceSum,
+                         inout.size(), 0, site, &fp);
+  dist::CommHandle handle;
+  {
+    std::optional<dist::Communicator::AuxScope> fwd;
+    if (aux_mode()) fwd.emplace(inner_);
+    handle = use_max ? inner_.iallreduce_max(inout, site)
+                     : inner_.iallreduce_sum(inout, site);
+  }
+  if (!due || !handle.valid()) {
+    return handle;
+  }
+  return dist::CommHandle(std::make_shared<EpochOp>(this, handle.op(), fp));
+}
+
+dist::CommHandle CheckedComm::iallreduce_sum(std::span<double> inout,
+                                             std::source_location site) {
+  return post_iallreduce(inout, /*use_max=*/false, site);
+}
+
+dist::CommHandle CheckedComm::iallreduce_max(std::span<double> inout,
+                                             std::source_location site) {
+  return post_iallreduce(inout, /*use_max=*/true, site);
 }
 
 void CheckedComm::allreduce_sum(std::span<double> inout,

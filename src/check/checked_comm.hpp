@@ -53,6 +53,20 @@ class CheckedComm final : public dist::Communicator {
       std::source_location site = std::source_location::current()) override;
   void barrier(
       std::source_location site = std::source_location::current()) override;
+  // Nonblocking posts are fingerprinted *at post time* (the post is the
+  // schedule event: kIallreduceSum/Max enter the engine sequence space the
+  // moment they are issued, so a rank posting while another blocks is
+  // caught as divergence).  When a post lands on an epoch boundary, the
+  // hash exchange is deferred to the handle's first wait -- an aux
+  // collective cannot run while the payload is still in flight -- and the
+  // rolling hash compared is the one *through the due post*, so later
+  // pipelined posts never blur the epoch.
+  dist::CommHandle iallreduce_sum(
+      std::span<double> inout,
+      std::source_location site = std::source_location::current()) override;
+  dist::CommHandle iallreduce_max(
+      std::span<double> inout,
+      std::source_location site = std::source_location::current()) override;
   [[nodiscard]] const dist::CommStats& stats() const override {
     return inner_.stats();
   }
@@ -61,14 +75,19 @@ class CheckedComm final : public dist::Communicator {
   }
 
  private:
+  friend class EpochOp;
+
   /// Records the call in the tracker and returns whether an epoch
   /// exchange is due after it completes.
   bool track(CollectiveKind kind, std::uint64_t words, std::uint64_t extra,
              const std::source_location& site, Fingerprint* fp);
-  /// Cross-checks the engine-space rolling hash across ranks; throws
-  /// ContractViolation naming this rank, the fleet hashes, and the last
-  /// collective's call site on divergence.
+  /// Cross-checks the engine-space rolling hash (through `last`) across
+  /// ranks; throws ContractViolation naming this rank, the fleet hashes,
+  /// and the last collective's call site on divergence.
   void epoch_exchange(const Fingerprint& last);
+  /// Shared body of the iallreduce posts.
+  dist::CommHandle post_iallreduce(std::span<double> inout, bool use_max,
+                                   const std::source_location& site);
 
   dist::Communicator& inner_;
   CheckOptions opts_;

@@ -37,6 +37,10 @@ const char* to_string(CollectiveKind kind) {
       return "allgather";
     case CollectiveKind::kBarrier:
       return "barrier";
+    case CollectiveKind::kIallreduceSum:
+      return "iallreduce_sum";
+    case CollectiveKind::kIallreduceMax:
+      return "iallreduce_max";
   }
   return "unknown";
 }

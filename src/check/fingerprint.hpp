@@ -32,6 +32,11 @@ enum class CollectiveKind : std::uint8_t {
   kBroadcast,
   kAllgather,
   kBarrier,
+  // Nonblocking posts fingerprint as distinct kinds: a rank posting an
+  // iallreduce while another issues the blocking form is a schedule
+  // divergence (the overlap structure differs), not an equivalence.
+  kIallreduceSum,
+  kIallreduceMax,
 };
 
 [[nodiscard]] const char* to_string(CollectiveKind kind);

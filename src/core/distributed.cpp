@@ -56,6 +56,9 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
   RCF_CHECK_MSG(!opts.variance_reduction,
                 "distributed: variance reduction is not supported here");
   RCF_CHECK_MSG(opts.threads >= 0, "distributed: threads must be >= 0");
+  RCF_CHECK_MSG(opts.staleness >= 0, "distributed: staleness must be >= 0");
+  RCF_CHECK_MSG(opts.staleness == 0 || opts.pipeline,
+                "distributed: staleness > 0 requires pipeline");
 
   WallTimer wall;
   const std::size_t d = problem.dim();
@@ -81,6 +84,7 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
   // allreduce span count equal to CommStats::allreduce_calls per rank.
   const bool tracing = opts.trace && obs::TraceSession::global().enabled();
   obs::PhaseAgg ph_sampling, ph_gram, ph_allreduce, ph_update;
+  obs::PhaseAgg ph_post, ph_wait;  // pipelined path: allreduce split in two.
   obs::FleetMetrics fleet;
   obs::ConvergenceRing conv;
 
@@ -140,8 +144,6 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
 
     const MomentumSchedule outer_mu(opts.momentum);
 
-    // Packed allreduce buffer: kk * (d*d + d) doubles ([H_j | R_j] blocks).
-    std::vector<double> pack(static_cast<std::size_t>(k) * (d * d + d));
     la::Matrix h_local(d, d);
     la::Vector r_local(d);
 
@@ -154,88 +156,60 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
     int update_counter = 0;
     int momentum_base = 0;
 
-    // Per-rank aggregates; rank 0 publishes its copy after the loop.
-    obs::PhaseAgg lp_sampling, lp_gram, lp_allreduce, lp_update;
+    // Per-rank aggregates; rank 0 publishes its copy after the loop.  The
+    // blocking path fills lp_allreduce; the pipelined path splits the
+    // collective into lp_post (issue) and lp_wait (completion) instead.
+    obs::PhaseAgg lp_sampling, lp_gram, lp_allreduce, lp_post, lp_wait,
+        lp_update;
     auto& session = obs::TraceSession::global();
 
-    for (int block_start = 1; block_start <= opts.max_iters;
-         block_start += k) {
-      const int kk = std::min(k, opts.max_iters - block_start + 1);
+    const std::size_t stride = d * d + d;
 
-      // Stages A + B: every rank draws the *global* index set from the
-      // shared (seed, n) stream -- no communication needed to agree on it --
-      // and accumulates the outer products of its own samples.  Factored
-      // into a lambda because it is a pure function of (seed, block_start):
-      // the poison-recovery path below re-runs it to rebuild a corrupted
-      // rank-local contribution from scratch.
-      const auto build_blocks = [&] {
-        for (int j = 0; j < kk; ++j) {
-          const int n = block_start + j;
-          obs::timed_phase(tracing, lp_sampling, "sampling", 0.0, [&] {
-            Rng rng(opts.seed, static_cast<std::uint64_t>(n));
-            idx = rng.sample_without_replacement(m, mbar);
-            local_idx.clear();
-            for (const auto i : idx) {
-              if (i >= lo && i < hi) {
-                local_idx.push_back(static_cast<std::uint32_t>(i - lo));
-              }
-            }
-          });
-          obs::timed_phase(tracing, lp_gram, "gram", 0.0, [&] {
-            h_local.fill(0.0);
-            la::set_zero(r_local.span());
-            sparse::accumulate_sampled_gram(
-                local_xt, local_y.span(), local_idx,
-                1.0 / static_cast<double>(idx.size()), h_local,
-                r_local.span());
-            la::symmetrize_from_upper(h_local);
-            double* dst =
-                pack.data() + static_cast<std::size_t>(j) * (d * d + d);
-            std::copy(h_local.data(), h_local.data() + d * d, dst);
-            std::copy(r_local.data(), r_local.data() + d, dst + d * d);
-          });
-        }
-      };
-
-      // Stage C: one allreduce combines all ranks' partial blocks.  Counted
-      // and timed as the "allreduce" phase, but the span itself is emitted
-      // inside ThreadComm (one per collective call, matching CommStats).
-      const std::size_t payload = static_cast<std::size_t>(kk) * (d * d + d);
-      const auto reduce_blocks = [&] {
-        ++lp_allreduce.count;
-        lp_allreduce.words += static_cast<double>(payload);
-        const std::int64_t t0 = tracing ? session.now_us() : 0;
-        checked.allreduce_sum({pack.data(), payload});
-        if (tracing) {
-          lp_allreduce.us += session.now_us() - t0;
-        }
-      };
-
-      build_blocks();
-      reduce_blocks();
-
-      // Poison detection + recovery.  Corruption is injected into the
-      // rank-local contribution *before* the reduce, so after the allreduce
-      // every rank holds the identical poisoned sums and takes this branch
-      // symmetrically: all ranks rebuild their (deterministic) local blocks
-      // and re-reduce once, which yields the bitwise fault-free payload when
-      // the corruption was transient.  Persistent corruption is rejected as
-      // a structured failure rather than propagated into the iterate.
-      if (guard_payload && !payload_sane({pack.data(), payload})) {
-        build_blocks();
-        reduce_blocks();
-        if (!payload_sane({pack.data(), payload})) {
-          throw fault::PoisonedPayload(
-              "distributed: reduced [H|R] payload still corrupt after "
-              "recompute fallback (block_start=" +
-              std::to_string(block_start) + ")");
-        }
-      }
-
-      // Stage D: redundant update sweeps on every rank -- the identical
-      // S-reuse recurrence the sequential engine performs.
+    // Stages A + B for one k-chunk: every rank draws the *global* index set
+    // from the shared (seed, n) stream -- no communication needed to agree
+    // on it -- and accumulates the outer products of its own samples into
+    // `chunk` (kk packed [H_j | R_j] blocks).  A pure function of
+    // (seed, block_start): the poison-recovery paths re-run it to rebuild a
+    // corrupted rank-local contribution from scratch, and the pipelined
+    // path runs it for chunk t+1 while chunk t's reduction is in flight.
+    const auto build_chunk = [&](int block_start, int kk, double* chunk) {
       for (int j = 0; j < kk; ++j) {
-        const double* hj = pack.data() + static_cast<std::size_t>(j) * (d * d + d);
+        const int n = block_start + j;
+        obs::timed_phase(tracing, lp_sampling, "sampling", 0.0, [&] {
+          Rng rng(opts.seed, static_cast<std::uint64_t>(n));
+          idx = rng.sample_without_replacement(m, mbar);
+          local_idx.clear();
+          for (const auto i : idx) {
+            if (i >= lo && i < hi) {
+              local_idx.push_back(static_cast<std::uint32_t>(i - lo));
+            }
+          }
+        });
+        obs::timed_phase(tracing, lp_gram, "gram", 0.0, [&] {
+          h_local.fill(0.0);
+          la::set_zero(r_local.span());
+          sparse::accumulate_sampled_gram(
+              local_xt, local_y.span(), local_idx,
+              1.0 / static_cast<double>(idx.size()), h_local,
+              r_local.span());
+          la::symmetrize_from_upper(h_local);
+          double* dst = chunk + static_cast<std::size_t>(j) * stride;
+          std::copy(h_local.data(), h_local.data() + d * d, dst);
+          std::copy(r_local.data(), r_local.data() + d, dst + d * d);
+        });
+      }
+    };
+
+    // Stage D for one chunk: redundant update sweeps on every rank -- the
+    // identical S-reuse recurrence the sequential engine performs.
+    // `blocks` holds the reduced [H|R] data the sweeps consume; in the
+    // bounded-staleness mode it belongs to an *earlier* chunk (which has at
+    // least kk blocks -- only the final chunk is short) while block_start
+    // still labels this chunk's iterations.
+    const auto update_chunk = [&](int block_start, int kk,
+                                  const double* blocks) {
+      for (int j = 0; j < kk; ++j) {
+        const double* hj = blocks + static_cast<std::size_t>(j) * stride;
         const double* rj = hj + d * d;
         la::copy(w.span(), w_iter_prev.span());
         auto apply_grad = [&](std::span<const double> at,
@@ -333,6 +307,155 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
           local_conv.push(rec);
         }
       }
+    };
+
+    if (!opts.pipeline) {
+      // Packed allreduce buffer: kk * stride doubles ([H_j | R_j] blocks).
+      std::vector<double> pack(static_cast<std::size_t>(k) * stride);
+      for (int block_start = 1; block_start <= opts.max_iters;
+           block_start += k) {
+        const int kk = std::min(k, opts.max_iters - block_start + 1);
+
+        // Stage C: one allreduce combines all ranks' partial blocks.
+        // Counted and timed as the "allreduce" phase, but the span itself is
+        // emitted inside ThreadComm (one per collective call, matching
+        // CommStats).
+        const std::size_t payload = static_cast<std::size_t>(kk) * stride;
+        const auto reduce_blocks = [&] {
+          ++lp_allreduce.count;
+          lp_allreduce.words += static_cast<double>(payload);
+          const std::int64_t t0 = tracing ? session.now_us() : 0;
+          checked.allreduce_sum({pack.data(), payload});
+          if (tracing) {
+            lp_allreduce.us += session.now_us() - t0;
+          }
+        };
+
+        build_chunk(block_start, kk, pack.data());
+        reduce_blocks();
+
+        // Poison detection + recovery.  Corruption is injected into the
+        // rank-local contribution *before* the reduce, so after the
+        // allreduce every rank holds the identical poisoned sums and takes
+        // this branch symmetrically: all ranks rebuild their (deterministic)
+        // local blocks and re-reduce once, which yields the bitwise
+        // fault-free payload when the corruption was transient.  Persistent
+        // corruption is rejected as a structured failure rather than
+        // propagated into the iterate.
+        if (guard_payload && !payload_sane({pack.data(), payload})) {
+          build_chunk(block_start, kk, pack.data());
+          reduce_blocks();
+          if (!payload_sane({pack.data(), payload})) {
+            throw fault::PoisonedPayload(
+                "distributed: reduced [H|R] payload still corrupt after "
+                "recompute fallback (block_start=" +
+                std::to_string(block_start) + ")");
+          }
+        }
+
+        update_chunk(block_start, kk, pack.data());
+      }
+    } else {
+      // Chunk pipeline over nonblocking posts (stage C via iallreduce_sum).
+      // Chunk t's reduction is posted right after its Gram build; the next
+      // chunk's sampling + Gram -- and, with staleness, up to S further
+      // chunks' update sweeps -- execute while it is in flight.  A chunk's
+      // slot must stay untouched from post (the backend snapshots the
+      // payload there) until its first wait (the result lands there) plus,
+      // in staleness mode, until its last stale consumer; lag + 2 slots
+      // cover the deepest schedule.
+      const int num_chunks = (opts.max_iters + k - 1) / k;
+      const int lag = opts.staleness;
+      const int nslots = lag + 2;
+      std::vector<std::vector<double>> slots(
+          static_cast<std::size_t>(nslots),
+          std::vector<double>(static_cast<std::size_t>(k) * stride));
+      std::vector<dist::CommHandle> handles(static_cast<std::size_t>(nslots));
+      std::vector<char> waited(static_cast<std::size_t>(nslots), 1);
+
+      const auto chunk_start = [&](int t) { return 1 + t * k; };
+      const auto chunk_len = [&](int t) {
+        return std::min(k, opts.max_iters - chunk_start(t) + 1);
+      };
+
+      const auto post_chunk = [&](int t) {
+        const auto slot = static_cast<std::size_t>(t % nslots);
+        double* data = slots[slot].data();
+        build_chunk(chunk_start(t), chunk_len(t), data);
+        const std::size_t payload =
+            static_cast<std::size_t>(chunk_len(t)) * stride;
+        ++lp_post.count;
+        lp_post.words += static_cast<double>(payload);
+        const std::int64_t t0 = tracing ? session.now_us() : 0;
+        handles[slot] = checked.iallreduce_sum({data, payload});
+        if (tracing) {
+          lp_post.us += session.now_us() - t0;
+        }
+        waited[slot] = 0;
+      };
+
+      // First wait on chunk t's reduction; idempotent, because the
+      // staleness schedule consumes chunk 0 up to S + 1 times.
+      // lp_wait.words counts the payload of waits that found the reduction
+      // *already complete* -- the overlap the cost ledger credits
+      // (CommStats::overlapped_words is the same quantity measured inside
+      // the backend).
+      const auto wait_chunk = [&](int t) {
+        const auto slot = static_cast<std::size_t>(t % nslots);
+        if (waited[slot] != 0) {
+          return;
+        }
+        waited[slot] = 1;
+        const std::size_t payload =
+            static_cast<std::size_t>(chunk_len(t)) * stride;
+        ++lp_wait.count;
+        if (handles[slot].test()) {
+          lp_wait.words += static_cast<double>(payload);
+        }
+        const std::int64_t t0 = tracing ? session.now_us() : 0;
+        handles[slot].wait();
+        if (tracing) {
+          lp_wait.us += session.now_us() - t0;
+        }
+        handles[slot] = dist::CommHandle();
+
+        // Poison detection + recovery, as on the blocking path.  The
+        // fallback re-reduce is a *blocking* collective, which first
+        // quiesces any still-in-flight posts; the reduced sums are
+        // identical on every rank, so all ranks enter (or skip) the
+        // recovery at the same schedule point and the quiesce stays
+        // symmetric.
+        double* data = slots[slot].data();
+        if (guard_payload && !payload_sane({data, payload})) {
+          build_chunk(chunk_start(t), chunk_len(t), data);
+          checked.allreduce_sum({data, payload});
+          if (!payload_sane({data, payload})) {
+            throw fault::PoisonedPayload(
+                "distributed: reduced [H|R] payload still corrupt after "
+                "recompute fallback (block_start=" +
+                std::to_string(chunk_start(t)) + ")");
+          }
+        }
+      };
+
+      if (num_chunks > 0) {
+        post_chunk(0);
+        for (int t = 0; t < num_chunks; ++t) {
+          if (t + 1 < num_chunks) {
+            post_chunk(t + 1);
+          }
+          const int src = std::max(t - lag, 0);
+          wait_chunk(src);
+          update_chunk(chunk_start(t), chunk_len(t),
+                       slots[static_cast<std::size_t>(src % nslots)].data());
+        }
+        // The last `lag` chunks were posted but never consumed by an
+        // update; wait them anyway so every rank completes the identical
+        // set of collectives and injected completion failures surface.
+        for (int t = std::max(num_chunks - lag, 0); t < num_chunks; ++t) {
+          wait_chunk(t);
+        }
+      }
     }
 
     if (tracing) {
@@ -344,7 +467,12 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
       obs::PhaseSummary local_phases;
       obs::append_phase(local_phases, "sampling", lp_sampling);
       obs::append_phase(local_phases, "gram", lp_gram);
-      obs::append_phase(local_phases, "allreduce", lp_allreduce);
+      if (opts.pipeline) {
+        obs::append_phase(local_phases, "allreduce_post", lp_post);
+        obs::append_phase(local_phases, "allreduce_wait", lp_wait);
+      } else {
+        obs::append_phase(local_phases, "allreduce", lp_allreduce);
+      }
       obs::append_phase(local_phases, "update", lp_update);
       const dist::CommStats rank_stats = checked.stats();
       obs::MetricsRegistry local;
@@ -360,6 +488,8 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
       ph_sampling = lp_sampling;
       ph_gram = lp_gram;
       ph_allreduce = lp_allreduce;
+      ph_post = lp_post;
+      ph_wait = lp_wait;
       ph_update = lp_update;
       conv = std::move(local_conv);
     }
@@ -429,7 +559,12 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
   publish_resilience();
   obs::append_phase(result.phases, "sampling", ph_sampling);
   obs::append_phase(result.phases, "gram", ph_gram);
-  obs::append_phase(result.phases, "allreduce", ph_allreduce);
+  if (opts.pipeline) {
+    obs::append_phase(result.phases, "allreduce_post", ph_post);
+    obs::append_phase(result.phases, "allreduce_wait", ph_wait);
+  } else {
+    obs::append_phase(result.phases, "allreduce", ph_allreduce);
+  }
   obs::append_phase(result.phases, "update", ph_update);
   result.fleet = std::move(fleet);
   result.conv = std::move(conv);

@@ -78,6 +78,23 @@ struct SolverOptions {
   int k = 1;  ///< iteration-overlapping depth (k >= 1).
   int s = 1;  ///< Hessian-reuse inner iterations (S >= 1).
 
+  // -- nonblocking pipeline (distributed backend) -----------------------------
+  /// Post the [H|R] chunk reduction with iallreduce_sum and overlap it with
+  /// the next chunk's sampling + Gram build (and, through the handle, with
+  /// the update sweeps).  At staleness 0 the pipelined schedule consumes
+  /// every chunk's own reduced blocks in order, so the iterate trajectory is
+  /// bitwise-identical to the blocking path; only the overlap differs.
+  /// Ignored by the single-process solver (nothing to overlap).
+  bool pipeline = false;
+  /// Bounded staleness S >= 0 (requires pipeline).  With S > 0 the update
+  /// sweeps of chunk t reuse the reduced [H|R] blocks of chunk max(t - S, 0)
+  /// while chunk t's own reduction is still in flight, hiding up to S chunk
+  /// reductions behind compute.  Sound because the sampled Gram blocks are
+  /// iterate-independent estimates of the same expected operator; the
+  /// trajectory changes (stale curvature) but stays deterministic for a
+  /// fixed S -- convergence is golden-fixture-checked.
+  int staleness = 0;
+
   // -- regularizer override ----------------------------------------------------
   /// When non-null, replaces the problem's l1 term: the prox step applies
   /// this operator and the reported objective is smooth_value + g(w).

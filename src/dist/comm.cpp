@@ -19,6 +19,30 @@ obs::Histogram& allreduce_latency() {
   return h;
 }
 
+using detail::CompletedOp;
+
+/// SeqComm's nonblocking op: a 1-rank reduction is an identity, so the op
+/// is born complete.  The first wait() credits the payload as overlapped --
+/// on one rank *all* reduction time is trivially hidden, which keeps the
+/// seq/dist overlap accounting consistent (overlap efficiency 1.0).
+class SeqOp final : public detail::PendingOp {
+ public:
+  SeqOp(CommStats* stats, std::size_t words) : stats_(stats), words_(words) {}
+  void wait() override {
+    if (stats_ != nullptr) {
+      obs::TraceScope span("allreduce_wait");
+      stats_->overlapped_words += words_;
+      stats_ = nullptr;
+    }
+  }
+  [[nodiscard]] bool test() override { return true; }
+  [[nodiscard]] std::size_t words() const override { return words_; }
+
+ private:
+  CommStats* stats_;  ///< null once the first wait has credited overlap
+  std::size_t words_;
+};
+
 }  // namespace
 
 void publish_comm_stats(const CommStats& stats, const std::string& backend) {
@@ -35,10 +59,23 @@ void publish_comm_stats(const CommStats& stats, const std::string& backend) {
   registry.counter(prefix + "barrier_calls").add(stats.barrier_calls);
   registry.counter(prefix + "retries").add(stats.retries);
   registry.counter(prefix + "faults_injected").add(stats.faults_injected);
+  registry.counter(prefix + "overlapped_words").add(stats.overlapped_words);
   auto& high_water = registry.gauge(prefix + "max_payload_words");
   if (static_cast<double>(stats.max_payload_words) > high_water.value()) {
     high_water.set(static_cast<double>(stats.max_payload_words));
   }
+}
+
+CommHandle Communicator::iallreduce_sum(std::span<double> inout,
+                                        std::source_location site) {
+  allreduce_sum(inout, site);
+  return CommHandle(std::make_shared<CompletedOp>(inout.size()));
+}
+
+CommHandle Communicator::iallreduce_max(std::span<double> inout,
+                                        std::source_location site) {
+  allreduce_max(inout, site);
+  return CommHandle(std::make_shared<CompletedOp>(inout.size()));
 }
 
 double Communicator::allreduce_sum_scalar(double value,
@@ -109,6 +146,34 @@ void SeqComm::allgather(std::span<const double> input,
   stats_.allgather_words += input.size();
   stats_.max_payload_words = std::max<std::uint64_t>(stats_.max_payload_words,
                                                      input.size());
+}
+
+CommHandle SeqComm::iallreduce_sum(std::span<double> inout,
+                                   std::source_location) {
+  obs::TraceScope span(aux_mode() ? "aux_collective" : "allreduce_post",
+                       static_cast<double>(inout.size()));
+  if (aux_mode()) {
+    return CommHandle(std::make_shared<CompletedOp>(inout.size()));
+  }
+  ++stats_.allreduce_calls;
+  stats_.allreduce_words += inout.size();
+  stats_.max_payload_words = std::max<std::uint64_t>(stats_.max_payload_words,
+                                                     inout.size());
+  return CommHandle(std::make_shared<SeqOp>(&stats_, inout.size()));
+}
+
+CommHandle SeqComm::iallreduce_max(std::span<double> inout,
+                                   std::source_location) {
+  obs::TraceScope span(aux_mode() ? "aux_collective" : "allreduce_post",
+                       static_cast<double>(inout.size()));
+  if (aux_mode()) {
+    return CommHandle(std::make_shared<CompletedOp>(inout.size()));
+  }
+  ++stats_.allreduce_max_calls;
+  stats_.allreduce_words += inout.size();
+  stats_.max_payload_words = std::max<std::uint64_t>(stats_.max_payload_words,
+                                                     inout.size());
+  return CommHandle(std::make_shared<SeqOp>(&stats_, inout.size()));
 }
 
 void SeqComm::barrier(std::source_location) {

@@ -17,11 +17,93 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <source_location>
 #include <span>
 #include <string>
 
 namespace rcf::dist {
+
+namespace detail {
+
+/// Completion state of one nonblocking collective.  Backends and decorators
+/// subclass this; user code only ever sees it through CommHandle.
+///
+/// Contract: wait() blocks until the collective completes, rethrows its
+/// failure, and is idempotent (later waits return immediately, rethrowing
+/// the same failure).  test() is a non-blocking completion probe; errors
+/// surface only at wait().  The payload data is only guaranteed to be in
+/// the caller's buffer after a successful wait().
+class PendingOp {
+ public:
+  virtual ~PendingOp() = default;
+  PendingOp() = default;
+  PendingOp(const PendingOp&) = delete;
+  PendingOp& operator=(const PendingOp&) = delete;
+
+  virtual void wait() = 0;
+  [[nodiscard]] virtual bool test() = 0;
+  [[nodiscard]] virtual std::size_t words() const = 0;
+};
+
+/// An op that completed inside the post call (the blocking degradation and
+/// every aux-mode post).  wait() is a no-op; the payload is already reduced
+/// in place.
+class CompletedOp final : public PendingOp {
+ public:
+  explicit CompletedOp(std::size_t words) : words_(words) {}
+  void wait() override {}
+  [[nodiscard]] bool test() override { return true; }
+  [[nodiscard]] std::size_t words() const override { return words_; }
+
+ private:
+  std::size_t words_;
+};
+
+}  // namespace detail
+
+/// Move-only handle to an in-flight nonblocking collective (the analogue of
+/// MPI_Request).  Obtained from Communicator::iallreduce_*; completed by
+/// wait() -- either on the handle or through Communicator::wait().  A
+/// default-constructed or moved-from handle is inert: wait() is a no-op and
+/// test() reports complete.  Dropping a handle without waiting abandons the
+/// result (the collective still executes so the SPMD schedule stays
+/// symmetric) -- the caller's buffer is only updated by a successful wait().
+/// Handles must not outlive the communicator that issued them.
+class CommHandle {
+ public:
+  CommHandle() = default;
+  explicit CommHandle(std::shared_ptr<detail::PendingOp> op)
+      : op_(std::move(op)) {}
+  CommHandle(CommHandle&&) = default;
+  CommHandle& operator=(CommHandle&&) = default;
+  CommHandle(const CommHandle&) = delete;
+  CommHandle& operator=(const CommHandle&) = delete;
+
+  [[nodiscard]] bool valid() const { return op_ != nullptr; }
+  [[nodiscard]] std::size_t words() const {
+    return op_ != nullptr ? op_->words() : 0;
+  }
+  /// Blocks until complete; rethrows the collective's failure.  Idempotent.
+  void wait() {
+    if (op_ != nullptr) {
+      op_->wait();
+    }
+  }
+  /// Non-blocking completion probe (true for inert handles).  Failures are
+  /// reported by wait(), never here.
+  [[nodiscard]] bool test() { return op_ == nullptr || op_->test(); }
+
+  /// Backend/decorator access to the underlying op (for handle wrapping --
+  /// a decorator composes by returning a new handle whose op delegates to
+  /// this one).  Not part of the user-facing API.
+  [[nodiscard]] const std::shared_ptr<detail::PendingOp>& op() const {
+    return op_;
+  }
+
+ private:
+  std::shared_ptr<detail::PendingOp> op_;
+};
 
 /// Counts of collective operations performed through a communicator.
 /// `allreduce_words` is the total payload (in doubles) summed over calls
@@ -47,6 +129,11 @@ struct CommStats {
   /// Faults fired into this endpoint by the chaos layer (counted by
   /// fault::FaultyComm; 0 outside injected runs).
   std::uint64_t faults_injected = 0;
+  /// Payload words of nonblocking collectives that had already completed
+  /// when first waited on -- i.e. reduction wall time fully hidden behind
+  /// the caller's compute.  Always <= allreduce_words; the ratio is the
+  /// measured overlap efficiency the cost ledger reports.
+  std::uint64_t overlapped_words = 0;
 
   CommStats& operator+=(const CommStats& o) {
     allreduce_calls += o.allreduce_calls;
@@ -59,6 +146,7 @@ struct CommStats {
     barrier_calls += o.barrier_calls;
     retries += o.retries;
     faults_injected += o.faults_injected;
+    overlapped_words += o.overlapped_words;
     max_payload_words = max_payload_words > o.max_payload_words
                             ? max_payload_words
                             : o.max_payload_words;
@@ -136,6 +224,32 @@ class Communicator {
   virtual void barrier(
       std::source_location site = std::source_location::current()) = 0;
 
+  // Nonblocking collectives (MPI_Iallreduce analogue).  The returned
+  // handle completes the operation: `inout` must stay alive and untouched
+  // until wait() returns (backends snapshot the payload at post, so the
+  // *contents* at post time are what gets reduced; the result lands in
+  // `inout` at the first successful wait()).  Posts are collective: every
+  // rank must post the same sequence of operations, and every posted
+  // operation must eventually complete on every rank (wait it, or issue a
+  // later blocking collective, which quiesces the queue).  The default
+  // implementation degrades to the blocking call and returns an
+  // already-complete handle, so backends gain the API for free and
+  // override it only to actually overlap.
+
+  /// Nonblocking in-place sum-allreduce.
+  virtual CommHandle iallreduce_sum(
+      std::span<double> inout,
+      std::source_location site = std::source_location::current());
+
+  /// Nonblocking in-place max-allreduce.
+  virtual CommHandle iallreduce_max(
+      std::span<double> inout,
+      std::source_location site = std::source_location::current());
+
+  /// Convenience forms of handle.wait() / handle.test().
+  void wait(CommHandle& handle) { handle.wait(); }
+  [[nodiscard]] bool test(CommHandle& handle) { return handle.test(); }
+
   /// Statistics accumulated by this rank's endpoint.
   [[nodiscard]] virtual const CommStats& stats() const = 0;
 
@@ -171,6 +285,12 @@ class SeqComm final : public Communicator {
       std::span<const double> input, std::span<double> output,
       std::source_location site = std::source_location::current()) override;
   void barrier(
+      std::source_location site = std::source_location::current()) override;
+  CommHandle iallreduce_sum(
+      std::span<double> inout,
+      std::source_location site = std::source_location::current()) override;
+  CommHandle iallreduce_max(
+      std::span<double> inout,
       std::source_location site = std::source_location::current()) override;
   [[nodiscard]] const CommStats& stats() const override { return stats_; }
   [[nodiscard]] std::string backend_name() const override { return "seq"; }

@@ -19,8 +19,18 @@ RetryingComm::RetryingComm(Communicator& inner, RetryPolicy policy)
   RCF_CHECK_MSG(policy_.multiplier >= 1.0, "retry: multiplier must be >= 1");
 }
 
+void RetryingComm::note_retry(double& backoff) {
+  ++retries_;
+  const auto sleep_us = static_cast<std::uint64_t>(backoff);
+  if (sleep_us > 0) {
+    backoff_counter_.add(sleep_us);
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+  }
+  backoff *= policy_.multiplier;
+}
+
 template <typename Fn>
-void RetryingComm::with_retries(Fn&& attempt) {
+decltype(auto) RetryingComm::with_retries(Fn&& attempt) {
   std::optional<AuxScope> fwd;
   if (aux_mode()) {
     fwd.emplace(inner_);
@@ -28,21 +38,65 @@ void RetryingComm::with_retries(Fn&& attempt) {
   double backoff = static_cast<double>(policy_.backoff_us);
   for (int tries = 0;; ++tries) {
     try {
-      attempt();
-      return;
+      return attempt();
     } catch (const TransientCommFailure&) {
       if (tries >= policy_.max_retries) {
         throw;
       }
-      ++retries_;
-      const auto sleep_us = static_cast<std::uint64_t>(backoff);
-      if (sleep_us > 0) {
-        backoff_counter_.add(sleep_us);
-        std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
-      }
-      backoff *= policy_.multiplier;
+      note_retry(backoff);
     }
   }
+}
+
+/// Handle wrapper that absorbs TransientCommFailure thrown at completion
+/// time (wait-stage fault injection): each retry re-enters the inner wait,
+/// which is idempotent on success and re-evaluates the fault plan on
+/// failure.  Other failures pass through untouched.
+class RetryWaitOp final : public detail::PendingOp {
+ public:
+  RetryWaitOp(RetryingComm* owner, std::shared_ptr<detail::PendingOp> inner)
+      : owner_(owner), inner_(std::move(inner)) {}
+
+  void wait() override {
+    double backoff = static_cast<double>(owner_->policy_.backoff_us);
+    for (int tries = 0;; ++tries) {
+      try {
+        inner_->wait();
+        return;
+      } catch (const TransientCommFailure&) {
+        if (tries >= owner_->policy_.max_retries) {
+          throw;
+        }
+        owner_->note_retry(backoff);
+      }
+    }
+  }
+  [[nodiscard]] bool test() override { return inner_->test(); }
+  [[nodiscard]] std::size_t words() const override { return inner_->words(); }
+
+ private:
+  RetryingComm* owner_;
+  std::shared_ptr<detail::PendingOp> inner_;
+};
+
+CommHandle RetryingComm::iallreduce_sum(std::span<double> inout,
+                                        std::source_location site) {
+  CommHandle inner =
+      with_retries([&] { return inner_.iallreduce_sum(inout, site); });
+  if (!inner.valid()) {
+    return inner;
+  }
+  return CommHandle(std::make_shared<RetryWaitOp>(this, inner.op()));
+}
+
+CommHandle RetryingComm::iallreduce_max(std::span<double> inout,
+                                        std::source_location site) {
+  CommHandle inner =
+      with_retries([&] { return inner_.iallreduce_max(inout, site); });
+  if (!inner.valid()) {
+    return inner;
+  }
+  return CommHandle(std::make_shared<RetryWaitOp>(this, inner.op()));
 }
 
 void RetryingComm::allreduce_sum(std::span<double> inout,

@@ -60,6 +60,16 @@ class RetryingComm final : public Communicator {
       std::source_location site = std::source_location::current()) override;
   void barrier(
       std::source_location site = std::source_location::current()) override;
+  // Nonblocking posts are retried like any collective (a transient at post
+  // fires before the inner post, so repeating it is safe); the returned
+  // handle additionally retries *at wait*, absorbing transients injected
+  // on completion (fault::FaultStage::kWait) with the same backoff policy.
+  CommHandle iallreduce_sum(
+      std::span<double> inout,
+      std::source_location site = std::source_location::current()) override;
+  CommHandle iallreduce_max(
+      std::span<double> inout,
+      std::source_location site = std::source_location::current()) override;
   /// Inner stats with this decorator's retry count folded in.
   [[nodiscard]] const CommStats& stats() const override;
   [[nodiscard]] std::string backend_name() const override {
@@ -71,10 +81,15 @@ class RetryingComm final : public Communicator {
   [[nodiscard]] std::uint64_t retries() const { return retries_; }
 
  private:
-  /// Runs `attempt` under the policy; forwards aux mode to the inner
-  /// communicator for the duration.
+  friend class RetryWaitOp;
+
+  /// Runs `attempt` under the policy and returns its result; forwards aux
+  /// mode to the inner communicator for the duration.
   template <typename Fn>
-  void with_retries(Fn&& attempt);
+  decltype(auto) with_retries(Fn&& attempt);
+  /// One retry bookkeeping step: counts it, sleeps the current backoff,
+  /// and grows it.  Shared by the call path and the wait path.
+  void note_retry(double& backoff);
 
   Communicator& inner_;
   RetryPolicy policy_;

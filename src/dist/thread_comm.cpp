@@ -1,7 +1,11 @@
 #include "dist/thread_comm.hpp"
 
 #include <algorithm>
+#include <condition_variable>
+#include <deque>
 #include <exception>
+#include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -93,15 +97,214 @@ struct GroupState {
   std::vector<std::exception_ptr> exceptions;
 };
 
+/// One posted-but-not-yet-waited nonblocking collective of a ThreadComm
+/// endpoint.  The op OWNS its payload: `buf` is a snapshot of the user span
+/// taken at post time, the progress thread reduces into `buf`, and the
+/// result is copied back to the user span only at the first successful
+/// wait().  An exception unwinding the SPMD body therefore never races the
+/// progress thread over engine-owned memory -- dropped handles only ever
+/// touch op-owned storage.
+class ThreadPendingOp final : public PendingOp {
+ public:
+  ThreadPendingOp(std::shared_ptr<AsyncQueue> queue, CommStats* stats,
+                  std::span<double> user, bool max_op, std::int64_t seq_in)
+      : queue_(std::move(queue)),
+        stats_(stats),
+        buf(user.begin(), user.end()),
+        dst_(user.data()),
+        use_max(max_op),
+        seq(seq_in) {}
+
+  void wait() override;
+  [[nodiscard]] bool test() override;
+  [[nodiscard]] std::size_t words() const override { return buf.size(); }
+
+  std::shared_ptr<AsyncQueue> queue_;
+  CommStats* stats_;  ///< overlap credit target; main-thread use only
+  std::vector<double> buf;  ///< op-owned payload (reduced in place)
+  double* dst_;             ///< user span, written at first wait
+  bool use_max;
+  std::int64_t seq;
+  // Completion state, guarded by queue_->mu.
+  bool done = false;
+  bool consumed = false;  ///< first wait already copied back / credited
+  std::exception_ptr error;
+};
+
+/// Per-endpoint async machinery: a FIFO of posted ops and the progress
+/// thread that drains it.  The front op is popped only after it completes,
+/// so `pending.empty()` means fully quiesced.
+struct AsyncQueue {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::shared_ptr<ThreadPendingOp>> pending;
+  bool stop = false;
+  std::thread worker;
+};
+
+void ThreadPendingOp::wait() {
+  std::unique_lock<std::mutex> lk(queue_->mu);
+  const bool overlapped = done;
+  if (!done) {
+    // The pipeline's exposed communication time: the reduction was not
+    // finished when the consumer asked for it.
+    obs::TraceScope span("allreduce_wait", 0.0, &collective_wait(), seq);
+    queue_->cv.wait(lk, [this] { return done; });
+  }
+  if (!consumed) {
+    consumed = true;
+    if (error == nullptr) {
+      std::copy(buf.begin(), buf.end(), dst_);
+      if (overlapped) {
+        stats_->overlapped_words += buf.size();
+      }
+    }
+  }
+  if (error != nullptr) {
+    std::rethrow_exception(error);
+  }
+}
+
+bool ThreadPendingOp::test() {
+  std::lock_guard<std::mutex> lk(queue_->mu);
+  return done;
+}
+
 }  // namespace detail
 
+using detail::AsyncQueue;
 using detail::GroupState;
+using detail::ThreadPendingOp;
 
 ThreadComm::ThreadComm(int rank, int size, GroupState* state)
     : rank_(rank), size_(size), state_(state) {}
 
+ThreadComm::~ThreadComm() {
+  if (async_ == nullptr) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(async_->mu);
+    async_->stop = true;
+  }
+  async_->cv.notify_all();
+  async_->worker.join();
+}
+
 void ThreadComm::rendezvous(const char* what) {
   state_->rendezvous.arrive_and_wait(rank_, state_->check.timeout_ms, what);
+}
+
+void ThreadComm::quiesce() {
+  if (async_ == nullptr) {
+    return;
+  }
+  std::unique_lock<std::mutex> lk(async_->mu);
+  if (async_->pending.empty()) {
+    return;
+  }
+  // Drain time shows up as plain wait: the caller issued a blocking
+  // collective with reductions still in flight.
+  obs::TraceScope span(aux_mode() ? "aux_wait" : "allreduce_wait");
+  async_->cv.wait(lk, [this] { return async_->pending.empty(); });
+}
+
+void ThreadComm::async_worker() {
+  // Attribute the progress thread's spans and log lines to its rank.
+  obs::set_thread_rank(rank_);
+  set_log_rank(rank_);
+  std::unique_lock<std::mutex> lk(async_->mu);
+  for (;;) {
+    async_->cv.wait(lk,
+                    [this] { return async_->stop || !async_->pending.empty(); });
+    if (async_->pending.empty()) {
+      if (async_->stop) {
+        return;  // drained and told to stop
+      }
+      continue;
+    }
+    // Keep the op at the front while it runs: pending.empty() must mean
+    // "no reduction in flight" for quiesce().
+    std::shared_ptr<ThreadPendingOp> op = async_->pending.front();
+    lk.unlock();
+    std::exception_ptr err = nullptr;
+    try {
+      execute_async(*op);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lk.lock();
+    op->error = err;
+    op->done = true;
+    async_->pending.pop_front();
+    async_->cv.notify_all();
+  }
+}
+
+void ThreadComm::execute_async(ThreadPendingOp& op) {
+  // The reduction span keeps the blocking path's name so the
+  // "allreduce spans == allreduce calls" invariant holds for async runs
+  // too; the inner publish/reduce waits are untimed (timed=false) because
+  // progress-thread idle time is overlap, not caller blocking.
+  obs::TraceScope span("allreduce", static_cast<double>(op.buf.size()),
+                       &allreduce_latency(), op.seq);
+  const std::span<double> payload(op.buf.data(), op.buf.size());
+  if (state_->algo == AllreduceAlgo::kRecursiveDoubling &&
+      (size_ & (size_ - 1)) == 0) {
+    allreduce_recursive_doubling(payload, op.use_max, op.seq, /*timed=*/false);
+  } else {
+    allreduce_central(payload, op.use_max, op.seq, /*timed=*/false);
+  }
+}
+
+CommHandle ThreadComm::post_iallreduce(std::span<double> inout, bool use_max,
+                                       const std::source_location& site) {
+  if (aux_mode()) {
+    // Aux traffic never overlaps: degrade to the blocking path (which
+    // emits the aux span names and skips stats).
+    if (use_max) {
+      allreduce_max(inout, site);
+    } else {
+      allreduce_sum(inout, site);
+    }
+    return CommHandle(std::make_shared<detail::CompletedOp>(inout.size()));
+  }
+  const std::int64_t seq = next_span_seq();
+  obs::TraceScope span("allreduce_post", static_cast<double>(inout.size()),
+                       nullptr, seq);
+  contract_check(use_max ? check::CollectiveKind::kIallreduceMax
+                         : check::CollectiveKind::kIallreduceSum,
+                 inout.size(), 0, site);
+  if (use_max) {
+    ++stats_.allreduce_max_calls;
+  } else {
+    ++stats_.allreduce_calls;
+  }
+  stats_.allreduce_words += inout.size();
+  stats_.max_payload_words =
+      std::max<std::uint64_t>(stats_.max_payload_words, inout.size());
+  if (async_ == nullptr) {
+    async_ = std::make_shared<AsyncQueue>();
+    async_->worker = std::thread([this] { async_worker(); });
+  }
+  auto op = std::make_shared<ThreadPendingOp>(async_, &stats_, inout, use_max,
+                                              seq);
+  {
+    std::lock_guard<std::mutex> lk(async_->mu);
+    async_->pending.push_back(op);
+  }
+  async_->cv.notify_all();
+  return CommHandle(std::move(op));
+}
+
+CommHandle ThreadComm::iallreduce_sum(std::span<double> inout,
+                                      std::source_location site) {
+  return post_iallreduce(inout, /*use_max=*/false, site);
+}
+
+CommHandle ThreadComm::iallreduce_max(std::span<double> inout,
+                                      std::source_location site) {
+  return post_iallreduce(inout, /*use_max=*/true, site);
 }
 
 void ThreadComm::contract_check(check::CollectiveKind kind, std::size_t words,
@@ -120,6 +323,7 @@ std::int64_t ThreadComm::next_span_seq() {
 }
 
 void ThreadComm::barrier(std::source_location site) {
+  quiesce();
   const std::int64_t seq = next_span_seq();
   obs::TraceScope span(aux_mode() ? "aux_collective" : "barrier_wait", 0.0,
                        aux_mode() ? nullptr : &barrier_wait(), seq);
@@ -132,6 +336,7 @@ void ThreadComm::barrier(std::source_location site) {
 
 void ThreadComm::allreduce_sum(std::span<double> inout,
                                std::source_location site) {
+  quiesce();
   const std::int64_t seq = next_span_seq();
   obs::TraceScope span(aux_mode() ? "aux_collective" : "allreduce",
                        static_cast<double>(inout.size()),
@@ -153,6 +358,7 @@ void ThreadComm::allreduce_sum(std::span<double> inout,
 
 void ThreadComm::allreduce_max(std::span<double> inout,
                                std::source_location site) {
+  quiesce();
   const std::int64_t seq = next_span_seq();
   obs::TraceScope span(aux_mode() ? "aux_collective" : "allreduce",
                        static_cast<double>(inout.size()),
@@ -173,14 +379,19 @@ void ThreadComm::allreduce_max(std::span<double> inout,
 }
 
 void ThreadComm::allreduce_central(std::span<double> inout, bool use_max,
-                                   std::int64_t seq) {
+                                   std::int64_t seq, bool timed) {
   GroupState& st = *state_;
   st.publish[as_index(rank_)] = inout.data();
   st.publish_len[as_index(rank_)] = inout.size();
   {
     // Time waiting for the slowest rank to publish: the skew signal.
-    obs::TraceScope wait(aux_mode() ? "aux_wait" : "allreduce_wait", 0.0,
-                         aux_mode() ? nullptr : &collective_wait(), seq);
+    // Untimed on the async progress thread -- its idle time is overlap,
+    // not caller blocking, and must not pollute the skew histograms.
+    std::optional<obs::TraceScope> wait;
+    if (timed) {
+      wait.emplace(aux_mode() ? "aux_wait" : "allreduce_wait", 0.0,
+                   aux_mode() ? nullptr : &collective_wait(), seq);
+    }
     rendezvous("allreduce:publish");
   }
   if (rank_ == 0) {
@@ -203,8 +414,11 @@ void ThreadComm::allreduce_central(std::span<double> inout, bool use_max,
   }
   {
     // Time blocked on the reduction itself (rank 0's serial combine).
-    obs::TraceScope wait(aux_mode() ? "aux_wait" : "reduce_wait", 0.0,
-                         aux_mode() ? nullptr : &reduce_wait(), seq);
+    std::optional<obs::TraceScope> wait;
+    if (timed) {
+      wait.emplace(aux_mode() ? "aux_wait" : "reduce_wait", 0.0,
+                   aux_mode() ? nullptr : &reduce_wait(), seq);
+    }
     rendezvous("allreduce:reduce");
   }
   std::copy(st.scratch.begin(), st.scratch.end(), inout.begin());
@@ -212,15 +426,19 @@ void ThreadComm::allreduce_central(std::span<double> inout, bool use_max,
 }
 
 void ThreadComm::allreduce_recursive_doubling(std::span<double> inout,
-                                              bool use_max, std::int64_t seq) {
+                                              bool use_max, std::int64_t seq,
+                                              bool timed) {
   GroupState& st = *state_;
   const std::size_t n = inout.size();
   auto* cur = &st.work_a;
   auto* nxt = &st.work_b;
   (*cur)[as_index(rank_)].assign(inout.begin(), inout.end());
   {
-    obs::TraceScope wait(aux_mode() ? "aux_wait" : "allreduce_wait", 0.0,
-                         aux_mode() ? nullptr : &collective_wait(), seq);
+    std::optional<obs::TraceScope> wait;
+    if (timed) {
+      wait.emplace(aux_mode() ? "aux_wait" : "allreduce_wait", 0.0,
+                   aux_mode() ? nullptr : &collective_wait(), seq);
+    }
     rendezvous("allreduce:publish");
   }
   for (int stride = 1; stride < size_; stride <<= 1) {
@@ -239,8 +457,11 @@ void ThreadComm::allreduce_recursive_doubling(std::span<double> inout,
     }
     {
       // Time blocked on the partner's pairwise stage.
-      obs::TraceScope wait(aux_mode() ? "aux_wait" : "reduce_wait", 0.0,
-                           aux_mode() ? nullptr : &reduce_wait(), seq);
+      std::optional<obs::TraceScope> wait;
+      if (timed) {
+        wait.emplace(aux_mode() ? "aux_wait" : "reduce_wait", 0.0,
+                     aux_mode() ? nullptr : &reduce_wait(), seq);
+      }
       rendezvous("allreduce:exchange");
     }
     std::swap(cur, nxt);
@@ -252,6 +473,7 @@ void ThreadComm::allreduce_recursive_doubling(std::span<double> inout,
 
 void ThreadComm::broadcast(std::span<double> buffer, int root,
                            std::source_location site) {
+  quiesce();
   RCF_CHECK_MSG(root >= 0 && root < size_, "broadcast: bad root");
   const std::int64_t seq = next_span_seq();
   obs::TraceScope span(aux_mode() ? "aux_collective" : "broadcast",
@@ -282,6 +504,7 @@ void ThreadComm::broadcast(std::span<double> buffer, int root,
 void ThreadComm::allgather(std::span<const double> input,
                            std::span<double> output,
                            std::source_location site) {
+  quiesce();
   RCF_CHECK_MSG(output.size() == input.size() * as_index(size_),
                 "allgather: output size must be size() * input size");
   const std::int64_t seq = next_span_seq();

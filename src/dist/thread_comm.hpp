@@ -43,13 +43,19 @@ enum class AllreduceAlgo {
 
 namespace detail {
 struct GroupState;
-}
+struct AsyncQueue;
+class ThreadPendingOp;
+}  // namespace detail
 
 /// One rank's endpoint into a thread group.  Created by ThreadGroup::run;
 /// valid only inside the SPMD body.
 class ThreadComm final : public Communicator {
  public:
   ThreadComm(int rank, int size, detail::GroupState* state);
+  /// Joins this endpoint's async progress thread (if one was started),
+  /// draining any still-pending nonblocking collectives first so the other
+  /// ranks' schedules stay matched even when a handle was dropped.
+  ~ThreadComm() override;
 
   [[nodiscard]] int rank() const override { return rank_; }
   [[nodiscard]] int size() const override { return size_; }
@@ -67,14 +73,45 @@ class ThreadComm final : public Communicator {
       std::source_location site = std::source_location::current()) override;
   void barrier(
       std::source_location site = std::source_location::current()) override;
+  // Nonblocking allreduce: the post snapshots the payload, fingerprints and
+  // counts it on the calling thread, then hands the reduction to this
+  // endpoint's background progress thread (lazily started on first post;
+  // it drives the same rendezvous schedule as the blocking path, so
+  // in-flight ops of all ranks make progress without any rank waiting).
+  // The result lands in `inout` at the first successful wait().  Blocking
+  // collectives quiesce the queue first, so mixed programs keep every
+  // rank's rendezvous generations aligned.
+  CommHandle iallreduce_sum(
+      std::span<double> inout,
+      std::source_location site = std::source_location::current()) override;
+  CommHandle iallreduce_max(
+      std::span<double> inout,
+      std::source_location site = std::source_location::current()) override;
   [[nodiscard]] const CommStats& stats() const override { return stats_; }
   [[nodiscard]] std::string backend_name() const override { return "thread"; }
 
  private:
+  friend class detail::ThreadPendingOp;
+
   void allreduce_central(std::span<double> inout, bool use_max,
-                         std::int64_t seq);
+                         std::int64_t seq, bool timed = true);
   void allreduce_recursive_doubling(std::span<double> inout, bool use_max,
-                                    std::int64_t seq);
+                                    std::int64_t seq, bool timed = true);
+  /// Shared body of the iallreduce posts.
+  CommHandle post_iallreduce(std::span<double> inout, bool use_max,
+                             const std::source_location& site);
+  /// Blocks until this endpoint's async queue is empty.  Every blocking
+  /// collective calls this first: the SPMD programs are identical across
+  /// ranks, so each rank quiesces at the same point of the global
+  /// collective order and the rendezvous barrier never sees two threads of
+  /// one rank at different generations.
+  void quiesce();
+  /// Runs one queued op's reduction (progress-thread context; spans are
+  /// emitted under this endpoint's rank).
+  void execute_async(detail::ThreadPendingOp& op);
+  /// Progress-thread main loop: pops ops FIFO and executes them; drains
+  /// the queue before honoring shutdown.
+  void async_worker();
   /// Data-movement rendezvous (stall-timeout bounded).
   void rendezvous(const char* what);
   /// Contract-checker hook: fingerprints + cross-checks the collective
@@ -93,6 +130,10 @@ class ThreadComm final : public Communicator {
   CommStats stats_;
   check::SequenceTracker tracker_;
   std::int64_t collective_seq_ = 0;
+  /// Async post queue + progress thread; null until the first post.
+  /// shared_ptr because in-flight ops co-own the queue's synchronization
+  /// primitives (a wait on a completed handle stays safe even mid-teardown).
+  std::shared_ptr<detail::AsyncQueue> async_;
 };
 
 /// Owns the shared state of a thread world and launches SPMD bodies.

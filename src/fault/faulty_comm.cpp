@@ -33,6 +33,9 @@ FaultyComm::FaultyComm(dist::Communicator& inner, const FaultPlan* plan)
     if (spec.rank >= 0 && spec.rank != inner_.rank()) {
       continue;
     }
+    if (spec.stage == FaultStage::kWait) {
+      has_wait_specs_ = true;
+    }
     armed_.push_back(Armed{spec, 0});
   }
 }
@@ -53,7 +56,7 @@ bool FaultyComm::Armed::matches(std::uint64_t call) const {
 void FaultyComm::before_collective(std::span<double> payload) {
   const std::uint64_t call = calls_;
   for (Armed& a : armed_) {
-    if (!a.matches(call)) {
+    if (a.spec.stage != FaultStage::kPost || !a.matches(call)) {
       continue;
     }
     switch (a.spec.kind) {
@@ -116,6 +119,99 @@ void FaultyComm::before_collective(std::span<double> payload) {
         break;  // filtered out in the constructor.
     }
   }
+}
+
+void FaultyComm::before_wait(std::uint64_t call) {
+  for (Armed& a : armed_) {
+    if (a.spec.stage != FaultStage::kWait || !a.matches(call)) {
+      continue;
+    }
+    switch (a.spec.kind) {
+      case FaultKind::kDelay:
+        ++a.fired;
+        ++injected_;
+        sleep_us(a.spec.us);
+        break;
+      case FaultKind::kSkew: {
+        ++a.fired;
+        ++injected_;
+        Rng rng(a.spec.seed,
+                (call << 16) ^ static_cast<std::uint64_t>(inner_.rank()));
+        sleep_us(rng.uniform_index(a.spec.us));
+        break;
+      }
+      case FaultKind::kTransient:
+        // Thrown *before* the inner wait: the completion attempt failed
+        // but the in-flight reduction is untouched, so re-waiting (which
+        // dist::RetryingComm's wait path does) is safe and idempotent.
+        ++a.fired;
+        ++injected_;
+        throw dist::TransientCommFailure(
+            "injected transient completion failure on rank " +
+            std::to_string(inner_.rank()) + " at collective call " +
+            std::to_string(call));
+      case FaultKind::kAbort:
+        ++a.fired;
+        ++injected_;
+        throw FaultAbort("injected abort on rank " +
+                         std::to_string(inner_.rank()) +
+                         " while waiting collective call " +
+                         std::to_string(call));
+      default:
+        break;  // corruption kinds are post-only (rejected by the parser).
+    }
+  }
+}
+
+/// Handle wrapper firing wait-stage faults against the in-flight
+/// collective: every wait attempt first runs the plan for this op's call
+/// index, then enters the inner wait.
+class FaultWaitOp final : public dist::detail::PendingOp {
+ public:
+  FaultWaitOp(FaultyComm* owner, std::shared_ptr<dist::detail::PendingOp> inner,
+              std::uint64_t call)
+      : owner_(owner), inner_(std::move(inner)), call_(call) {}
+
+  void wait() override {
+    owner_->before_wait(call_);
+    inner_->wait();
+  }
+  [[nodiscard]] bool test() override { return inner_->test(); }
+  [[nodiscard]] std::size_t words() const override { return inner_->words(); }
+
+ private:
+  FaultyComm* owner_;
+  std::shared_ptr<dist::detail::PendingOp> inner_;
+  std::uint64_t call_;
+};
+
+dist::CommHandle FaultyComm::post_iallreduce(std::span<double> inout,
+                                             bool use_max,
+                                             const std::source_location& site) {
+  if (aux_mode()) {
+    AuxScope fwd(inner_);
+    return use_max ? inner_.iallreduce_max(inout, site)
+                   : inner_.iallreduce_sum(inout, site);
+  }
+  before_collective(inout);
+  dist::CommHandle handle = use_max ? inner_.iallreduce_max(inout, site)
+                                    : inner_.iallreduce_sum(inout, site);
+  const std::uint64_t call = calls_++;
+  if (!has_wait_specs_ || !handle.valid()) {
+    return handle;
+  }
+  return dist::CommHandle(
+      std::make_shared<FaultWaitOp>(this, handle.op(), call));
+}
+
+dist::CommHandle FaultyComm::iallreduce_sum(std::span<double> inout,
+                                            std::source_location site) {
+  return post_iallreduce(inout, /*use_max=*/false, site);
+}
+
+dist::CommHandle FaultyComm::iallreduce_max(std::span<double> inout,
+                                            std::source_location site) {
+  return post_iallreduce(inout, /*use_max=*/true, site);
 }
 
 void FaultyComm::allreduce_sum(std::span<double> inout,

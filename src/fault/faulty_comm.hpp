@@ -53,6 +53,18 @@ class FaultyComm final : public dist::Communicator {
       std::source_location site = std::source_location::current()) override;
   void barrier(
       std::source_location site = std::source_location::current()) override;
+  // Nonblocking posts: stage=post faults (the default) fire before the
+  // inner post exactly like the blocking path -- a transient thrown here
+  // never reaches the inner communicator, so a retried post stays clean
+  // downstream.  stage=wait faults fire inside the returned handle's
+  // wait(), against the in-flight collective; the call index they match is
+  // the one assigned at post.
+  dist::CommHandle iallreduce_sum(
+      std::span<double> inout,
+      std::source_location site = std::source_location::current()) override;
+  dist::CommHandle iallreduce_max(
+      std::span<double> inout,
+      std::source_location site = std::source_location::current()) override;
   /// Inner stats with this decorator's injection count folded in.
   [[nodiscard]] const dist::CommStats& stats() const override;
   [[nodiscard]] std::string backend_name() const override {
@@ -70,14 +82,24 @@ class FaultyComm final : public dist::Communicator {
     [[nodiscard]] bool matches(std::uint64_t call) const;
   };
 
-  /// Applies the faults due at the current call index.  `payload` is the
-  /// mutable input buffer for corruption kinds (empty for collectives
-  /// without an in-place payload).  Throws for transient/abort kinds;
-  /// otherwise returns after any delays/corruption.
+  friend class FaultWaitOp;
+
+  /// Applies the stage=post faults due at the current call index.
+  /// `payload` is the mutable input buffer for corruption kinds (empty for
+  /// collectives without an in-place payload).  Throws for transient/abort
+  /// kinds; otherwise returns after any delays/corruption.
   void before_collective(std::span<double> payload);
+  /// Applies the stage=wait faults matching `call` (re-evaluated on every
+  /// wait attempt, so a retried wait counts down a spec's `count` budget
+  /// the same way retried posts do).  Throws for transient/abort kinds.
+  void before_wait(std::uint64_t call);
+  /// Shared body of the iallreduce posts.
+  dist::CommHandle post_iallreduce(std::span<double> inout, bool use_max,
+                                   const std::source_location& site);
 
   dist::Communicator& inner_;
   std::vector<Armed> armed_;
+  bool has_wait_specs_ = false;  ///< any armed spec with stage=wait.
   std::uint64_t calls_ = 0;     ///< completed engine-space collectives.
   std::uint64_t injected_ = 0;
   mutable dist::CommStats merged_;

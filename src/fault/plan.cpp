@@ -93,6 +93,14 @@ FaultSpec parse_clause(std::string_view clause) {
       spec.bit = static_cast<std::uint32_t>(parse_u64(clause, value));
     } else if (key == "seed") {
       spec.seed = parse_u64(clause, value);
+    } else if (key == "stage") {
+      if (value == "post") {
+        spec.stage = FaultStage::kPost;
+      } else if (value == "wait") {
+        spec.stage = FaultStage::kWait;
+      } else {
+        parse_error(clause, "stage must be 'post' or 'wait'");
+      }
     } else if (key == "at") {
       has_at = true;
       spec.at = std::string(value);
@@ -130,6 +138,19 @@ FaultSpec parse_clause(std::string_view clause) {
     case FaultKind::kAbort:
     case FaultKind::kIterAbort:
       break;
+  }
+  if (spec.stage == FaultStage::kWait) {
+    switch (spec.kind) {
+      case FaultKind::kDelay:
+      case FaultKind::kSkew:
+      case FaultKind::kTransient:
+      case FaultKind::kAbort:
+        break;
+      default:
+        parse_error(clause,
+                    "stage=wait applies only to delay/skew/transient/abort "
+                    "(the payload snapshot is already taken by wait time)");
+    }
   }
   // Single-shot default for the kinds that break something; a delay or a
   // skew left unbounded models a persistently slow rank.
@@ -225,6 +246,9 @@ std::string describe(const FaultPlan& plan) {
       if (s.kind == FaultKind::kBitFlip) {
         out += ",word=" + std::to_string(s.word) +
                ",bit=" + std::to_string(s.bit);
+      }
+      if (s.stage == FaultStage::kWait) {
+        out += ",stage=wait";
       }
     }
     out += ")";

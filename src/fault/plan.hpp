@@ -58,6 +58,19 @@ enum class FaultKind {
   kIterAbort,  ///< throw FaultAbort at a named iteration_point().
 };
 
+/// When a spec fires relative to a nonblocking collective: kPost faults
+/// (the default, and the only stage blocking collectives have) fire before
+/// the inner post; kWait faults fire inside the handle's wait() -- i.e.
+/// against the *in-flight* collective, after the schedule already posted
+/// it.  Wait-stage delay/skew model a straggling completion; wait-stage
+/// transient/abort model a reduction that fails after posting (the
+/// dist::RetryingComm wait path absorbs transients).  Corruption kinds are
+/// post-only: the payload snapshot has already been taken by wait time.
+enum class FaultStage {
+  kPost,
+  kWait,
+};
+
 /// One declarative fault.  Matching: a spec fires on rank `rank` (or every
 /// rank when rank < 0) at engine-collective call indices selected by
 /// `call` (exact index, counted per rank from 0) or `every` (fires when
@@ -66,6 +79,7 @@ enum class FaultKind {
 /// a single shot, delay/skew to unlimited).
 struct FaultSpec {
   FaultKind kind = FaultKind::kDelay;
+  FaultStage stage = FaultStage::kPost;  ///< see FaultStage.
   int rank = -1;                      ///< target rank; -1 = all ranks.
   std::optional<std::uint64_t> call;  ///< exact call index.
   std::uint64_t every = 0;            ///< fire every Nth call (0 = off).

@@ -75,4 +75,29 @@ double s_bound(const AlgorithmShape& shape, const MachineSpec& spec) {
   return spec.beta * shape.n_iters * lg / spec.gamma;
 }
 
+double pipelined_overlap_fraction(const AlgorithmShape& shape,
+                                  const MachineSpec& spec, int staleness) {
+  RCF_CHECK_MSG(shape.k >= 1.0, "overlap: k must be >= 1");
+  RCF_CHECK_MSG(staleness >= 0, "overlap: staleness must be >= 0");
+  const double lg = std::ceil(log2p(shape.p));
+  // One chunk's reduction: a k-block [H|R] allreduce under the paper's
+  // log P collective model.
+  const double chunk_words =
+      shape.k * (shape.d * shape.d + shape.d) * lg;
+  const double t_reduce =
+      spec.alpha_effective() * lg + spec.beta * chunk_words;
+  if (t_reduce <= 0.0) {
+    return 1.0;  // P = 1: the local reduction is free, nothing is exposed.
+  }
+  // Compute the main thread performs between post and first wait: the next
+  // staleness + 1 chunk builds plus staleness chunks of update sweeps.
+  const double build_flops =
+      shape.k * shape.d * shape.d * shape.m_bar * shape.fill / shape.p;
+  const double update_flops = shape.k * shape.s * shape.d * shape.d;
+  const double t_hide =
+      spec.gamma * ((staleness + 1) * build_flops + staleness * update_flops);
+  const double fraction = t_hide / t_reduce;
+  return fraction > 1.0 ? 1.0 : (fraction < 0.0 ? 0.0 : fraction);
+}
+
 }  // namespace rcf::model

@@ -62,4 +62,19 @@ struct CostTriple {
 [[nodiscard]] double s_bound(const AlgorithmShape& shape,
                              const MachineSpec& spec);
 
+/// Predicted fraction of one chunk-reduction's time hidden behind compute
+/// by the nonblocking [H|R] pipeline (core/distributed.cpp, pipeline mode).
+///
+/// Between posting chunk t's iallreduce and first waiting on it, the main
+/// thread builds the next staleness + 1 chunks' Gram blocks and runs
+/// staleness chunks of update sweeps; the reduction itself costs the
+/// alpha-beta time of one k-block allreduce.  The returned value is
+/// clamp(T_hide / T_reduce, 0, 1): 1 means the model expects the wait to
+/// always find the reduction complete (exposed comm ~ 0), 0 means no
+/// overlap (the blocking schedule).  P = 1 reduces locally in negligible
+/// time and reports 1.
+[[nodiscard]] double pipelined_overlap_fraction(const AlgorithmShape& shape,
+                                                const MachineSpec& spec,
+                                                int staleness);
+
 }  // namespace rcf::model

@@ -39,18 +39,18 @@ double mean_of(const std::vector<CostLedgerRow>& rows,
 void CostLedger::add(const std::string& label,
                      const model::AlgorithmShape& shape,
                      const model::CostTracker& measured,
-                     const PhaseSummary* phases) {
+                     const PhaseSummary* phases, const OverlapCredit* overlap) {
   const model::CostTriple predicted = model::rcsfista_cost(shape);
   const double rounds =
       shape.k > 0 ? std::ceil(shape.n_iters / shape.k) : shape.n_iters;
-  add(label, predicted, rounds, measured, phases);
+  add(label, predicted, rounds, measured, phases, overlap);
 }
 
 void CostLedger::add(const std::string& label,
                      const model::CostTriple& predicted,
                      double predicted_rounds,
                      const model::CostTracker& measured,
-                     const PhaseSummary* phases) {
+                     const PhaseSummary* phases, const OverlapCredit* overlap) {
   CostLedgerRow row;
   row.label = sanitize_label(label);
   row.pred_latency_msgs = predicted.latency_msgs;
@@ -60,9 +60,17 @@ void CostLedger::add(const std::string& label,
   row.pred_seconds = model::runtime(predicted, spec_);
   // The alpha-beta slice of Eq. 7: what the machine model says the
   // communication alone should cost.  Compared against the wall seconds of
-  // the "allreduce" phase when the run was traced.
+  // the "allreduce" phase when the run was traced.  A pipelined row keeps
+  // only the *exposed* fraction: the overlap credit scales the prediction,
+  // and the measurement comes from the allreduce_wait phase below.
   row.pred_comm_seconds = spec_.alpha_effective() * predicted.latency_msgs +
                           spec_.beta * predicted.bandwidth_words;
+  if (overlap != nullptr) {
+    row.pipelined = true;
+    row.pred_overlap = std::clamp(overlap->predicted, 0.0, 1.0);
+    row.meas_overlap = std::clamp(overlap->measured, 0.0, 1.0);
+    row.pred_comm_seconds *= 1.0 - row.pred_overlap;
+  }
   row.meas_latency_msgs = measured.messages();
   row.meas_bw_words = measured.words();
   row.meas_flops = measured.flops();
@@ -72,6 +80,15 @@ void CostLedger::add(const std::string& label,
       if (allreduce->seconds > 0.0) {
         row.meas_comm_seconds = allreduce->seconds;
         row.meas_comm_is_wall = true;
+      }
+    } else if (const PhaseStat* post =
+                   find_phase(*phases, "allreduce_post")) {
+      // Pipelined runs split the collective: posts carry the round count,
+      // waits carry the exposed communication wall time.
+      row.meas_rounds = static_cast<double>(post->count);
+      if (const PhaseStat* wait = find_phase(*phases, "allreduce_wait")) {
+        row.meas_comm_seconds = wait->seconds + post->seconds;
+        row.meas_comm_is_wall = row.meas_comm_seconds > 0.0;
       }
     }
     double wall = 0.0;
@@ -152,7 +169,8 @@ double CostLedger::mean_seconds_err() const {
 std::string CostLedger::table() const {
   AsciiTable tbl({"config", "rounds p/m", "L pred", "L meas", "L err",
                   "W pred", "W meas", "W err", "F pred", "F meas", "F err",
-                  "Tc pred(s)", "Tc meas(s)", "T pred(s)", "T meas(s)"});
+                  "ov p/m", "Tc pred(s)", "Tc meas(s)", "T pred(s)",
+                  "T meas(s)"});
   for (const auto& r : rows_) {
     tbl.add_row({r.label,
                  fmt_g(r.pred_rounds, 3) + "/" + fmt_g(r.meas_rounds, 3),
@@ -160,7 +178,11 @@ std::string CostLedger::table() const {
                  fmt_f(r.latency_err, 3), fmt_g(r.pred_bw_words, 3),
                  fmt_g(r.meas_bw_words, 3), fmt_f(r.bw_err, 3),
                  fmt_g(r.pred_flops, 3), fmt_g(r.meas_flops, 3),
-                 fmt_f(r.flops_err, 3), fmt_e(r.pred_comm_seconds, 2),
+                 fmt_f(r.flops_err, 3),
+                 r.pipelined ? fmt_f(r.pred_overlap, 2) + "/" +
+                                   fmt_f(r.meas_overlap, 2)
+                             : std::string("-"),
+                 fmt_e(r.pred_comm_seconds, 2),
                  fmt_e(r.meas_comm_seconds, 2) +
                      (r.meas_comm_is_wall ? "" : "*"),
                  fmt_e(r.pred_seconds, 2), fmt_e(r.meas_seconds, 2)});
@@ -168,8 +190,9 @@ std::string CostLedger::table() const {
   std::ostringstream out;
   out << "cost model (" << spec_.name << "): predicted vs measured\n"
       << tbl.str()
-      << "(Tc = alpha_eff*L + beta*W; '*' marks modeled rather than "
-         "wall-measured comm seconds)\n";
+      << "(Tc = alpha_eff*L + beta*W, scaled by 1 - overlap on pipelined "
+         "rows; 'ov p/m' = predicted/measured overlap fraction; '*' marks "
+         "modeled rather than wall-measured comm seconds)\n";
   return out.str();
 }
 
@@ -201,6 +224,10 @@ void CostLedger::export_metrics(MetricsRegistry& registry) const {
     registry.gauge(base + "flops_err").set(r.flops_err);
     registry.gauge(base + "comm_err").set(r.comm_err);
     registry.gauge(base + "seconds_err").set(r.seconds_err);
+    if (r.pipelined) {
+      registry.gauge(base + "overlap.pred").set(r.pred_overlap);
+      registry.gauge(base + "overlap.meas").set(r.meas_overlap);
+    }
   }
 }
 

@@ -47,11 +47,23 @@ struct CostLedgerRow {
 
   // Communication-time validation: the alpha-beta part of Eq. 7
   // (alpha_eff * L + beta * W) next to the wall seconds actually spent in
-  // the "allreduce" phase of a traced run.  meas_comm_seconds stays 0 (and
-  // comm_err is not meaningful) when no phase summary was supplied.
+  // the "allreduce" phase of a traced run -- or, for pipelined rows, the
+  // "allreduce_wait" phase (the *exposed* communication; posting is free).
+  // meas_comm_seconds stays 0 (and comm_err is not meaningful) when no
+  // phase summary was supplied.
   double pred_comm_seconds = 0.0;
   double meas_comm_seconds = 0.0;
   bool meas_comm_is_wall = false;
+
+  // Overlap credit (pipelined rows only).  pred_overlap is the modeled
+  // fraction of each chunk reduction hidden behind compute
+  // (model::pipelined_overlap_fraction); meas_overlap is the run's
+  // overlapped_words / allreduce_words (CommStats).  pred_comm_seconds is
+  // scaled by (1 - pred_overlap) on these rows, so comm_err compares the
+  // predicted *exposed* comm time against the measured wait wall time.
+  bool pipelined = false;
+  double pred_overlap = 0.0;
+  double meas_overlap = 0.0;
 
   // Relative errors |meas - pred| / max(|pred|, eps).
   double latency_err = 0.0;
@@ -61,6 +73,12 @@ struct CostLedgerRow {
   double seconds_err = 0.0;  ///< total seconds, only when meas_seconds_is_wall
 };
 
+/// Overlap efficiency pair for a pipelined row (see CostLedgerRow).
+struct OverlapCredit {
+  double predicted = 0.0;  ///< model::pipelined_overlap_fraction, in [0, 1]
+  double measured = 0.0;   ///< overlapped_words / allreduce_words, in [0, 1]
+};
+
 /// Accumulates predicted-vs-measured rows for one machine model.
 class CostLedger {
  public:
@@ -68,16 +86,21 @@ class CostLedger {
 
   /// Adds a row predicted from the RC-SFISTA closed form for `shape`
   /// (Table 1: L = (N/k) log2 P, W = N d^2 log2 P, F = N d^2 mbar f / P +
-  /// S d^2; rounds = ceil(N/k)).
+  /// S d^2; rounds = ceil(N/k)).  Pass `overlap` for a pipelined run: the
+  /// row then credits the overlap in its predicted comm seconds and reads
+  /// its measured rounds / comm wall from the allreduce_post /
+  /// allreduce_wait phase pair.
   void add(const std::string& label, const model::AlgorithmShape& shape,
            const model::CostTracker& measured,
-           const PhaseSummary* phases = nullptr);
+           const PhaseSummary* phases = nullptr,
+           const OverlapCredit* overlap = nullptr);
 
   /// Adds a row with an explicit predicted triple (for baselines or
   /// per-iteration flop conventions that differ from the closed form).
   void add(const std::string& label, const model::CostTriple& predicted,
            double predicted_rounds, const model::CostTracker& measured,
-           const PhaseSummary* phases = nullptr);
+           const PhaseSummary* phases = nullptr,
+           const OverlapCredit* overlap = nullptr);
 
   [[nodiscard]] const std::vector<CostLedgerRow>& rows() const {
     return rows_;
@@ -103,6 +126,7 @@ class CostLedger {
   ///     comm/seconds residuals cover only wall-measured rows)
   ///   model.<label>.{latency,bw,flops,rounds,seconds,comm_seconds}.{pred,meas}
   ///   model.<label>.{latency_err,bw_err,flops_err,comm_err,seconds_err}
+  ///   model.<label>.overlap.{pred,meas}  (pipelined rows only)
   void export_metrics(MetricsRegistry& registry) const;
 
  private:

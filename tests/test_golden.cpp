@@ -232,6 +232,55 @@ TEST(Golden, RcSfistaFourRankAgreesWithFixture) {
 }
 
 // ---------------------------------------------------------------------------
+// Chunk-pipelined RC-SFISTA (nonblocking iallreduce path).
+
+SolveResult run_rcsfista_pipelined(int staleness) {
+  const auto dataset = golden_dataset();
+  const LassoProblem problem(dataset, 0.005);
+  SolverOptions opts;
+  opts.max_iters = 48;
+  opts.sampling_rate = 0.2;
+  opts.k = 4;
+  opts.s = 2;
+  opts.seed = 42;
+  opts.track_history = false;
+  opts.pipeline = true;
+  opts.staleness = staleness;
+  dist::ThreadGroup group(4);
+  return solve_rc_sfista_distributed(problem, opts, group);
+}
+
+TEST(Golden, PipelinedFourRankAgreesWithFixture) {
+  // Staleness 0 replays the blocking reduction schedule exactly, so the
+  // pipelined path inherits the blocking path's 1e-9 agreement with the
+  // sequential fixture (reduction-order effects only).
+  Trajectory want;
+  if (regen_requested()) {
+    GTEST_SKIP() << "regen run";
+  }
+  ASSERT_TRUE(load_fixture("rcsfista", want));
+  const auto par = run_rcsfista_pipelined(0);
+  ASSERT_TRUE(par.ok()) << par.failure_reason;
+  ASSERT_EQ(want.w.size(), par.w.size());
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < want.w.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(want.w[i] - par.w[i]));
+  }
+  EXPECT_LT(max_diff, 1e-9);
+}
+
+TEST(Golden, PipelinedStalenessTwoMatchesFixture) {
+  // Bounded staleness changes which reduced chunk each update sweep
+  // consumes -- numerically different from blocking, but still a pure
+  // function of (problem, options), so its own fixture pins the 4-rank
+  // S = 2 iterate bitwise (the deterministic-collective contract extended
+  // to the stale pipeline).
+  const auto par = run_rcsfista_pipelined(2);
+  ASSERT_TRUE(par.ok()) << par.failure_reason;
+  check_against_fixture("rcsfista_pipelined_s2", trajectory_of(par));
+}
+
+// ---------------------------------------------------------------------------
 // Proximal Newton (RC-SFISTA inner).
 
 SolveResult run_pn(int threads) {

@@ -107,6 +107,48 @@ TEST(Eq28, DependsOnBetaGammaRatio) {
   EXPECT_DOUBLE_EQ(b1, spec.beta / 2.0 * 100.0 * 4.0 / spec.gamma);
 }
 
+TEST(Overlap, SingleProcessorFullyHidden) {
+  auto s = base_shape();
+  s.p = 1;
+  EXPECT_DOUBLE_EQ(pipelined_overlap_fraction(s, comet(), 0), 1.0);
+}
+
+TEST(Overlap, MonotoneInStalenessAndClamped) {
+  // A latency-dominated machine keeps the fraction strictly inside (0, 1)
+  // at staleness 0, so the staleness ordering is visible before the clamp.
+  auto s = base_shape();
+  MachineSpec spec = comet();
+  spec.alpha_sync = 1e-3;
+  const double f0 = pipelined_overlap_fraction(s, spec, 0);
+  const double f1 = pipelined_overlap_fraction(s, spec, 1);
+  const double f4 = pipelined_overlap_fraction(s, spec, 4);
+  EXPECT_GT(f0, 0.0);
+  EXPECT_LT(f0, 1.0);
+  EXPECT_LT(f0, f1);
+  EXPECT_LE(f1, f4);
+  EXPECT_LE(f4, 1.0);
+  // Deeper staleness adds (build + update) chunks of hide time; with an
+  // enormous hide budget the fraction saturates at 1.
+  EXPECT_DOUBLE_EQ(pipelined_overlap_fraction(s, spec, 1000000), 1.0);
+}
+
+TEST(Overlap, MoreComputePerChunkHidesMore) {
+  auto light = base_shape();
+  auto heavy = base_shape();
+  heavy.m_bar = 50 * light.m_bar;
+  MachineSpec spec = comet();
+  spec.alpha_sync = 1e-4;
+  EXPECT_LT(pipelined_overlap_fraction(light, spec, 0),
+            pipelined_overlap_fraction(heavy, spec, 0));
+}
+
+TEST(Overlap, RejectsBadParameters) {
+  auto s = base_shape();
+  EXPECT_THROW((void)pipelined_overlap_fraction(s, comet(), -1), Error);
+  s.k = 0;
+  EXPECT_THROW((void)pipelined_overlap_fraction(s, comet(), 0), Error);
+}
+
 TEST(Bounds, DegenerateShapesRejected) {
   AlgorithmShape s = base_shape();
   s.p = 0.5;

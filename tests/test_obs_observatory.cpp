@@ -365,6 +365,64 @@ TEST(ObsCostLedger, HandComputedTotalsMatchExportedGauges) {
   EXPECT_NE(ledger.table().find("ksweep_k2"), std::string::npos);
 }
 
+TEST(ObsCostLedger, PipelinedRowCreditsOverlap) {
+  model::AlgorithmShape shape;
+  shape.n_iters = 8;
+  shape.d = 4;
+  shape.m_bar = 10;
+  shape.fill = 0.5;
+  shape.p = 4;
+  shape.k = 2;
+  shape.s = 2;
+  const auto spec = model::machine_by_name("comet");
+  obs::CostLedger ledger(spec);
+
+  model::CostTracker measured;
+  measured.add_flops(model::Phase::kGram, 192.0);
+  measured.add_comm(8.0, 256.0);
+
+  // A pipelined traced run reports the collective as a post/wait phase
+  // pair instead of one "allreduce" phase.
+  obs::PhaseSummary phases;
+  obs::PhaseStat post;
+  post.name = "allreduce_post";
+  post.count = 4;
+  post.seconds = 1e-5;
+  obs::PhaseStat wait;
+  wait.name = "allreduce_wait";
+  wait.count = 4;
+  wait.seconds = 4e-4;
+  phases.push_back(post);
+  phases.push_back(wait);
+
+  obs::OverlapCredit overlap;
+  overlap.predicted = 0.75;
+  overlap.measured = 0.5;
+  ledger.add("pipe.k2", shape, measured, &phases, &overlap);
+
+  ASSERT_EQ(ledger.rows().size(), 1u);
+  const auto& row = ledger.rows()[0];
+  EXPECT_TRUE(row.pipelined);
+  EXPECT_DOUBLE_EQ(row.pred_overlap, 0.75);
+  EXPECT_DOUBLE_EQ(row.meas_overlap, 0.5);
+  // Rounds come from the post count; comm wall is the exposed wait time
+  // plus the (small) post time.
+  EXPECT_DOUBLE_EQ(row.meas_rounds, 4.0);
+  EXPECT_TRUE(row.meas_comm_is_wall);
+  EXPECT_DOUBLE_EQ(row.meas_comm_seconds, 4.1e-4);
+  // The predicted comm seconds keep only the exposed (1 - overlap) slice.
+  const double full_comm =
+      spec.alpha_effective() * 8.0 + spec.beta * 256.0;
+  EXPECT_DOUBLE_EQ(row.pred_comm_seconds, 0.25 * full_comm);
+
+  obs::MetricsRegistry registry;
+  ledger.export_metrics(registry);
+  EXPECT_DOUBLE_EQ(registry.gauge("model.pipe_k2.overlap.pred").value(),
+                   0.75);
+  EXPECT_DOUBLE_EQ(registry.gauge("model.pipe_k2.overlap.meas").value(), 0.5);
+  EXPECT_NE(ledger.table().find("0.75/0.50"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // %r trace-path splitting.
 // ---------------------------------------------------------------------------

@@ -12,17 +12,23 @@
 //     poisoning) must surface a structured SolveResult::failure with a
 //     diagnostic reason -- never a crash, a hang, or a silently wrong w;
 //   * an injected proximal-Newton outer-loop abort plus checkpoint/restore
-//     must resume to the bitwise identical final iterate.
+//     must resume to the bitwise identical final iterate;
+//   * straggler plans aimed at *in-flight* nonblocking collectives
+//     (stage=wait skew/delay against the chunk-pipelined iallreduce path)
+//     must neither perturb the iterate nor trip the contract checker --
+//     a late wait is a performance event, not a correctness event.
 //
 //   rcf-chaos                      # full matrix
 //   rcf-chaos --suite=recover      # recoverable plans only
 //   rcf-chaos --suite=fatal        # fatal plans only
 //   rcf-chaos --suite=resume       # PN abort + checkpoint resume
+//   rcf-chaos --suite=straggler    # stage=wait plans vs the pipelined path
 //   rcf-chaos --list               # print the plan matrix and exit
 #include <algorithm>
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "check/options.hpp"
@@ -59,6 +65,13 @@ struct ChaosCase {
   bool fatal;
   bool expect_faults = true;
   bool expect_retries = false;
+  /// Run through the chunk-pipelined iallreduce path (straggler suite).
+  bool pipelined = false;
+  /// Pipeline staleness S.  Cases with S = 0 must match the *blocking*
+  /// fault-free baseline bitwise; S > 0 cases are compared against a
+  /// fault-free pipelined run at the same S (bounded staleness is
+  /// deterministic, so a straggler must not change the iterate either way).
+  int staleness = 0;
 };
 
 // The soak matrix.  Call indices are per-rank engine-collective indices
@@ -81,6 +94,32 @@ constexpr ChaosCase kMatrix[] = {
     {"transient-exhaust", "transient:rank=1,call=2,count=99", true, true,
      true},
     {"nan-persistent", "nan:rank=0,every=1,count=64,words=8", true},
+};
+
+// Straggler matrix: plans aimed at the nonblocking engine.  stage=wait
+// specs fire when a rank first waits on an *in-flight* iallreduce handle
+// (the 32-iteration / k=4 pipelined solve posts 8 chunk reductions, wait
+// call indices 0..7); stage=post specs skew the posting rank instead.
+// Either way the reduction result is untouched, so recoverable cases must
+// stay bitwise identical to their fault-free baseline with a clean
+// contract checker.
+constexpr ChaosCase kStragglerMatrix[] = {
+    // -- recoverable ---------------------------------------------------------
+    {"wait-straggler", "delay:rank=1,us=2000,every=2,stage=wait", false, true,
+     false, true, 0},
+    {"wait-skew-all", "skew:us=1500,seed=11,stage=wait", false, true, false,
+     true, 0},
+    {"post-straggler", "delay:rank=2,us=1500,every=3,stage=post", false, true,
+     false, true, 0},
+    {"wait-transient", "transient:rank=3,call=1,stage=wait", false, true,
+     true, true, 0},
+    {"stale-wait-skew", "skew:us=2000,seed=5,stage=wait", false, true, false,
+     true, 1},
+    {"stale-wait-straggler", "delay:rank=0,us=2500,every=2,stage=wait", false,
+     true, false, true, 2},
+    // -- fatal ---------------------------------------------------------------
+    {"wait-abort", "abort:rank=0,call=2,stage=wait", true, true, false, true,
+     0},
 };
 
 rcf::core::LassoProblem make_problem(const ChaosConfig& cfg,
@@ -156,10 +195,13 @@ void run_case(const ChaosCase& c, const ChaosConfig& cfg,
               const rcf::core::LassoProblem& problem,
               const rcf::core::SolveResult& baseline) {
   const auto before = CheckerCounters::snapshot();
+  auto opts = solver_options(cfg);
+  opts.pipeline = c.pipelined;
+  opts.staleness = c.staleness;
   rcf::fault::ScopedFaultPlan scoped{std::string_view(c.plan)};
   rcf::dist::ThreadGroup group(cfg.ranks);
-  const auto result = rcf::core::solve_rc_sfista_distributed(
-      problem, solver_options(cfg), group);
+  const auto result =
+      rcf::core::solve_rc_sfista_distributed(problem, opts, group);
 
   if (c.fatal) {
     if (result.ok()) {
@@ -261,7 +303,7 @@ int main(int argc, char** argv) {
   rcf::CliParser cli("rcf-chaos",
                      "Chaos soak harness: fault-plan matrix against 4-rank "
                      "solves with the verification layer armed");
-  cli.add_flag("suite", "all | recover | fatal | resume", "all");
+  cli.add_flag("suite", "all | recover | fatal | resume | straggler", "all");
   cli.add_flag("m", "synthetic dataset rows", "1200");
   cli.add_flag("d", "synthetic dataset features", "32");
   cli.add_flag("iters", "solver iterations", "32");
@@ -284,13 +326,13 @@ int main(int argc, char** argv) {
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 13));
   const std::string suite = cli.get_string("suite", "all");
   static constexpr const char* kSuites[] = {"all", "recover", "fatal",
-                                            "resume"};
+                                            "resume", "straggler"};
   if (std::find_if(std::begin(kSuites), std::end(kSuites),
                    [&suite](const char* s) { return suite == s; }) ==
       std::end(kSuites)) {
     std::fprintf(stderr,
                  "rcf-chaos: unknown --suite '%s' "
-                 "(expected all|recover|fatal|resume)\n",
+                 "(expected all|recover|fatal|resume|straggler)\n",
                  suite.c_str());
     return 2;
   }
@@ -298,6 +340,12 @@ int main(int argc, char** argv) {
   if (cli.get_int("list", 0) != 0) {
     for (const ChaosCase& c : kMatrix) {
       std::printf("%-22s %-7s %s\n", c.name, c.fatal ? "fatal" : "recover",
+                  rcf::fault::describe(rcf::fault::parse_fault_plan(c.plan))
+                      .c_str());
+    }
+    for (const ChaosCase& c : kStragglerMatrix) {
+      std::printf("%-22s %-7s [pipelined S=%d] %s\n", c.name,
+                  c.fatal ? "fatal" : "recover", c.staleness,
                   rcf::fault::describe(rcf::fault::parse_fault_plan(c.plan))
                       .c_str());
     }
@@ -334,6 +382,40 @@ int main(int argc, char** argv) {
       }
       ok = run_suite(std::string(c.fatal ? "fatal   " : "recover ") + c.name +
                          "  [" + c.plan + "]",
+                     [&] { run_case(c, cfg, problem, baseline); }) &&
+           ok;
+    }
+  }
+  if (want("straggler")) {
+    // Fault-free baselines: the blocking iterate doubles as the S = 0
+    // pipelined baseline (the pipeline is bitwise identical to blocking at
+    // staleness 0); S > 0 cases compare against a fault-free pipelined run
+    // at the same S.
+    std::vector<std::pair<int, rcf::core::SolveResult>> baselines;
+    const auto baseline_for = [&](int staleness) -> rcf::core::SolveResult& {
+      for (auto& [s, b] : baselines) {
+        if (s == staleness) {
+          return b;
+        }
+      }
+      auto opts = solver_options(cfg);
+      opts.pipeline = staleness > 0;
+      opts.staleness = staleness;
+      rcf::dist::ThreadGroup group(cfg.ranks);
+      baselines.emplace_back(staleness, rcf::core::solve_rc_sfista_distributed(
+                                            problem, opts, group));
+      return baselines.back().second;
+    };
+    for (const ChaosCase& c : kStragglerMatrix) {
+      const auto& baseline = baseline_for(c.staleness);
+      if (!baseline.ok()) {
+        std::printf("FAIL  straggler baseline (S=%d)\n      %s\n",
+                    c.staleness, baseline.failure_reason.c_str());
+        ok = false;
+        continue;
+      }
+      ok = run_suite(std::string(c.fatal ? "fatal   " : "straggle ") +
+                         c.name + "  [" + c.plan + "]",
                      [&] { run_case(c, cfg, problem, baseline); }) &&
            ok;
     }
