@@ -312,6 +312,40 @@ void BM_TraceScopeEnabled(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceScopeEnabled);
 
+void BM_TelemetryPublishOff(benchmark::State& state) {
+  // Gate off: telemetry_publish must cost exactly one relaxed load + branch
+  // (the always-on instrumentation budget; see src/obs/telemetry.hpp).
+  for (auto _ : state) {
+    obs::telemetry_publish(obs::TelemetryKind::kSpan, "bench", 1.0, 2.0);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TelemetryPublishOff);
+
+void BM_TelemetryPublishOn(benchmark::State& state) {
+  // Gate on without a LiveMonitor: stamp + SPSC ring push.  The ring is
+  // drained every half-capacity so the measurement covers the push path,
+  // not the saturated drop path (amortized drain cost is included, which
+  // matches what a producer thread experiences under a live sampler).
+  obs::detail::set_gate_bit(obs::detail::kGateLive, true);
+  obs::telemetry_reset();
+  std::vector<obs::TelemetryEvent> sink;
+  std::size_t since_drain = 0;
+  for (auto _ : state) {
+    obs::telemetry_publish(obs::TelemetryKind::kSpan, "bench", 1.0, 2.0);
+    if (++since_drain == obs::TelemetryRing::kDefaultCapacity / 2) {
+      since_drain = 0;
+      sink.clear();
+      obs::telemetry_drain(sink);
+    }
+  }
+  obs::detail::set_gate_bit(obs::detail::kGateLive, false);
+  state.counters["dropped"] =
+      static_cast<double>(obs::telemetry_dropped());
+  obs::telemetry_reset();
+}
+BENCHMARK(BM_TelemetryPublishOn);
+
 void BM_SolverIteration(benchmark::State& state) {
   // One full RC-SFISTA iteration on a covtype-scale problem.
   data::SyntheticOptions gen;
@@ -357,6 +391,14 @@ int main(int argc, char** argv) {
   }
   int bench_argc = static_cast<int>(args.size());
   benchmark::Initialize(&bench_argc, args.data());
+  // Provenance for bench-compare: which commit / flags produced this JSON
+  // (stamped by bench/CMakeLists.txt at configure time).
+#ifdef RCF_GIT_SHA
+  benchmark::AddCustomContext("rcf_git_sha", RCF_GIT_SHA);
+#endif
+#ifdef RCF_BUILD_FLAGS
+  benchmark::AddCustomContext("rcf_build_flags", RCF_BUILD_FLAGS);
+#endif
   if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
     return 1;
   }

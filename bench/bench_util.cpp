@@ -102,6 +102,10 @@ void add_common_flags(CliParser& cli) {
   cli.add_flag("conv-out",
                "convergence telemetry JSONL output path (appended per run)",
                "");
+  cli.add_flag("live",
+               "live telemetry stream path (1 = rcf_live.jsonl, "
+               "unix:<path> = socket; env RCF_LIVE when flag absent)",
+               "");
   cli.add_flag("threads",
                "intra-rank pool threads per rank (1 = sequential, 0 = "
                "hardware/ranks; env RCF_THREADS when flag absent)",
@@ -119,9 +123,13 @@ int requested_threads(const CliParser& cli) {
 }
 
 obs::ScopedSession start_observability(const CliParser& cli) {
+  std::string live = cli.get_string("live", "");
+  if (live == "1") {
+    live = "rcf_live.jsonl";
+  }
   return obs::ScopedSession(cli.get_string("trace-out", ""),
                             cli.get_string("trace-jsonl", ""),
-                            cli.get_string("metrics-out", ""));
+                            cli.get_string("metrics-out", ""), std::move(live));
 }
 
 void maybe_write_convergence(const CliParser& cli, const std::string& run_tag,
@@ -208,12 +216,29 @@ model::MachineSpec requested_machine(const CliParser& cli) {
   return model::machine_by_name(cli.get_string("machine", "comet"));
 }
 
+const char* build_git_sha() {
+#ifdef RCF_GIT_SHA
+  return RCF_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+const char* build_flags() {
+#ifdef RCF_BUILD_FLAGS
+  return RCF_BUILD_FLAGS;
+#else
+  return "unknown";
+#endif
+}
+
 void print_banner(const std::string& experiment, const std::string& claim) {
   std::printf("================================================================\n");
   std::printf("%s\n", experiment.c_str());
   std::printf("paper claim: %s\n", claim.c_str());
   std::printf("(dataset clones + alpha-beta-gamma cost model; see DESIGN.md "
               "\"Substitutions\")\n");
+  std::printf("build %s  flags %s\n", build_git_sha(), build_flags());
   std::printf("================================================================\n\n");
 }
 

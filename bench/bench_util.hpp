@@ -52,10 +52,16 @@ void add_common_flags(CliParser& cli);
 [[nodiscard]] int requested_threads(const CliParser& cli);
 
 /// Starts the global trace session from --trace-out / --trace-jsonl /
-/// --metrics-out (registered by add_common_flags).  Keep the returned guard
-/// alive for the whole run; it writes the outputs on destruction.  Inert
-/// when none of the flags were given.
+/// --metrics-out and the live monitor from --live (registered by
+/// add_common_flags; --live=1 maps to rcf_live.jsonl, matching RCF_LIVE).
+/// Keep the returned guard alive for the whole run; it writes the outputs
+/// on destruction.  Inert when none of the flags were given.
 [[nodiscard]] obs::ScopedSession start_observability(const CliParser& cli);
+
+/// Build provenance baked in at compile time (bench/CMakeLists.txt stamps
+/// RCF_GIT_SHA / RCF_BUILD_FLAGS): "unknown" where the stamp is missing.
+[[nodiscard]] const char* build_git_sha();
+[[nodiscard]] const char* build_flags();
 
 /// Datasets requested by --datasets (default: the four Fig. 4-7 benchmarks,
 /// or the bench-specific `fallback` list).

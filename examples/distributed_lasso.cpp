@@ -20,6 +20,10 @@ int main(int argc, char** argv) {
   cli.add_flag("trace-out", "Chrome trace-event JSON output path", "");
   cli.add_flag("trace-jsonl", "flat JSONL trace output path", "");
   cli.add_flag("metrics-out", "metrics registry JSON output path", "");
+  cli.add_flag("live",
+               "live telemetry stream path (1 = rcf_live.jsonl, "
+               "unix:<path> = socket; env RCF_LIVE when flag absent)",
+               "");
   cli.add_flag("threads",
                "intra-rank pool threads (0 = auto: hardware/ranks; "
                "default: RCF_THREADS or 1)",
@@ -27,9 +31,14 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) {
     return 0;
   }
+  std::string live = cli.get_string("live", "");
+  if (live == "1") {
+    live = "rcf_live.jsonl";
+  }
   const obs::ScopedSession obs_session(cli.get_string("trace-out", ""),
                                        cli.get_string("trace-jsonl", ""),
-                                       cli.get_string("metrics-out", ""));
+                                       cli.get_string("metrics-out", ""),
+                                       std::move(live));
 
   data::SyntheticOptions gen;
   gen.num_samples = cli.get_int("m", 8000);

@@ -12,6 +12,7 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "core/engine.hpp"
+#include "core/health.hpp"
 #include "core/momentum.hpp"
 #include "data/partition.hpp"
 #include "dist/retry.hpp"
@@ -61,6 +62,7 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
                 "distributed: staleness > 0 requires pipeline");
 
   WallTimer wall;
+  const std::uint64_t health_base = health_mark();
   const std::size_t d = problem.dim();
   const std::size_t m = problem.num_samples();
   const auto mbar = std::max<std::size_t>(
@@ -305,6 +307,11 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
           rec.support = support;
           rec.step = std::sqrt(step_sq);
           local_conv.push(rec);
+          // Progress epoch for the live monitor's per-rank skew view (every
+          // rank publishes; the objective is NaN on this path by contract).
+          obs::telemetry_publish(obs::TelemetryKind::kProgress, "iter",
+                                 static_cast<double>(rec.iteration),
+                                 rec.objective, rec.step);
         }
       }
     };
@@ -523,6 +530,10 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
     failed.comm_stats.faults_injected +=
         total_faults.load(std::memory_order_relaxed);
     publish_resilience();
+    // A failed solve carries its health alerts too -- the retry storm /
+    // straggler trail leading up to the failure is exactly what a
+    // post-mortem wants.
+    annotate_health(failed, health_base);
     return failed;
   };
 
@@ -571,6 +582,7 @@ SolveResult solve_rc_sfista_distributed(const LassoProblem& problem,
   if (tracing && !result.fleet.empty()) {
     obs::publish(result.fleet, obs::MetricsRegistry::global());
   }
+  annotate_health(result, health_base);
   return result;
 }
 

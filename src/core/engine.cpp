@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "core/health.hpp"
 #include "core/momentum.hpp"
 #include "exec/pool.hpp"
 #include "obs/aggregate.hpp"
@@ -168,6 +169,7 @@ SolveResult run_sfista_engine(const LassoProblem& problem,
   const data::Partition partition(m, opts.procs);
 
   WallTimer wall;
+  const std::uint64_t health_base = health_mark();
   SolveResult result;
   result.solver = solver_name;
   result.cost = model::CostTracker(opts.collective);
@@ -438,6 +440,9 @@ SolveResult run_sfista_engine(const LassoProblem& problem,
         rec.support = support;
         rec.step = std::sqrt(step_sq);
         result.conv.push(rec);
+        obs::telemetry_publish(obs::TelemetryKind::kProgress, "iter",
+                               static_cast<double>(n), rec.objective,
+                               rec.step);
       }
     }
   }
@@ -471,6 +476,7 @@ SolveResult run_sfista_engine(const LassoProblem& problem,
     result.fleet = obs::aggregate(local, seq);
     obs::publish(result.fleet, obs::MetricsRegistry::global());
   }
+  annotate_health(result, health_base);
   return result;
 }
 

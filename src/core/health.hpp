@@ -1,0 +1,52 @@
+// Shared end-of-solve health annotation for the engines (engine.cpp /
+// distributed.cpp): fills SolveResult::alerts from two sources that never
+// overlap in kind --
+//
+//  * a deterministic offline scan of the solve's convergence ring for the
+//    numeric rules (stall, divergence, non-finite), so the annotation is
+//    reproducible and does not depend on the live monitor's sampling
+//    cadence;
+//  * the runtime-only alerts (straggler, retry storm, ring overflow) the
+//    live monitor raised while this solve ran, which cannot be
+//    reconstructed offline.
+#pragma once
+
+#include <utility>
+
+#include "core/result.hpp"
+#include "obs/live.hpp"
+#include "obs/watchdog.hpp"
+
+namespace rcf::core {
+
+/// Snapshot the monitor's alert cursor at solve start and pass it here at
+/// solve end (alerts raised before the solve began are not attributed).
+[[nodiscard]] inline std::uint64_t health_mark() {
+  return obs::LiveMonitor::global().alert_count();
+}
+
+inline void annotate_health(SolveResult& result, std::uint64_t mark) {
+  obs::LiveMonitor& monitor = obs::LiveMonitor::global();
+  const bool live = monitor.running();
+  const obs::WatchdogConfig config =
+      live ? monitor.watchdog_config() : obs::watchdog_config_from_env();
+  for (obs::Alert& alert : obs::scan_convergence(result.conv.ordered(),
+                                                 config)) {
+    result.alerts.push_back(std::move(alert));
+  }
+  if (!live) {
+    return;
+  }
+  monitor.sample_now();  // fold the tail of the run before reading alerts
+  for (obs::Alert& alert : monitor.alerts_since(mark)) {
+    // Convergence-rule kinds come from the deterministic scan above; take
+    // only the runtime-only kinds from the monitor so nothing doubles up.
+    if (alert.kind == obs::AlertKind::kStraggler ||
+        alert.kind == obs::AlertKind::kRetryStorm ||
+        alert.kind == obs::AlertKind::kRingOverflow) {
+      result.alerts.push_back(std::move(alert));
+    }
+  }
+}
+
+}  // namespace rcf::core

@@ -12,6 +12,7 @@
 #include "obs/aggregate.hpp"
 #include "obs/convergence.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 
 namespace rcf::core {
 
@@ -88,6 +89,13 @@ struct SolveResult {
   /// Per-iteration convergence telemetry (bounded ring; always recorded,
   /// unlike `history` which honours track_history/history_stride).
   obs::ConvergenceRing conv;
+  /// Health annotation: watchdog alerts attributable to this solve -- the
+  /// deterministic end-of-solve convergence scan (stall / divergence /
+  /// non-finite; obs::scan_convergence over `conv`) plus any runtime
+  /// alerts (straggler, retry storm, ring overflow) the live monitor
+  /// raised while the solve ran.  Empty on healthy runs; does not imply
+  /// failed (a stalled solve still returns its iterate).
+  std::vector<obs::Alert> alerts;
 };
 
 }  // namespace rcf::core

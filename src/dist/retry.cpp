@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 
 namespace rcf::dist {
 
@@ -21,6 +22,8 @@ RetryingComm::RetryingComm(Communicator& inner, RetryPolicy policy)
 
 void RetryingComm::note_retry(double& backoff) {
   ++retries_;
+  obs::telemetry_publish(obs::TelemetryKind::kRetry, "retry",
+                         static_cast<double>(retries_), backoff);
   const auto sleep_us = static_cast<std::uint64_t>(backoff);
   if (sleep_us > 0) {
     backoff_counter_.add(sleep_us);

@@ -8,6 +8,7 @@
 
 #include "common/rng.hpp"
 #include "dist/retry.hpp"
+#include "obs/telemetry.hpp"
 
 namespace rcf::fault {
 
@@ -20,6 +21,12 @@ void sleep_us(std::uint64_t us) {
 }
 
 }  // namespace
+
+void FaultyComm::note_fault(const char* kind, std::uint64_t call) {
+  ++injected_;
+  obs::telemetry_publish(obs::TelemetryKind::kFault, kind,
+                         static_cast<double>(call));
+}
 
 FaultyComm::FaultyComm(dist::Communicator& inner, const FaultPlan* plan)
     : inner_(inner) {
@@ -62,12 +69,12 @@ void FaultyComm::before_collective(std::span<double> payload) {
     switch (a.spec.kind) {
       case FaultKind::kDelay:
         ++a.fired;
-        ++injected_;
+        note_fault("delay", call);
         sleep_us(a.spec.us);
         break;
       case FaultKind::kSkew: {
         ++a.fired;
-        ++injected_;
+        note_fault("skew", call);
         // Each rank draws its own offset from the shared counter-based
         // stream, keyed on (seed, call, rank): deterministic, replayable.
         Rng rng(a.spec.seed,
@@ -80,7 +87,7 @@ void FaultyComm::before_collective(std::span<double> payload) {
           break;  // stays armed for the next payload-carrying collective.
         }
         ++a.fired;
-        ++injected_;
+        note_fault("nan_poison", call);
         const std::size_t n =
             std::min<std::size_t>(a.spec.words, payload.size());
         for (std::size_t i = 0; i < n; ++i) {
@@ -93,7 +100,7 @@ void FaultyComm::before_collective(std::span<double> payload) {
           break;
         }
         ++a.fired;
-        ++injected_;
+        note_fault("bit_flip", call);
         auto bits = std::bit_cast<std::uint64_t>(payload[a.spec.word]);
         bits ^= std::uint64_t{1} << a.spec.bit;
         payload[a.spec.word] = std::bit_cast<double>(bits);
@@ -104,14 +111,14 @@ void FaultyComm::before_collective(std::span<double> payload) {
         // never enters the rendezvous, so a retry re-issues this call
         // index and downstream sees exactly one collective.
         ++a.fired;
-        ++injected_;
+        note_fault("transient", call);
         throw dist::TransientCommFailure(
             "injected transient failure on rank " +
             std::to_string(inner_.rank()) + " at collective call " +
             std::to_string(call));
       case FaultKind::kAbort:
         ++a.fired;
-        ++injected_;
+        note_fault("abort", call);
         throw FaultAbort("injected abort on rank " +
                          std::to_string(inner_.rank()) +
                          " at collective call " + std::to_string(call));
@@ -129,12 +136,12 @@ void FaultyComm::before_wait(std::uint64_t call) {
     switch (a.spec.kind) {
       case FaultKind::kDelay:
         ++a.fired;
-        ++injected_;
+        note_fault("delay", call);
         sleep_us(a.spec.us);
         break;
       case FaultKind::kSkew: {
         ++a.fired;
-        ++injected_;
+        note_fault("skew", call);
         Rng rng(a.spec.seed,
                 (call << 16) ^ static_cast<std::uint64_t>(inner_.rank()));
         sleep_us(rng.uniform_index(a.spec.us));
@@ -145,14 +152,14 @@ void FaultyComm::before_wait(std::uint64_t call) {
         // but the in-flight reduction is untouched, so re-waiting (which
         // dist::RetryingComm's wait path does) is safe and idempotent.
         ++a.fired;
-        ++injected_;
+        note_fault("transient", call);
         throw dist::TransientCommFailure(
             "injected transient completion failure on rank " +
             std::to_string(inner_.rank()) + " at collective call " +
             std::to_string(call));
       case FaultKind::kAbort:
         ++a.fired;
-        ++injected_;
+        note_fault("abort", call);
         throw FaultAbort("injected abort on rank " +
                          std::to_string(inner_.rank()) +
                          " while waiting collective call " +

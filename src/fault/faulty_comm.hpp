@@ -75,6 +75,10 @@ class FaultyComm final : public dist::Communicator {
   [[nodiscard]] std::uint64_t faults_injected() const { return injected_; }
 
  private:
+  /// Counts an injected fault and announces it on the live telemetry bus
+  /// (one relaxed load when the monitor is off).
+  void note_fault(const char* kind, std::uint64_t call);
+
   /// Per-endpoint firing state for one matching spec.
   struct Armed {
     FaultSpec spec;

@@ -134,6 +134,61 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   return *slot;
 }
 
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters[name] = c->value();
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges[name] = g->value();
+  }
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.min = h->min();
+    hs.max = h->max();
+    for (int b = 0; b < Histogram::kNumBins; ++b) {
+      hs.bins[static_cast<std::size_t>(b)] = h->bin_count(b);
+    }
+    snap.histograms[name] = hs;
+  }
+  return snap;
+}
+
+namespace {
+
+std::uint64_t clamped_delta(std::uint64_t cur, std::uint64_t prev) {
+  return cur >= prev ? cur - prev : cur;
+}
+
+}  // namespace
+
+MetricsSnapshot delta_snapshot(const MetricsSnapshot& prev,
+                               const MetricsSnapshot& cur) {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : cur.counters) {
+    const auto it = prev.counters.find(name);
+    delta.counters[name] =
+        it == prev.counters.end() ? value : clamped_delta(value, it->second);
+  }
+  delta.gauges = cur.gauges;
+  for (const auto& [name, hs] : cur.histograms) {
+    HistogramSnapshot d = hs;  // carries cur min/max/sum by default
+    const auto it = prev.histograms.find(name);
+    if (it != prev.histograms.end()) {
+      d.count = clamped_delta(hs.count, it->second.count);
+      d.sum = hs.sum >= it->second.sum ? hs.sum - it->second.sum : hs.sum;
+      for (std::size_t b = 0; b < d.bins.size(); ++b) {
+        d.bins[b] = clamped_delta(hs.bins[b], it->second.bins[b]);
+      }
+    }
+    delta.histograms[name] = d;
+  }
+  return delta;
+}
+
 std::vector<std::string> MetricsRegistry::counter_names() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> names;

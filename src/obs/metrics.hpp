@@ -97,6 +97,38 @@ class Histogram {
   std::atomic<double> min_{std::numeric_limits<double>::infinity()};
 };
 
+/// Point-in-time copy of one histogram (bucket layout identical to
+/// Histogram: bin i counts [2^(i-1), 2^i), bin 0 counts [0, 1); the edges
+/// are a static property, so they are stable across every snapshot).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::array<std::uint64_t, Histogram::kNumBins> bins{};
+};
+
+/// Point-in-time copy of a registry, for delta computation by the live
+/// monitor.  Each instrument is read with one relaxed load per field, so a
+/// snapshot taken under concurrent writers is per-field consistent:
+/// counters and histogram bucket counts are monotone from one snapshot to
+/// the next (writers only add), though count/sum/bins of one histogram may
+/// mutually disagree by in-flight observations.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// cur - prev, elementwise.  If an instrument was reset() between the
+/// snapshots (cur < prev) the delta is the current value -- everything
+/// counted since the reset -- never an underflowed difference;
+/// instruments that are new in `cur` contribute their full value.  Gauges carry the current
+/// value (last-write-wins has no meaningful delta); histogram min/max are
+/// the current values for the same reason.
+[[nodiscard]] MetricsSnapshot delta_snapshot(const MetricsSnapshot& prev,
+                                             const MetricsSnapshot& cur);
+
 /// Name -> instrument map.  Instruments are created on first touch and
 /// live for the process lifetime.
 class MetricsRegistry {
@@ -106,6 +138,9 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
+
+  /// Point-in-time copy of every instrument (see MetricsSnapshot).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
 
   /// Registered instrument names in sorted (map) order -- the fixed
   /// enumeration order the cross-rank aggregation packs buffers in.

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "common/json.hpp"
+#include "obs/live.hpp"
 #include "obs/metrics.hpp"
 
 namespace rcf::obs {
@@ -156,12 +157,23 @@ TraceSession::TraceSession() : epoch_(std::chrono::steady_clock::now()) {
     start(env_config);
     std::atexit([] { TraceSession::global().write_outputs(); });
   }
+  live_autoconfigure_from_env();
 }
 
 TraceSession& TraceSession::global() {
   static TraceSession* session = new TraceSession();
   return *session;
 }
+
+namespace {
+
+// Touch the session at program start: TraceScope's fast path now tests
+// only the packed gate word, so the RCF_TRACE / RCF_LIVE env autostart
+// (which lives in the session constructor) must not depend on some code
+// path calling global() first.
+const bool g_env_autostart = (TraceSession::global(), true);
+
+}  // namespace
 
 TraceSession::ThreadBuffer& TraceSession::local_buffer() {
   thread_local ThreadBuffer buffer{
@@ -186,9 +198,11 @@ void TraceSession::start(TraceConfig config) {
   }
   epoch_ = std::chrono::steady_clock::now();
   enabled_.store(true, std::memory_order_relaxed);
+  detail::set_gate_bit(detail::kGateTrace, true);
 }
 
 void TraceSession::stop() {
+  detail::set_gate_bit(detail::kGateTrace, false);
   enabled_.store(false, std::memory_order_relaxed);
   flush_buffer(local_buffer());
 }
@@ -356,7 +370,20 @@ bool TraceSession::write_outputs() {
 }
 
 ScopedSession::ScopedSession(std::string trace_out, std::string jsonl_out,
-                             std::string metrics_out) {
+                             std::string metrics_out, std::string live_out) {
+  if (!live_out.empty()) {
+    LiveConfig config;
+    config.out = std::move(live_out);
+    if (const char* p = std::getenv("RCF_LIVE_PERIOD_MS");
+        p != nullptr && *p != '\0') {
+      const int v = std::atoi(p);
+      if (v > 0) {
+        config.period_ms = v;
+      }
+    }
+    config.watchdog = watchdog_config_from_env();
+    live_active_ = LiveMonitor::global().start(std::move(config));
+  }
   if (trace_out.empty() && jsonl_out.empty() && metrics_out.empty()) {
     return;
   }
@@ -366,6 +393,9 @@ ScopedSession::ScopedSession(std::string trace_out, std::string jsonl_out,
 }
 
 ScopedSession::~ScopedSession() {
+  if (live_active_) {
+    LiveMonitor::global().stop();
+  }
   if (!active_) {
     return;
   }
@@ -377,14 +407,30 @@ ScopedSession::~ScopedSession() {
 }
 
 TraceScope::~TraceScope() {
-  if (!active_) {
+  if (!active_ && !live_) {
     return;
   }
-  auto& session = TraceSession::global();
-  const std::int64_t end_us = session.now_us();
-  session.record(name_, start_us_, end_us - start_us_, words_, seq_);
-  if (latency_ != nullptr) {
-    latency_->observe(static_cast<double>(end_us - start_us_));
+  std::int64_t dur = 0;
+  if (active_) {
+    auto& session = TraceSession::global();
+    const std::int64_t end_us = session.now_us();
+    dur = end_us - start_us_;
+    session.record(name_, start_us_, dur, words_, seq_);
+    if (latency_ != nullptr) {
+      latency_->observe(static_cast<double>(dur));
+    }
+  } else {
+    dur = live_now_us() - live_start_us_;
+  }
+  if (live_) {
+    if (seq_ >= 0) {
+      telemetry_publish_slow(TelemetryKind::kCollectiveEnd, name_,
+                             static_cast<double>(seq_),
+                             static_cast<double>(dur));
+    } else {
+      telemetry_publish_slow(TelemetryKind::kSpan, name_,
+                             static_cast<double>(dur), words_);
+    }
   }
 }
 

@@ -34,6 +34,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/telemetry.hpp"
+
 namespace rcf::obs {
 
 class Histogram;
@@ -59,7 +61,7 @@ struct TraceEvent {
 struct PhaseStat {
   std::string name;
   std::uint64_t count = 0;
-  double seconds = 0.0;        ///< measured wall time; 0 when tracing is off
+  double seconds = 0.0;  ///< measured wall time; 0 unless tracing/live is on
   double payload_words = 0.0;  ///< accumulated payload counters
 };
 using PhaseSummary = std::vector<PhaseStat>;
@@ -155,22 +157,26 @@ class TraceSession {
   TraceConfig config_;
 };
 
-/// RAII wrapper for CLI-configured tracing: starts the global session when
-/// at least one output path is non-empty, and writes the outputs + stops it
-/// on destruction.  Inert (active() == false) when every path is empty, so
-/// callers can construct it unconditionally from flag values.
+/// RAII wrapper for CLI-configured observability: starts the global trace
+/// session when at least one trace path is non-empty, starts the live
+/// monitor (obs::LiveMonitor) when `live_out` is non-empty, and stops /
+/// flushes both on destruction.  Inert (active() == false) when every path
+/// is empty, so callers can construct it unconditionally from flag values.
 class ScopedSession {
  public:
   ScopedSession(std::string trace_out, std::string jsonl_out,
-                std::string metrics_out);
+                std::string metrics_out, std::string live_out = {});
   ScopedSession(const ScopedSession&) = delete;
   ScopedSession& operator=(const ScopedSession&) = delete;
   ~ScopedSession();
 
-  [[nodiscard]] bool active() const { return active_; }
+  /// True when the trace session or the live monitor was started.
+  [[nodiscard]] bool active() const { return active_ || live_active_; }
+  [[nodiscard]] bool live_active() const { return live_active_; }
 
  private:
   bool active_ = false;
+  bool live_active_ = false;
 };
 
 /// RAII span: records [construction, destruction) into the global session.
@@ -181,14 +187,30 @@ class ScopedSession {
 class TraceScope {
  public:
   explicit TraceScope(const char* name, double words = 0.0,
-                      Histogram* latency = nullptr, std::int64_t seq = -1)
-      : active_(TraceSession::global().enabled()) {
+                      Histogram* latency = nullptr, std::int64_t seq = -1) {
+    // One relaxed load tests the trace AND live gates (the packed word in
+    // telemetry.hpp), keeping the disabled fast path at a single load +
+    // branch even with live telemetry compiled in.
+    const std::uint32_t gate = obs_gate();
+    if (gate == 0) {
+      return;
+    }
+    name_ = name;
+    words_ = words;
+    latency_ = latency;
+    seq_ = seq;
+    active_ = (gate & detail::kGateTrace) != 0;
+    live_ = (gate & detail::kGateLive) != 0;
     if (active_) {
-      name_ = name;
-      words_ = words;
-      latency_ = latency;
-      seq_ = seq;
       start_us_ = TraceSession::global().now_us();
+    } else {
+      live_start_us_ = live_now_us();
+    }
+    if (live_ && seq_ >= 0) {
+      // Collectives announce themselves on entry so the monitor can age
+      // in-flight operations (a hung allreduce is visible while stuck).
+      telemetry_publish_slow(TelemetryKind::kCollectiveBegin, name_,
+                             static_cast<double>(seq_), words_);
     }
   }
   TraceScope(const TraceScope&) = delete;
@@ -196,12 +218,14 @@ class TraceScope {
   ~TraceScope();
 
  private:
-  bool active_;
+  bool active_ = false;
+  bool live_ = false;
   const char* name_ = "";
   double words_ = 0.0;
   Histogram* latency_ = nullptr;
   std::int64_t seq_ = -1;
-  std::int64_t start_us_ = 0;
+  std::int64_t start_us_ = 0;       ///< session epoch (tracing)
+  std::int64_t live_start_us_ = 0;  ///< live epoch (live without tracing)
 };
 
 /// Accumulator for one phase of a solver loop (see PhaseStat).
@@ -220,24 +244,39 @@ struct PhaseAgg {
 
 /// Runs `fn()` as one span of phase `name`: the count and payload always
 /// accumulate into `agg` (so schedule-shape assertions work untraced), but
-/// the wall time is measured -- and a span emitted to the global session --
-/// only when `tracing` is true.  Sample enabled() once per solve and pass
-/// it here so the disabled per-iteration cost is a plain bool test.
+/// the wall time is measured -- and a span emitted to the global session
+/// and/or the live telemetry bus -- only when `tracing` is true or the
+/// live monitor is running.  Sample enabled() once per solve and pass it
+/// here so the fully-disabled per-iteration cost is a bool test plus one
+/// relaxed load.
 template <typename Fn>
 inline void timed_phase(bool tracing, PhaseAgg& agg, const char* name,
                         double words, Fn&& fn) {
   ++agg.count;
   agg.words += words;
-  if (!tracing) {
+  const bool live = live_enabled();
+  if (!tracing && !live) {
     fn();
     return;
   }
-  auto& session = TraceSession::global();
-  const std::int64_t t0 = session.now_us();
-  fn();
-  const std::int64_t t1 = session.now_us();
-  agg.us += t1 - t0;
-  session.record(name, t0, t1 - t0, words);
+  std::int64_t dur = 0;
+  if (tracing) {
+    auto& session = TraceSession::global();
+    const std::int64_t t0 = session.now_us();
+    fn();
+    const std::int64_t t1 = session.now_us();
+    dur = t1 - t0;
+    session.record(name, t0, dur, words);
+  } else {
+    const std::int64_t t0 = live_now_us();
+    fn();
+    dur = live_now_us() - t0;
+  }
+  agg.us += dur;
+  if (live) {
+    telemetry_publish_slow(TelemetryKind::kPhase, name,
+                           static_cast<double>(dur), words);
+  }
 }
 
 /// Appends one PhaseStat built from `agg` (skips never-hit phases).

@@ -1,0 +1,299 @@
+#include "obs/watchdog.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/json.hpp"
+
+namespace rcf::obs {
+
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* p = std::getenv(name);
+  if (p == nullptr || *p == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(p, &end, 10);
+  return end == p ? fallback : static_cast<std::uint64_t>(v);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* p = std::getenv(name);
+  if (p == nullptr || *p == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(p, &end);
+  return end == p ? fallback : v;
+}
+
+/// Mean step norm over records [begin, end).
+double mean_step(const std::deque<ConvergenceRecord>& window,
+                 std::size_t begin, std::size_t end) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = begin; i < end && i < window.size(); ++i) {
+    if (std::isfinite(window[i].step)) {
+      sum += window[i].step;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+}  // namespace
+
+const char* alert_kind_name(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::kStall:
+      return "stall";
+    case AlertKind::kNonFinite:
+      return "non_finite";
+    case AlertKind::kStraggler:
+      return "straggler";
+    case AlertKind::kRetryStorm:
+      return "retry_storm";
+    case AlertKind::kRingOverflow:
+      return "ring_overflow";
+  }
+  return "unknown";
+}
+
+std::string alert_json(const Alert& alert) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"type\":\"alert\",\"kind\":\"%s\",\"rank\":%d,"
+                "\"iteration\":%llu,\"value\":%.17g,\"threshold\":%.17g,"
+                "\"t_us\":%lld,\"detail\":\"",
+                alert_kind_name(alert.kind), alert.rank,
+                static_cast<unsigned long long>(alert.iteration), alert.value,
+                alert.threshold, static_cast<long long>(alert.t_us));
+  std::string out = buf;
+  json_escape_to(alert.detail, out);
+  out += "\"}";
+  return out;
+}
+
+WatchdogConfig watchdog_config_from_env() {
+  WatchdogConfig config;
+  config.stall_window = static_cast<int>(
+      env_u64("RCF_LIVE_STALL_WINDOW",
+              static_cast<std::uint64_t>(config.stall_window)));
+  config.stall_rel_improvement =
+      env_double("RCF_LIVE_STALL_REL", config.stall_rel_improvement);
+  config.divergence_factor =
+      env_double("RCF_LIVE_DIVERGENCE_FACTOR", config.divergence_factor);
+  config.straggler_epochs =
+      env_u64("RCF_LIVE_STRAGGLER_EPOCHS", config.straggler_epochs);
+  config.straggler_grace_us =
+      static_cast<std::int64_t>(
+          env_u64("RCF_LIVE_STRAGGLER_GRACE_MS",
+                  static_cast<std::uint64_t>(config.straggler_grace_us /
+                                             1000))) *
+      1000;
+  config.retry_storm = env_u64("RCF_LIVE_RETRY_STORM", config.retry_storm);
+  return config;
+}
+
+Watchdog::Watchdog(WatchdogConfig config) : config_(config) {
+  if (config_.stall_window < 4) {
+    config_.stall_window = 4;
+  }
+}
+
+void Watchdog::check_convergence(const HealthSample& sample,
+                                 std::vector<Alert>& alerts) {
+  for (const ConvergenceRecord& rec : sample.conv) {
+    if (rec.iteration + 1 < last_iteration_) {
+      // Iteration counter jumped backwards: a new solve started under the
+      // same monitor (bench loops re-run the solver in one process).  The
+      // previous run's best objective and stall window would turn the
+      // restart into a false plateau / divergence -- start the run-scoped
+      // state fresh.  (+1 tolerates same-iteration re-publication.)
+      window_.clear();
+      best_objective_ = std::numeric_limits<double>::infinity();
+      stall_episode_ = false;
+      divergence_seen_ = false;
+      nonfinite_seen_ = false;
+      seen_finite_step_ = false;
+      last_iteration_ = 0;
+    }
+    if (rec.iteration > last_iteration_) {
+      last_iteration_ = rec.iteration;
+    }
+    // Non-finite trend.  NaN fields mean "not tracked" per the
+    // ConvergenceRecord contract, so Inf always counts, while a NaN step
+    // counts only after the same series produced finite steps (a tracked
+    // step collapsing to NaN means the iterate itself went NaN).
+    if (std::isfinite(rec.step)) {
+      seen_finite_step_ = true;
+    }
+    const bool nonfinite =
+        std::isinf(rec.objective) || std::isinf(rec.step) ||
+        (std::isnan(rec.step) && seen_finite_step_) ||
+        std::isinf(rec.grad_norm);
+    if (nonfinite && !nonfinite_seen_) {
+      nonfinite_seen_ = true;
+      Alert alert;
+      alert.kind = AlertKind::kNonFinite;
+      alert.iteration = rec.iteration;
+      alert.value = std::isinf(rec.objective) ? rec.objective : rec.step;
+      alert.t_us = sample.t_us;
+      alert.detail = "non-finite iterate trend at iteration " +
+                     std::to_string(rec.iteration);
+      alerts.push_back(alert);
+    }
+    if (!std::isfinite(rec.objective)) {
+      continue;  // objective not evaluated (NaN) or already reported (Inf)
+    }
+    // Divergence: finite objective exploding relative to the best seen.
+    if (rec.objective < best_objective_) {
+      best_objective_ = rec.objective;
+    }
+    const double divergence_bar =
+        config_.divergence_factor * std::max(best_objective_, 1e-12);
+    if (!divergence_seen_ && std::isfinite(best_objective_) &&
+        rec.objective > divergence_bar) {
+      divergence_seen_ = true;
+      Alert alert;
+      alert.kind = AlertKind::kNonFinite;
+      alert.iteration = rec.iteration;
+      alert.value = rec.objective;
+      alert.threshold = divergence_bar;
+      alert.t_us = sample.t_us;
+      alert.detail = "objective divergence: " +
+                     std::to_string(rec.objective) + " vs best " +
+                     std::to_string(best_objective_);
+      alerts.push_back(alert);
+    }
+    // Stall window: bounded deque of finite-objective records.
+    window_.push_back(rec);
+    while (window_.size() > static_cast<std::size_t>(config_.stall_window)) {
+      window_.pop_front();
+    }
+  }
+
+  if (window_.size() == static_cast<std::size_t>(config_.stall_window)) {
+    const double f0 = window_.front().objective;
+    const double f1 = window_.back().objective;
+    const double rel_improve =
+        (f0 - f1) / std::max(std::abs(f0), 1e-300);
+    const std::size_t quarter =
+        std::max<std::size_t>(1, window_.size() / 4);
+    const double step_head = mean_step(window_, 0, quarter);
+    const double step_tail =
+        mean_step(window_, window_.size() - quarter, window_.size());
+    const bool plateau = rel_improve < config_.stall_rel_improvement;
+    const bool steps_alive = step_tail > config_.stall_step_floor &&
+                             step_tail >= config_.stall_step_ratio * step_head;
+    if (plateau && steps_alive) {
+      if (!stall_episode_) {
+        stall_episode_ = true;
+        Alert alert;
+        alert.kind = AlertKind::kStall;
+        alert.iteration = window_.back().iteration;
+        alert.value = rel_improve;
+        alert.threshold = config_.stall_rel_improvement;
+        alert.t_us = sample.t_us;
+        alert.detail =
+            "objective plateau over " + std::to_string(config_.stall_window) +
+            " iterations with non-shrinking steps (step ~" +
+            std::to_string(step_tail) + ")";
+        alerts.push_back(alert);
+      }
+    } else if (!plateau) {
+      stall_episode_ = false;  // real progress resumed; re-arm
+    }
+  }
+}
+
+std::vector<Alert> Watchdog::on_sample(const HealthSample& sample) {
+  std::vector<Alert> alerts;
+
+  // Ring overflow: any new drops since the last sample.
+  if (sample.drops_total > drops_seen_) {
+    Alert alert;
+    alert.kind = AlertKind::kRingOverflow;
+    alert.value = static_cast<double>(sample.drops_total - drops_seen_);
+    alert.t_us = sample.t_us;
+    alert.detail = "telemetry ring overflow: " +
+                   std::to_string(sample.drops_total - drops_seen_) +
+                   " events dropped (total " +
+                   std::to_string(sample.drops_total) + ")";
+    alerts.push_back(alert);
+    drops_seen_ = sample.drops_total;
+  }
+
+  // Retry storm: per-window retry delta above threshold (the first sample
+  // only establishes the baseline).
+  if (have_retry_base_) {
+    const std::uint64_t delta = sample.retries_total - retries_seen_;
+    if (delta >= config_.retry_storm) {
+      if (!retry_episode_) {
+        retry_episode_ = true;
+        Alert alert;
+        alert.kind = AlertKind::kRetryStorm;
+        alert.value = static_cast<double>(delta);
+        alert.threshold = static_cast<double>(config_.retry_storm);
+        alert.t_us = sample.t_us;
+        alert.detail = std::to_string(delta) +
+                       " collective retries in one sample window";
+        alerts.push_back(alert);
+      }
+    } else {
+      retry_episode_ = false;
+    }
+  }
+  retries_seen_ = sample.retries_total;
+  have_retry_base_ = true;
+
+  // Straggler: rank lagging the fleet maximum epoch while idle.
+  if (sample.ranks.size() >= 2) {
+    std::uint64_t max_epoch = 0;
+    for (const RankHealth& r : sample.ranks) {
+      max_epoch = std::max(max_epoch, r.epoch);
+    }
+    std::set<int> still_lagging;
+    for (const RankHealth& r : sample.ranks) {
+      const bool lagging = r.epoch + config_.straggler_epochs <= max_epoch &&
+                           r.idle_us >= config_.straggler_grace_us;
+      if (!lagging) {
+        continue;
+      }
+      still_lagging.insert(r.rank);
+      if (stragglers_.count(r.rank) == 0) {
+        Alert alert;
+        alert.kind = AlertKind::kStraggler;
+        alert.rank = r.rank;
+        alert.iteration = r.epoch;
+        alert.value = static_cast<double>(max_epoch - r.epoch);
+        alert.threshold = static_cast<double>(config_.straggler_epochs);
+        alert.t_us = sample.t_us;
+        alert.detail = "rank " + std::to_string(r.rank) + " at epoch " +
+                       std::to_string(r.epoch) + " lags fleet max " +
+                       std::to_string(max_epoch) + " (idle " +
+                       std::to_string(r.idle_us / 1000) + " ms)";
+        alerts.push_back(alert);
+      }
+    }
+    stragglers_ = std::move(still_lagging);
+  }
+
+  check_convergence(sample, alerts);
+  return alerts;
+}
+
+std::vector<Alert> scan_convergence(
+    const std::vector<ConvergenceRecord>& records,
+    const WatchdogConfig& config) {
+  Watchdog watchdog(config);
+  HealthSample sample;
+  sample.conv = records;
+  return watchdog.on_sample(sample);
+}
+
+}  // namespace rcf::obs

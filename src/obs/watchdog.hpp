@@ -1,0 +1,139 @@
+// Solver health watchdog: turns the LiveMonitor's periodic health samples
+// into structured alerts -- convergence stall, divergence / non-finite
+// trend, straggler rank, retry storm, telemetry-ring overflow.
+//
+// The rules are deliberately stateful-but-pure: Watchdog::on_sample is a
+// deterministic function of the sample sequence fed to it, with no clocks
+// or I/O, so every rule is unit-testable from synthetic samples
+// (tests/test_obs_live.cpp) and the same code drives both the online
+// monitor and the offline end-of-solve scan (scan_convergence, which backs
+// the SolveResult::alerts annotation).
+//
+// False-positive discipline (the acceptance bar is zero alerts on clean
+// solves): a stall requires BOTH an objective plateau over a full window
+// AND step norms that are not shrinking -- a converging solve plateaus
+// only as its steps collapse, which the step-ratio test rejects.  Each
+// episodic rule (stall, retry storm, straggler per rank, divergence,
+// non-finite) alerts once per episode, re-arming only after recovery.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/convergence.hpp"
+
+namespace rcf::obs {
+
+enum class AlertKind : std::uint8_t {
+  kStall = 0,       ///< objective plateau while steps are not shrinking
+  kNonFinite,       ///< non-finite iterate trend or objective divergence
+  kStraggler,       ///< rank's progress epoch lags the fleet
+  kRetryStorm,      ///< collective retries above threshold in one window
+  kRingOverflow,    ///< telemetry events dropped (rings saturated)
+};
+
+[[nodiscard]] const char* alert_kind_name(AlertKind kind);
+
+/// One structured health alert.
+struct Alert {
+  AlertKind kind = AlertKind::kStall;
+  int rank = -1;                 ///< offending rank; -1 = whole run
+  std::uint64_t iteration = 0;   ///< solver iteration when detected (0 = n/a)
+  double value = 0.0;            ///< measured quantity that tripped the rule
+  double threshold = 0.0;        ///< configured threshold it was tested against
+  std::int64_t t_us = 0;         ///< live-epoch timestamp of the sample
+  std::string detail;            ///< human-readable one-liner
+};
+
+/// One JSON object (no trailing newline) for the live stream / logs.
+[[nodiscard]] std::string alert_json(const Alert& alert);
+
+/// Thresholds; every field has an RCF_LIVE_* override (watchdog_config_
+/// from_env).
+struct WatchdogConfig {
+  /// Stall: over a window of `stall_window` consecutive finite-objective
+  /// records, relative improvement below `stall_rel_improvement` while the
+  /// trailing-quarter mean step norm is above `stall_step_floor` AND at
+  /// least `stall_step_ratio` times the leading-quarter mean (steps not
+  /// shrinking).
+  int stall_window = 40;                    // RCF_LIVE_STALL_WINDOW
+  double stall_rel_improvement = 1e-9;      // RCF_LIVE_STALL_REL
+  double stall_step_floor = 1e-12;
+  double stall_step_ratio = 0.5;
+  /// Divergence: finite objective exceeding `divergence_factor` times the
+  /// best objective seen.
+  double divergence_factor = 1e4;           // RCF_LIVE_DIVERGENCE_FACTOR
+  /// Straggler: rank whose progress epoch lags the fleet maximum by at
+  /// least `straggler_epochs` while idle for `straggler_grace_us`.
+  std::uint64_t straggler_epochs = 8;       // RCF_LIVE_STRAGGLER_EPOCHS
+  std::int64_t straggler_grace_us = 200000; // RCF_LIVE_STRAGGLER_GRACE_MS
+  /// Retry storm: at least this many collective retries within one sample
+  /// window.
+  std::uint64_t retry_storm = 8;            // RCF_LIVE_RETRY_STORM
+};
+
+/// Reads the RCF_LIVE_* overrides on top of the defaults.
+[[nodiscard]] WatchdogConfig watchdog_config_from_env();
+
+/// Progress state of one rank at sample time.
+struct RankHealth {
+  int rank = 0;
+  std::uint64_t epoch = 0;      ///< latest solver iteration published
+  std::int64_t idle_us = 0;     ///< time since the rank's last progress event
+};
+
+/// One periodic health sample, assembled by the LiveMonitor from drained
+/// telemetry (or synthesized by tests).
+struct HealthSample {
+  std::int64_t t_us = 0;
+  std::vector<RankHealth> ranks;
+  /// Convergence records newly observed since the previous sample.
+  std::vector<ConvergenceRecord> conv;
+  std::uint64_t retries_total = 0;   ///< cumulative collective retries
+  std::uint64_t faults_total = 0;    ///< cumulative injected faults
+  std::uint64_t drops_total = 0;     ///< cumulative telemetry-ring drops
+};
+
+/// Stateful alert evaluator; feed samples in order.
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogConfig config = {});
+
+  /// Evaluates every rule against the next sample; returns the alerts that
+  /// fired (deduplicated per episode).
+  std::vector<Alert> on_sample(const HealthSample& sample);
+
+  [[nodiscard]] const WatchdogConfig& config() const { return config_; }
+
+ private:
+  void check_convergence(const HealthSample& sample,
+                         std::vector<Alert>& alerts);
+
+  WatchdogConfig config_;
+  std::deque<ConvergenceRecord> window_;  ///< finite-objective records
+  double best_objective_ = std::numeric_limits<double>::infinity();
+  std::uint64_t last_iteration_ = 0;
+  std::uint64_t drops_seen_ = 0;
+  std::uint64_t retries_seen_ = 0;
+  bool have_retry_base_ = false;
+  bool retry_episode_ = false;
+  bool stall_episode_ = false;
+  bool seen_finite_step_ = false;
+  bool nonfinite_seen_ = false;
+  bool divergence_seen_ = false;
+  std::set<int> stragglers_;
+};
+
+/// Offline scan of a finished solve's convergence ring: runs the stall /
+/// divergence / non-finite rules over the full series (rank / timing rules
+/// need live samples and are skipped).  Used for the SolveResult::alerts
+/// annotation and the golden-fixture zero-false-positive tests.
+[[nodiscard]] std::vector<Alert> scan_convergence(
+    const std::vector<ConvergenceRecord>& records,
+    const WatchdogConfig& config = {});
+
+}  // namespace rcf::obs

@@ -39,10 +39,13 @@
 #include "obs/convergence.hpp"   // IWYU pragma: export
 #include "obs/cost_ledger.hpp"   // IWYU pragma: export
 #include "obs/critpath.hpp"      // IWYU pragma: export
+#include "obs/live.hpp"          // IWYU pragma: export
 #include "obs/metrics.hpp"       // IWYU pragma: export
 #include "obs/perfctr.hpp"       // IWYU pragma: export
+#include "obs/telemetry.hpp"     // IWYU pragma: export
 #include "obs/timeline.hpp"      // IWYU pragma: export
 #include "obs/trace.hpp"         // IWYU pragma: export
+#include "obs/watchdog.hpp"      // IWYU pragma: export
 #include "prox/operators.hpp"    // IWYU pragma: export
 #include "sparse/csr.hpp"        // IWYU pragma: export
 #include "sparse/generate.hpp"   // IWYU pragma: export

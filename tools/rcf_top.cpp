@@ -1,0 +1,332 @@
+// rcf-top: terminal dashboard for the live telemetry stream emitted by
+// obs::LiveMonitor (--live / RCF_LIVE=1 on the benches and examples).
+//
+// Tails a length-prefixed JSONL stream (`<decimal byte length>\t<json>\n`
+// per record; types "header" / "snapshot" / "alert"), keeps the latest
+// snapshot plus a bounded alert feed, and renders per-rank phase
+// occupancy, progress epochs, in-flight collective age, and the alert
+// feed.  Follow mode redraws in place at --interval-ms; --once consumes
+// the stream to EOF and renders a single final frame (the CI smoke mode).
+//
+//   rcf-top --stream=run-artifacts/live.jsonl          # follow (Ctrl-C)
+//   rcf-top --stream=live.jsonl --once                 # one-shot summary
+//   rcf-top --stream=live.jsonl --once --fail-on-alert # exit 2 on alerts
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/json.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace {
+
+using rcf::JsonValue;
+
+struct RankRow {
+  int rank = 0;
+  std::uint64_t epoch = 0;
+  double idle_us = 0.0;
+  double objective = std::nan("");
+  double step = std::nan("");
+  double frac_compute = 0.0;
+  double frac_comm = 0.0;
+  double frac_wait = 0.0;
+  double collectives = 0.0;
+};
+
+struct TopState {
+  bool have_header = false;
+  double period_ms = 0.0;
+  bool have_snapshot = false;
+  std::uint64_t sample = 0;
+  double t_us = 0.0;
+  std::uint64_t epoch = 0;
+  double iters_per_s = 0.0;
+  double comm_frac = 0.0;
+  double inflight = 0.0;
+  double inflight_age_us = 0.0;
+  double retries = 0.0;
+  double faults = 0.0;
+  double drops = 0.0;
+  double alerts_total = 0.0;
+  std::vector<RankRow> ranks;
+  std::deque<std::string> alert_feed;  ///< rendered one-liners, newest last
+  std::uint64_t alerts_seen = 0;       ///< alert records consumed
+};
+
+constexpr std::size_t kAlertFeed = 8;
+
+/// Extracts the next complete `<len>\t<json>\n` frame from `buf`.  Returns
+/// false when no complete frame is buffered (partial write mid-tail).
+bool extract_frame(std::string& buf, std::string& json_out) {
+  std::size_t i = 0;
+  while (i < buf.size() && (buf[i] == '\n' || buf[i] == '\r')) {
+    ++i;
+  }
+  std::size_t j = i;
+  while (j < buf.size() && buf[j] >= '0' && buf[j] <= '9') {
+    ++j;
+  }
+  if (j == buf.size()) {
+    buf.erase(0, i);
+    return false;  // length prefix still arriving
+  }
+  if (j == i || buf[j] != '\t') {
+    buf.erase(0, j + 1);  // corrupt prefix: resync past it
+    return extract_frame(buf, json_out);
+  }
+  const std::size_t len = std::stoul(buf.substr(i, j - i));
+  if (buf.size() < j + 1 + len) {
+    buf.erase(0, i);
+    return false;  // body still arriving
+  }
+  json_out = buf.substr(j + 1, len);
+  buf.erase(0, j + 1 + len);
+  return true;
+}
+
+void fold_record(TopState& state, const JsonValue& rec) {
+  const std::string type = rec.string_or("type", "");
+  if (type == "header") {
+    state.have_header = true;
+    state.period_ms = rec.number_or("period_ms", 0.0);
+    return;
+  }
+  if (type == "alert") {
+    ++state.alerts_seen;
+    char line[256];
+    const int rank = static_cast<int>(rec.number_or("rank", -1.0));
+    std::snprintf(line, sizeof(line), "[%s] rank %d iter %.0f: %s",
+                  rec.string_or("kind", "?").c_str(), rank,
+                  rec.number_or("iteration", 0.0),
+                  rec.string_or("detail", "").c_str());
+    state.alert_feed.emplace_back(line);
+    while (state.alert_feed.size() > kAlertFeed) {
+      state.alert_feed.pop_front();
+    }
+    return;
+  }
+  if (type != "snapshot") {
+    return;
+  }
+  state.have_snapshot = true;
+  state.sample = static_cast<std::uint64_t>(rec.number_or("n", 0.0));
+  state.t_us = rec.number_or("t_us", 0.0);
+  state.epoch = static_cast<std::uint64_t>(rec.number_or("epoch", 0.0));
+  state.iters_per_s = rec.number_or("iters_per_s", 0.0);
+  state.comm_frac = rec.number_or("comm_frac", 0.0);
+  if (const JsonValue* inflight = rec.find("inflight")) {
+    state.inflight = inflight->number_or("count", 0.0);
+    state.inflight_age_us = inflight->number_or("max_age_us", 0.0);
+  }
+  state.retries = rec.number_or("retries", 0.0);
+  state.faults = rec.number_or("faults", 0.0);
+  state.drops = rec.number_or("drops", 0.0);
+  state.alerts_total = rec.number_or("alerts", 0.0);
+  state.ranks.clear();
+  if (const JsonValue* ranks = rec.find("ranks"); ranks != nullptr &&
+                                                  ranks->is_array()) {
+    for (const JsonValue& r : ranks->array) {
+      RankRow row;
+      row.rank = static_cast<int>(r.number_or("rank", 0.0));
+      row.epoch = static_cast<std::uint64_t>(r.number_or("epoch", 0.0));
+      row.idle_us = r.number_or("idle_us", 0.0);
+      row.objective = r.number_or("objective", std::nan(""));
+      row.step = r.number_or("step", std::nan(""));
+      row.collectives = r.number_or("collectives", 0.0);
+      if (const JsonValue* frac = r.find("frac")) {
+        row.frac_compute = frac->number_or("compute", 0.0);
+        row.frac_comm = frac->number_or("comm", 0.0);
+        row.frac_wait = frac->number_or("wait", 0.0);
+      }
+      state.ranks.push_back(row);
+    }
+  }
+  std::sort(state.ranks.begin(), state.ranks.end(),
+            [](const RankRow& x, const RankRow& y) { return x.rank < y.rank; });
+}
+
+/// 20-cell occupancy bar: '#' compute, '=' comm, '-' wait, '.' idle.
+std::string occupancy_bar(const RankRow& row) {
+  constexpr int kCells = 20;
+  const int compute = static_cast<int>(row.frac_compute * kCells + 0.5);
+  const int comm = static_cast<int>(row.frac_comm * kCells + 0.5);
+  const int wait = static_cast<int>(row.frac_wait * kCells + 0.5);
+  std::string bar;
+  bar.reserve(kCells);
+  for (int i = 0; i < std::min(compute, kCells); ++i) bar += '#';
+  for (int i = 0; i < comm && static_cast<int>(bar.size()) < kCells; ++i)
+    bar += '=';
+  for (int i = 0; i < wait && static_cast<int>(bar.size()) < kCells; ++i)
+    bar += '-';
+  while (static_cast<int>(bar.size()) < kCells) bar += '.';
+  return bar;
+}
+
+void render(const TopState& state, const std::string& stream, bool follow,
+            bool color) {
+  std::string out;
+  out.reserve(2048);
+  if (follow) {
+    out += "\x1b[2J\x1b[H";  // clear + home
+  }
+  char line[256];
+  const char* bold = color ? "\x1b[1m" : "";
+  const char* red = color ? "\x1b[31m" : "";
+  const char* dim = color ? "\x1b[2m" : "";
+  const char* reset = color ? "\x1b[0m" : "";
+  std::snprintf(line, sizeof(line),
+                "%srcf-top%s  stream %s  sample #%llu  t %.1fs  period %.0fms\n",
+                bold, reset, stream.c_str(),
+                static_cast<unsigned long long>(state.sample),
+                state.t_us / 1e6, state.period_ms);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "epoch %llu  iters/s %.1f  comm %.0f%%  in-flight %.0f "
+                "(max age %.1f ms)\n",
+                static_cast<unsigned long long>(state.epoch),
+                state.iters_per_s, state.comm_frac * 100.0, state.inflight,
+                state.inflight_age_us / 1e3);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "retries %.0f  faults %.0f  ring drops %.0f  alerts %.0f\n\n",
+                state.retries, state.faults, state.drops, state.alerts_total);
+  out += line;
+  out += dim;
+  out += "rank  epoch     occupancy #=compute ==comm --wait    objective"
+         "      step        idle\n";
+  out += reset;
+  for (const RankRow& row : state.ranks) {
+    std::snprintf(line, sizeof(line),
+                  "%4d  %-8llu  [%s]  %9.3g  %9.3g  %7.1fms\n", row.rank,
+                  static_cast<unsigned long long>(row.epoch),
+                  occupancy_bar(row).c_str(), row.objective, row.step,
+                  row.idle_us / 1e3);
+    out += line;
+  }
+  if (state.ranks.empty()) {
+    out += "  (no rank activity yet)\n";
+  }
+  out += "\nalerts";
+  if (!state.alert_feed.empty()) {
+    std::snprintf(line, sizeof(line), " (last %zu of %llu)",
+                  state.alert_feed.size(),
+                  static_cast<unsigned long long>(state.alerts_seen));
+    out += line;
+  }
+  out += ":\n";
+  if (state.alert_feed.empty()) {
+    out += dim;
+    out += "  none\n";
+    out += reset;
+  }
+  for (const std::string& alert : state.alert_feed) {
+    out += red;
+    out += "  ";
+    out += alert;
+    out += reset;
+    out += '\n';
+  }
+  std::fputs(out.c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rcf::CliParser cli("rcf-top",
+                     "Terminal dashboard for rcf live telemetry streams");
+  cli.add_flag("stream", "live stream to tail (file path)", "rcf_live.jsonl");
+  cli.add_flag("once", "consume to EOF, render one frame, exit", "false");
+  cli.add_flag("interval-ms", "redraw / poll period in follow mode", "500");
+  cli.add_flag("fail-on-alert", "exit 2 if any alert record was seen",
+               "false");
+  cli.add_flag("plain", "disable ANSI colors and screen clearing", "false");
+  cli.add_flag("max-seconds",
+               "stop following after this many seconds (0 = forever)", "0");
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+  std::string stream = cli.get_string("stream", "rcf_live.jsonl");
+  if (!cli.positional().empty()) {
+    stream = cli.positional().front();
+  }
+  const bool once = cli.get_bool("once", false);
+  const bool fail_on_alert = cli.get_bool("fail-on-alert", false);
+  const auto interval =
+      std::chrono::milliseconds(std::max<std::int64_t>(
+          10, cli.get_int("interval-ms", 500)));
+  const double max_seconds = cli.get_double("max-seconds", 0.0);
+  bool color = !cli.get_bool("plain", false);
+#if defined(__unix__) || defined(__APPLE__)
+  color = color && ::isatty(1) != 0;
+#else
+  color = false;
+#endif
+
+  std::ifstream in(stream, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "rcf-top: cannot open stream %s\n", stream.c_str());
+    return 1;
+  }
+
+  TopState state;
+  std::string buf, json;
+  char chunk[1 << 16];
+  const auto started = std::chrono::steady_clock::now();
+  bool dirty = false;
+  for (;;) {
+    in.clear();  // EOF is transient while the producer is still writing
+    in.read(chunk, sizeof(chunk));
+    const std::streamsize got = in.gcount();
+    if (got > 0) {
+      buf.append(chunk, static_cast<std::size_t>(got));
+      while (extract_frame(buf, json)) {
+        if (const auto rec = rcf::parse_json(json)) {
+          fold_record(state, *rec);
+          dirty = true;
+        }
+      }
+      continue;  // drain everything available before rendering/sleeping
+    }
+    if (once) {
+      break;
+    }
+    if (dirty) {
+      render(state, stream, /*follow=*/true, color);
+      dirty = false;
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    if (max_seconds > 0.0 && elapsed >= max_seconds) {
+      break;
+    }
+    std::this_thread::sleep_for(interval);
+  }
+  if (once || dirty) {
+    render(state, stream, /*follow=*/false, color);
+  }
+  if (!state.have_snapshot) {
+    std::fprintf(stderr, "rcf-top: no snapshot records in %s\n",
+                 stream.c_str());
+    return 1;
+  }
+  if (fail_on_alert && state.alerts_seen > 0) {
+    std::fprintf(stderr, "rcf-top: %llu alert(s) on the stream\n",
+                 static_cast<unsigned long long>(state.alerts_seen));
+    return 2;
+  }
+  return 0;
+}
