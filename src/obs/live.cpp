@@ -88,7 +88,7 @@ struct LiveMonitor::Impl {
   std::condition_variable cv;
   bool running = false;
   bool stop_requested = false;
-  std::thread sampler;  // rcf-lint: allow(naked-thread) sampler drains rings off the solver's critical path
+  std::thread sampler;  // rcf-analyze: allow(telemetry-discipline) sampler drains rings off the solver's critical path
 
   LiveConfig config;
 
@@ -575,13 +575,13 @@ bool LiveMonitor::start(LiveConfig config) {
   im.stop_requested = false;
   im.running = true;
   detail::set_gate_bit(detail::kGateLive, true);
-  im.sampler = std::thread([&im] { sampler_loop(im); });  // rcf-lint: allow(naked-thread) background sampler, joined in stop()
+  im.sampler = std::thread([&im] { sampler_loop(im); });  // rcf-analyze: allow(telemetry-discipline) background sampler, joined in stop()
   return true;
 }
 
 void LiveMonitor::stop() {
   Impl& im = *impl_;
-  std::thread worker;  // rcf-lint: allow(naked-thread) join handle moved out of the lock
+  std::thread worker;  // rcf-analyze: allow(telemetry-discipline) join handle moved out of the lock
   {
     std::lock_guard<std::mutex> lock(im.mutex);
     if (!im.running || im.stop_requested) {

@@ -1,0 +1,50 @@
+// Known-good fixture for the collective-divergence check: every shape
+// here is SPMD-correct and must produce zero findings (analyzed with
+// scope_as=src/core/fixture.cpp).
+#include <vector>
+
+namespace fixture {
+
+struct Comm {
+  int rank();
+  int size();
+  void allreduce_sum(std::vector<double>& v);
+  void broadcast(std::vector<double>& v, int root);
+  void barrier();
+};
+
+void log_line(const char* msg);
+
+void uniform_schedule(Comm& comm, std::vector<double>& buf) {
+  comm.allreduce_sum(buf);
+  if (comm.rank() == 0) {
+    log_line("round done");  // rank-guarded *non-collective* work is fine
+  }
+  comm.barrier();
+}
+
+void uniform_loop(Comm& comm, std::vector<double>& buf, int rounds) {
+  for (int it = 0; it < rounds; ++it) {
+    comm.allreduce_sum(buf);  // same trip count on every rank
+  }
+}
+
+void size_guard(Comm& comm, std::vector<double>& buf) {
+  if (comm.size() > 1) {
+    comm.barrier();  // size() is uniform across ranks, unlike rank()
+  }
+  comm.broadcast(buf, 0);  // root argument does not diverge the schedule
+}
+
+void rank_partitioned_work(Comm& comm, std::vector<double>& buf) {
+  const int r = comm.rank();
+  double local = 0.0;
+  for (std::size_t i = static_cast<std::size_t>(r); i < buf.size();
+       i += static_cast<std::size_t>(comm.size())) {
+    local += buf[i];  // rank-strided *local* work, no collectives inside
+  }
+  buf[0] = local;
+  comm.allreduce_sum(buf);
+}
+
+}  // namespace fixture

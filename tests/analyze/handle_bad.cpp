@@ -1,0 +1,68 @@
+// Seeded-bad fixture for the handle-leak check (analyzed with
+// scope_as=src/core/fixture.cpp): every way a posted CommHandle can
+// escape its wait().
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace fixture {
+
+namespace dist {
+struct CommHandle {
+  CommHandle();
+  void wait();
+  bool valid() const;
+};
+}  // namespace dist
+
+struct Comm {
+  dist::CommHandle iallreduce_sum(std::span<double> buf);
+  dist::CommHandle iallreduce_max(std::span<double> buf);
+};
+
+void early_return_leak(Comm& comm, std::span<double> buf, bool flag) {
+  dist::CommHandle h = comm.iallreduce_sum(buf);
+  if (flag) {
+    return;  // BAD(handle-leak)
+  }
+  h.wait();
+}
+
+void throw_leak(Comm& comm, std::span<double> buf, bool poisoned) {
+  dist::CommHandle h = comm.iallreduce_max(buf);
+  if (poisoned) {
+    throw std::runtime_error("poisoned payload");  // BAD(handle-leak)
+  }
+  h.wait();
+}
+
+void discarded_post(Comm& comm, std::span<double> buf) {
+  comm.iallreduce_sum(buf);  // BAD(handle-leak)
+}
+
+void reset_without_wait(Comm& comm, std::span<double> buf) {
+  dist::CommHandle h = comm.iallreduce_sum(buf);
+  h = dist::CommHandle();  // BAD(handle-leak)
+}
+
+void reposted_before_wait(Comm& comm, std::span<double> buf) {
+  dist::CommHandle h = comm.iallreduce_sum(buf);
+  h = comm.iallreduce_sum(buf);  // BAD(handle-leak)
+  h.wait();
+}
+
+void one_sided_wait(Comm& comm, std::span<double> buf, bool fast) {
+  dist::CommHandle h = comm.iallreduce_sum(buf);
+  if (fast) {
+    h.wait();
+  }
+}  // BAD(handle-leak)
+
+void container_never_waited(Comm& comm, std::span<double> buf) {
+  std::vector<dist::CommHandle> handles(4);
+  for (int s = 0; s < 4; ++s) {
+    handles[static_cast<std::size_t>(s)] = comm.iallreduce_sum(buf);
+  }
+}  // BAD(handle-leak)
+
+}  // namespace fixture

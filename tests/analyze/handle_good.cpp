@@ -1,0 +1,74 @@
+// Known-good fixture for the handle-leak check (analyzed with
+// scope_as=src/core/fixture.cpp): every sanctioned handle lifecycle must
+// stay silent.
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace fixture {
+
+namespace dist {
+struct CommHandle {
+  CommHandle();
+  void wait();
+  bool valid() const;
+};
+}  // namespace dist
+
+struct Comm {
+  dist::CommHandle iallreduce_sum(std::span<double> buf);
+  dist::CommHandle iallreduce_max(std::span<double> buf);
+  void wait(dist::CommHandle h);
+};
+
+void consume(dist::CommHandle h);
+
+void post_then_wait(Comm& comm, std::span<double> buf) {
+  dist::CommHandle h = comm.iallreduce_sum(buf);
+  h.wait();
+}
+
+void wait_on_both_branches(Comm& comm, std::span<double> buf, bool fast) {
+  dist::CommHandle h = comm.iallreduce_sum(buf);
+  if (fast) {
+    h.wait();
+  } else {
+    h.wait();
+  }
+}
+
+dist::CommHandle transfer_to_caller(Comm& comm, std::span<double> buf) {
+  return comm.iallreduce_sum(buf);
+}
+
+dist::CommHandle early_return_hands_off(Comm& comm, std::span<double> buf,
+                                        bool flag) {
+  dist::CommHandle h = comm.iallreduce_max(buf);
+  if (flag) {
+    return h;  // ownership (and the wait obligation) moves to the caller
+  }
+  h.wait();
+  return dist::CommHandle();
+}
+
+void handoff_via_move(Comm& comm, std::span<double> buf) {
+  dist::CommHandle h = comm.iallreduce_sum(buf);
+  comm.wait(std::move(h));
+}
+
+void handoff_to_helper(Comm& comm, std::span<double> buf) {
+  dist::CommHandle h = comm.iallreduce_sum(buf);
+  consume(std::move(h));
+}
+
+void overlap_then_drain(Comm& comm, std::span<double> buf) {
+  std::vector<dist::CommHandle> handles(4);
+  for (std::size_t s = 0; s < 4; ++s) {
+    handles[s] = comm.iallreduce_sum(buf);
+  }
+  for (std::size_t s = 0; s < 4; ++s) {
+    handles[s].wait();
+  }
+}
+
+}  // namespace fixture

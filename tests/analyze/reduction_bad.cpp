@@ -1,0 +1,48 @@
+// Seeded-bad fixture for the nondeterministic-reduction check, analyzed
+// with scope_as=src/la/fixture_kernel.cpp so both the kernel-file rules
+// (float, unordered iteration anywhere) and the parallel-body rules
+// (shared accumulators) apply.
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Pool {
+  void run(const char* label, const std::vector<double>& xs);
+};
+void parallel_for(Pool& pool, std::size_t n, const char* label,
+                  const std::vector<double>& xs);
+
+float unstable_norm(const std::vector<double>& xs);  // BAD(nondeterministic-reduction)
+
+double hash_order_sum(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& kv : weights) {  // BAD(nondeterministic-reduction)
+    total += kv.second;
+  }
+  return total;
+}
+
+double shared_accumulator(Pool& pool, const std::vector<double>& xs) {
+  double sum = 0.0;
+  parallel_for(pool, xs.size(), "bad-sum", [&](std::size_t i) {
+    sum += xs[i];  // BAD(nondeterministic-reduction)
+  });
+  return sum;
+}
+
+double shared_member_accumulator(Pool& pool, const std::vector<double>& xs,
+                                 std::vector<double>& out) {
+  struct Stats {
+    double total = 0.0;
+  };
+  Stats stats;
+  parallel_for(pool, xs.size(), "bad-member", [&](std::size_t i) {
+    stats.total += xs[i];  // BAD(nondeterministic-reduction)
+    out[i] = xs[i];
+  });
+  return stats.total;
+}
+
+}  // namespace fixture

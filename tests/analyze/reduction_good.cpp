@@ -1,0 +1,42 @@
+// Known-good fixture for the nondeterministic-reduction check, analyzed
+// with scope_as=src/la/fixture_kernel_ok.cpp: output-partitioned writes,
+// body-local accumulators, and ordered containers must stay silent.
+#include <cstddef>
+#include <map>
+#include <vector>
+
+namespace fixture {
+
+struct Pool {
+  void run(const char* label, const std::vector<double>& xs);
+};
+void parallel_for(Pool& pool, std::size_t n, const char* label,
+                  const std::vector<double>& xs);
+
+void partitioned_axpy(Pool& pool, std::vector<double>& out,
+                      const std::vector<double>& xs, double alpha) {
+  parallel_for(pool, out.size(), "ok-axpy", [&](std::size_t i) {
+    out[i] += alpha * xs[i];  // indexed write into the output partition
+  });
+}
+
+void blockwise_partial(Pool& pool, std::vector<double>& partials,
+                       const std::vector<double>& xs) {
+  parallel_for(pool, partials.size(), "ok-partial", [&](std::size_t b) {
+    double local = 0.0;  // body-local accumulator, folded per block
+    for (std::size_t j = b * 4; j < b * 4 + 4 && j < xs.size(); ++j) {
+      local += xs[j];
+    }
+    partials[b] = local;  // one writer per slot
+  });
+}
+
+double ordered_sum(const std::map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& kv : weights) {
+    total += kv.second;  // std::map iterates in key order: replayable
+  }
+  return total;
+}
+
+}  // namespace fixture

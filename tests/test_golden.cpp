@@ -24,6 +24,8 @@
 
 #include "common/json.hpp"
 #include "core/distributed.hpp"
+#include "core/logistic.hpp"
+#include "core/prox_cocoa.hpp"
 #include "core/prox_newton.hpp"
 #include "core/solvers.hpp"
 #include "data/synthetic.hpp"
@@ -306,6 +308,77 @@ TEST(Golden, ProxNewtonIsWidthInvariant) {
   const auto base = run_pn(1);
   const auto wide = run_pn(3);
   EXPECT_EQ(base.w, wide.w);
+}
+
+// ---------------------------------------------------------------------------
+// ProxCoCoA baseline (4 workers, adding aggregation).
+
+SolveResult run_proxcocoa(int threads) {
+  const auto dataset = golden_dataset();
+  const LassoProblem problem(dataset, 0.005);
+  CocoaOptions opts;
+  opts.max_rounds = 40;
+  opts.local_epochs = 2;
+  opts.procs = 4;
+  opts.seed = 42;
+  opts.threads = threads;
+  return solve_prox_cocoa(problem, opts);
+}
+
+TEST(Golden, ProxCocoaMatchesFixture) {
+  // The simulated 4-worker round schedule is a pure function of
+  // (problem, options) -- the fixture pins the whole objective trace
+  // bitwise, like the solver fixtures above.
+  check_against_fixture("proxcocoa", trajectory_of(run_proxcocoa(1)));
+}
+
+TEST(Golden, ProxCocoaIsWidthInvariant) {
+  const auto base = run_proxcocoa(1);
+  for (const int threads : {2, 7}) {
+    const auto wide = run_proxcocoa(threads);
+    EXPECT_EQ(base.w, wide.w) << "threads=" << threads;
+    EXPECT_EQ(base.objective, wide.objective) << "threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Logistic proximal Newton (RC-SFISTA inner on the sampled Hessian).
+
+data::Dataset golden_logistic_dataset() {
+  data::SyntheticOptions opts;
+  opts.num_samples = 400;
+  opts.num_features = 16;
+  opts.density = 0.4;
+  opts.binary_labels = true;
+  opts.noise_stddev = 0.3;
+  opts.seed = 29;
+  return data::make_regression(opts);
+}
+
+SolveResult run_logistic_pn(int threads) {
+  const auto dataset = golden_logistic_dataset();
+  const LogisticProblem problem(dataset, 0.002);
+  PnOptions opts;
+  opts.max_outer = 6;
+  opts.inner_iters = 20;
+  opts.hessian_sampling_rate = 0.3;
+  opts.inner = PnInnerSolver::kRcSfista;
+  opts.k = 2;
+  opts.s = 2;
+  opts.seed = 42;
+  opts.threads = threads;
+  return solve_logistic_prox_newton(problem, opts);
+}
+
+TEST(Golden, LogisticProxNewtonMatchesFixture) {
+  check_against_fixture("logistic_pn", trajectory_of(run_logistic_pn(1)));
+}
+
+TEST(Golden, LogisticProxNewtonIsWidthInvariant) {
+  const auto base = run_logistic_pn(1);
+  for (const int threads : {2, 7}) {
+    EXPECT_EQ(base.w, run_logistic_pn(threads).w) << "threads=" << threads;
+  }
 }
 
 }  // namespace

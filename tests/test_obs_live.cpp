@@ -89,7 +89,7 @@ TEST(TelemetryRing, ConcurrentProducerConsumer) {
   // ordering of the head/tail handoff).
   obs::TelemetryRing ring(64);
   constexpr std::size_t kEvents = 20000;
-  std::thread producer([&ring] {  // rcf-lint: allow(naked-thread)
+  std::thread producer([&ring] {  // rcf-analyze: allow(telemetry-discipline)
     for (std::size_t i = 0; i < kEvents; ++i) {
       ring.try_push(make_event(static_cast<double>(i)));
     }
@@ -214,7 +214,7 @@ TEST(MetricsSnapshot, MonotoneUnderConcurrentWriters) {
   auto& c = reg.counter("snap.mono.counter");
   auto& h = reg.histogram("snap.mono.hist");
   std::atomic<bool> stop{false};
-  std::thread writer([&] {  // rcf-lint: allow(naked-thread)
+  std::thread writer([&] {  // rcf-analyze: allow(telemetry-discipline)
     std::uint64_t i = 0;
     while (!stop.load(std::memory_order_relaxed)) {
       c.add(1);

@@ -1,0 +1,201 @@
+// Reporting for rcf-analyze: the annotated suppression baseline
+// (tools/analyze-baseline.json), the SARIF 2.1.0 emitter CI archives, and
+// the human-readable text report.  JSON in/out rides on rcf_common's
+// parse_json / json_escape so the tool shares one JSON dialect with the
+// rest of the repo.
+#include <algorithm>
+#include <cstddef>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze.hpp"
+#include "common/json.hpp"
+
+namespace rcf::analyze {
+
+namespace {
+
+std::string quoted(std::string_view s) {
+  std::string out = "\"";
+  json_escape_to(s, out);
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+bool load_baseline(const std::string& path, Baseline& out, std::string& err) {
+  std::ifstream in(path);
+  if (!in) {
+    return true;  // no baseline file: nothing suppressed
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto doc = parse_json(buf.str());
+  if (!doc || !doc->is_object()) {
+    err = path + ": not a JSON object";
+    return false;
+  }
+  const JsonValue* suppressions = doc->find("suppressions");
+  if (suppressions == nullptr || !suppressions->is_array()) {
+    err = path + ": missing \"suppressions\" array";
+    return false;
+  }
+  for (const JsonValue& e : suppressions->array) {
+    if (!e.is_object()) {
+      err = path + ": suppression entries must be objects";
+      return false;
+    }
+    Baseline::Entry entry;
+    entry.check = e.string_or("check", "");
+    entry.file = e.string_or("file", "");
+    entry.excerpt = e.string_or("excerpt", "");
+    entry.note = e.string_or("note", "");
+    if (entry.check.empty() || entry.file.empty()) {
+      err = path + ": every suppression needs \"check\" and \"file\"";
+      return false;
+    }
+    if (entry.note.empty()) {
+      err = path + ": suppression for " + entry.file +
+            " has no \"note\" -- baseline entries must explain why the "
+            "finding is acceptable";
+      return false;
+    }
+    out.entries.push_back(std::move(entry));
+  }
+  return true;
+}
+
+void apply_baseline(Baseline& baseline, std::vector<Finding>& findings) {
+  for (Finding& f : findings) {
+    if (f.waived) {
+      continue;
+    }
+    for (Baseline::Entry& e : baseline.entries) {
+      if (e.check == f.check && e.file == f.file &&
+          (e.excerpt.empty() || e.excerpt == f.excerpt)) {
+        f.baselined = true;
+        e.used = true;
+        break;
+      }
+    }
+  }
+}
+
+std::string render_baseline(const std::vector<Finding>& findings) {
+  std::string out = "{\n  \"suppressions\": [";
+  bool first = true;
+  std::set<std::string> seen;  // one entry per (check, file, excerpt) key
+  for (const Finding& f : findings) {
+    if (!active(f)) {
+      continue;
+    }
+    if (!seen.insert(f.check + "\x1f" + f.file + "\x1f" + f.excerpt)
+             .second) {
+      continue;
+    }
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\n      \"check\": " + quoted(f.check) + ",\n";
+    out += "      \"file\": " + quoted(f.file) + ",\n";
+    out += "      \"excerpt\": " + quoted(f.excerpt) + ",\n";
+    out += "      \"note\": \"NEEDS-REVIEW: justify or fix (finding at line " +
+           std::to_string(f.line) + ")\"\n    }";
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string render_sarif(const std::vector<Finding>& findings) {
+  std::string out;
+  out += "{\n";
+  out += "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [{\n";
+  out += "    \"tool\": {\"driver\": {\n";
+  out += "      \"name\": \"rcf-analyze\",\n";
+  out += "      \"informationUri\": "
+         "\"https://example.invalid/rcf/tools/analyze\",\n";
+  out += "      \"rules\": [";
+  bool first = true;
+  for (const CheckInfo& c : check_registry()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "        {\"id\": " + quoted(c.name) +
+           ", \"shortDescription\": {\"text\": " + quoted(c.summary) + "}}";
+  }
+  out += "\n      ]\n    }},\n";
+  out += "    \"results\": [";
+  first = true;
+  for (const Finding& f : findings) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "      {\n";
+    out += "        \"ruleId\": " + quoted(f.check) + ",\n";
+    out += "        \"level\": " +
+           std::string(active(f) ? "\"error\"" : "\"note\"") + ",\n";
+    out += "        \"message\": {\"text\": " + quoted(f.message) + "},\n";
+    if (!active(f)) {
+      out += "        \"suppressions\": [{\"kind\": " +
+             std::string(f.waived ? "\"inSource\"" : "\"external\"") +
+             "}],\n";
+    }
+    out += "        \"locations\": [{\"physicalLocation\": {\n";
+    out += "          \"artifactLocation\": {\"uri\": " + quoted(f.file) +
+           "},\n";
+    out += "          \"region\": {\"startLine\": " + std::to_string(f.line);
+    if (!f.excerpt.empty()) {
+      out += ", \"snippet\": {\"text\": " + quoted(f.excerpt) + "}";
+    }
+    out += "}\n        }}]\n      }";
+  }
+  out += first ? "]\n" : "\n    ]\n";
+  out += "  }]\n}\n";
+  return out;
+}
+
+std::size_t render_text(const std::vector<Finding>& findings,
+                        const Baseline& baseline, std::string& out) {
+  std::size_t n_active = 0;
+  std::size_t n_waived = 0;
+  std::size_t n_baselined = 0;
+  for (const Finding& f : findings) {
+    if (f.waived) {
+      ++n_waived;
+      continue;
+    }
+    if (f.baselined) {
+      ++n_baselined;
+      continue;
+    }
+    ++n_active;
+    out += f.file + ":" + std::to_string(f.line) + ": [" + f.check + "] " +
+           f.message + "\n";
+    if (!f.excerpt.empty()) {
+      out += "    " + f.excerpt + "\n";
+    }
+  }
+  std::size_t stale = 0;
+  for (const Baseline::Entry& e : baseline.entries) {
+    if (!e.used) {
+      ++stale;
+      out += "note: stale baseline entry (" + e.check + " in " + e.file +
+             ") no longer matches any finding -- drop it from the "
+             "baseline\n";
+    }
+  }
+  out += "rcf-analyze: " + std::to_string(n_active) + " finding" +
+         (n_active == 1 ? "" : "s") + " (" + std::to_string(n_waived) +
+         " waived inline, " + std::to_string(n_baselined) + " baselined";
+  if (stale > 0) {
+    out += ", " + std::to_string(stale) + " stale baseline entr" +
+           (stale == 1 ? "y" : "ies");
+  }
+  out += ")\n";
+  return n_active;
+}
+
+}  // namespace rcf::analyze

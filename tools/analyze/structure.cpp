@@ -1,0 +1,365 @@
+// Structural pass for rcf-analyze: finds function definitions at namespace
+// and class scope and parses each body into a statement tree (blocks,
+// if/else, loops, switch, try/catch, return/throw, expression statements).
+// This is deliberately a micro-parser, not a grammar: it only needs to be
+// right about the shapes the checks reason over -- control-flow nesting,
+// early exits, and statement token ranges -- and to fail soft (skip the
+// construct) everywhere else.
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "analyze.hpp"
+
+namespace rcf::analyze {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+bool is(const Token& t, const char* text) { return t.text == text; }
+
+bool is_any(const Token& t, std::initializer_list<const char*> texts) {
+  for (const char* s : texts) {
+    if (t.text == s) {
+      return true;
+    }
+  }
+  return false;
+}
+
+struct Parser {
+  const SourceFile& src;
+  std::vector<Function>& out;
+
+  [[nodiscard]] std::size_t skip_balanced(std::size_t i) const {
+    // i points at an opening bracket; returns index past its match (or
+    // past-the-end when unmatched, which aborts the enclosing scan).
+    const std::size_t m = src.match[i];
+    return m == kNone ? src.toks.size() : m + 1;
+  }
+
+  // -- statement parsing ----------------------------------------------------
+
+  /// Parses one statement starting at `i` (< limit); returns the index past
+  /// it.  Appends the parsed statement to `dst`.
+  std::size_t parse_stmt(std::size_t i, std::size_t limit,
+                         std::vector<Stmt>& dst) {
+    const auto& toks = src.toks;
+    Stmt s;
+    s.begin = i;
+    if (is(toks[i], "{")) {
+      const std::size_t close = src.match[i];
+      if (close == kNone || close > limit) {
+        return limit;
+      }
+      s.kind = Stmt::Kind::kBlock;
+      parse_block(i + 1, close, s.children);
+      s.end = close + 1;
+      dst.push_back(std::move(s));
+      return close + 1;
+    }
+    if (is(toks[i], "if")) {
+      std::size_t j = i + 1;
+      if (j < limit && is(toks[j], "constexpr")) {
+        ++j;
+      }
+      if (j >= limit || !is(toks[j], "(")) {
+        return consume_expr(i, limit, dst);
+      }
+      const std::size_t close = src.match[j];
+      if (close == kNone || close >= limit) {
+        return limit;
+      }
+      s.kind = Stmt::Kind::kIf;
+      s.cond_begin = j + 1;
+      s.cond_end = close;
+      std::size_t k = parse_stmt(close + 1, limit, s.children);
+      if (k < limit && is(toks[k], "else")) {
+        k = parse_stmt(k + 1, limit, s.children);
+      }
+      s.end = k;
+      dst.push_back(std::move(s));
+      return k;
+    }
+    if (is_any(toks[i], {"for", "while"})) {
+      std::size_t j = i + 1;
+      if (j < limit && is(toks[j], "(")) {
+        const std::size_t close = src.match[j];
+        if (close == kNone || close >= limit) {
+          return limit;
+        }
+        s.kind = Stmt::Kind::kLoop;
+        s.cond_begin = j + 1;
+        s.cond_end = close;
+        const std::size_t k = parse_stmt(close + 1, limit, s.children);
+        s.end = k;
+        dst.push_back(std::move(s));
+        return k;
+      }
+      return consume_expr(i, limit, dst);
+    }
+    if (is(toks[i], "do")) {
+      s.kind = Stmt::Kind::kLoop;
+      std::size_t k = parse_stmt(i + 1, limit, s.children);
+      // Trailer: while ( cond ) ;
+      if (k < limit && is(toks[k], "while") && k + 1 < limit &&
+          is(toks[k + 1], "(")) {
+        const std::size_t close = src.match[k + 1];
+        if (close != kNone && close < limit) {
+          s.cond_begin = k + 2;
+          s.cond_end = close;
+          k = close + 1;
+          if (k < limit && is(toks[k], ";")) {
+            ++k;
+          }
+        }
+      }
+      s.end = k;
+      dst.push_back(std::move(s));
+      return k;
+    }
+    if (is(toks[i], "switch")) {
+      std::size_t j = i + 1;
+      if (j < limit && is(toks[j], "(")) {
+        const std::size_t close = src.match[j];
+        if (close == kNone || close >= limit) {
+          return limit;
+        }
+        s.kind = Stmt::Kind::kSwitch;
+        s.cond_begin = j + 1;
+        s.cond_end = close;
+        const std::size_t k = parse_stmt(close + 1, limit, s.children);
+        s.end = k;
+        dst.push_back(std::move(s));
+        return k;
+      }
+      return consume_expr(i, limit, dst);
+    }
+    if (is_any(toks[i], {"return", "throw", "co_return"})) {
+      s.kind = is(toks[i], "throw") ? Stmt::Kind::kThrow : Stmt::Kind::kReturn;
+      const std::size_t k = scan_to_semicolon(i + 1, limit);
+      s.end = k;
+      dst.push_back(std::move(s));
+      return k;
+    }
+    if (is(toks[i], "try")) {
+      s.kind = Stmt::Kind::kTry;
+      std::size_t k = parse_stmt(i + 1, limit, s.children);
+      while (k < limit && is(toks[k], "catch")) {
+        std::size_t j = k + 1;
+        if (j < limit && is(toks[j], "(")) {
+          const std::size_t close = src.match[j];
+          if (close == kNone || close >= limit) {
+            return limit;
+          }
+          k = parse_stmt(close + 1, limit, s.children);
+        } else {
+          break;
+        }
+      }
+      s.end = k;
+      dst.push_back(std::move(s));
+      return k;
+    }
+    if (is_any(toks[i], {"case", "default"})) {
+      // Consume to the label colon (skip :: which never labels).
+      std::size_t j = i + 1;
+      while (j < limit && !is(toks[j], ":")) {
+        if (is_any(toks[j], {"(", "[", "{"})) {
+          j = skip_balanced(j);
+        } else {
+          ++j;
+        }
+      }
+      return j < limit ? j + 1 : limit;
+    }
+    if (is_any(toks[i], {";", "else"})) {
+      return i + 1;  // stray separators: skip
+    }
+    return consume_expr(i, limit, dst);
+  }
+
+  /// Everything else: one expression/declaration statement up to its `;`.
+  std::size_t consume_expr(std::size_t i, std::size_t limit,
+                           std::vector<Stmt>& dst) {
+    Stmt s;
+    s.kind = Stmt::Kind::kExpr;
+    s.begin = i;
+    const std::size_t k = scan_to_semicolon(i, limit);
+    s.end = k;
+    dst.push_back(std::move(s));
+    return k;
+  }
+
+  /// Scans to the `;` terminating the statement starting at `i`, skipping
+  /// balanced (), [], {} groups (lambda bodies, brace initializers, local
+  /// struct definitions ride along inside the statement's range).
+  [[nodiscard]] std::size_t scan_to_semicolon(std::size_t i,
+                                              std::size_t limit) const {
+    std::size_t j = i;
+    while (j < limit) {
+      const std::string& t = src.toks[j].text;
+      if (t == ";") {
+        return j + 1;
+      }
+      if (t == "(" || t == "[" || t == "{") {
+        j = skip_balanced(j);
+        continue;
+      }
+      if (t == ")" || t == "]" || t == "}") {
+        return j;  // ran off the enclosing scope: stop before it
+      }
+      ++j;
+    }
+    return limit;
+  }
+
+  void parse_block(std::size_t begin, std::size_t end,
+                   std::vector<Stmt>& dst) {
+    std::size_t i = begin;
+    while (i < end) {
+      const std::size_t next = parse_stmt(i, end, dst);
+      if (next <= i) {
+        break;  // no progress: bail on this block
+      }
+      i = next;
+    }
+  }
+
+  // -- declaration-scope scanning ------------------------------------------
+
+  /// Scans a namespace/class scope [begin, end) for function definitions,
+  /// recursing into nested namespaces and class bodies.
+  void scan_decl_scope(std::size_t begin, std::size_t end) {  // NOLINT(misc-no-recursion)
+    const auto& toks = src.toks;
+    std::size_t i = begin;
+    std::size_t decl_start = begin;
+    std::size_t paren_group = kNone;  // first top-level (...) of the decl
+    bool saw_eq = false;
+    while (i < end) {
+      const std::string& t = toks[i].text;
+      if (t == ";") {
+        decl_start = i + 1;
+        paren_group = kNone;
+        saw_eq = false;
+        ++i;
+        continue;
+      }
+      if (t == "(") {
+        if (paren_group == kNone && i > decl_start &&
+            toks[i - 1].kind == Token::Kind::kIdent) {
+          paren_group = i;
+        }
+        i = skip_balanced(i);
+        continue;
+      }
+      if (t == "[") {
+        i = skip_balanced(i);
+        continue;
+      }
+      if (t == "=") {
+        if (!(i > decl_start && is(toks[i - 1], "operator"))) {
+          saw_eq = true;
+        }
+        ++i;
+        continue;
+      }
+      if (t == ":" && paren_group != kNone && !saw_eq && i > decl_start &&
+          is_any(toks[i - 1], {")", "noexcept", "const"})) {
+        // Constructor initializer list: member(expr) or member{expr},
+        // comma-separated, then the body brace.
+        std::size_t j = i + 1;
+        while (j < end) {
+          if (is_any(toks[j], {"(", "{"})) {
+            const std::size_t after = skip_balanced(j);
+            if (after > end) {
+              break;
+            }
+            if (after < end && is(toks[after], ",")) {
+              j = after + 1;
+              continue;
+            }
+            if (is(toks[j], "{") && src.match[j] != kNone &&
+                (after >= end || !is(toks[after], "{"))) {
+              // Last init used parens and the body follows, or this brace
+              // *is* the body; disambiguate: if the previous token is an
+              // identifier this brace is a member init, else it is the
+              // body.
+              if (toks[j - 1].kind == Token::Kind::kIdent) {
+                j = after;  // member{...} with no comma: body comes next
+                break;
+              }
+              break;
+            }
+            j = after;
+            break;
+          }
+          ++j;
+        }
+        i = j;
+        continue;
+      }
+      if (t == "{") {
+        const std::size_t close = src.match[i];
+        if (close == kNone || close > end) {
+          return;
+        }
+        // Classify this brace from the declaration prefix.
+        const char* scope_kw = nullptr;
+        for (std::size_t j = decl_start; j < i; ++j) {
+          if (is_any(toks[j], {"namespace", "class", "struct", "union",
+                               "enum", "extern"})) {
+            scope_kw = "scope";
+            break;
+          }
+          if (is(toks[j], "(")) {
+            break;  // parameters before any scope keyword: a function
+          }
+        }
+        if (scope_kw != nullptr && paren_group == kNone) {
+          scan_decl_scope(i + 1, close);  // namespace/class body: recurse
+          i = close + 1;
+          // Class tails (`} name;`) keep the decl open until ';'.
+          continue;
+        }
+        if (saw_eq || paren_group == kNone) {
+          i = close + 1;  // initializer or unrecognized brace: skip
+          continue;
+        }
+        // Function definition.
+        Function fn;
+        fn.name = toks[paren_group - 1].text;
+        fn.line = toks[i].line;
+        fn.body_begin = i + 1;
+        fn.body_end = close;
+        fn.body.kind = Stmt::Kind::kBlock;
+        fn.body.begin = i + 1;
+        fn.body.end = close;
+        parse_block(i + 1, close, fn.body.children);
+        out.push_back(std::move(fn));
+        i = close + 1;
+        decl_start = i;
+        paren_group = kNone;
+        saw_eq = false;
+        continue;
+      }
+      ++i;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Function> parse_functions(const SourceFile& src) {
+  std::vector<Function> out;
+  if (!src.balanced) {
+    return out;
+  }
+  Parser parser{src, out};
+  parser.scan_decl_scope(0, src.toks.size());
+  return out;
+}
+
+}  // namespace rcf::analyze

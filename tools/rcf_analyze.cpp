@@ -1,0 +1,373 @@
+// rcf-analyze CLI: compile-time SPMD collective-matching, determinism, and
+// handle-lifecycle analyzer (see tools/analyze/analyze.hpp for the checks).
+//
+// Translation units come from a compile_commands.json when one is given or
+// discoverable (build/compile_commands.json under --root); headers and any
+// sources the compile DB misses are swept up by a directory walk over
+// src/, tools/, bench/, examples/, and tests/ (minus the seeded-bad
+// fixture corpus in tests/analyze/).  With --require-compdb the tool exits
+// 77 -- the ctest SKIP return code -- when no compile DB exists, so the
+// repo-wide analysis gate degrades to SKIP, not FAIL, on hosts that have
+// not configured a build.
+//
+// Exit codes: 0 clean, 1 active findings (or stale baseline entries),
+// 2 usage/configuration error, 77 skipped (no compile DB).
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyze/analyze.hpp"
+#include "common/json.hpp"
+
+namespace fs = std::filesystem;
+using rcf::analyze::Baseline;
+using rcf::analyze::Finding;
+
+namespace {
+
+constexpr int kExitClean = 0;
+constexpr int kExitFindings = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitSkip = 77;
+
+void usage(std::ostream& os) {
+  os << "usage: rcf-analyze [options] [file...]\n"
+        "\n"
+        "Static analyzer for the rcf SPMD contracts.  With no files, scans\n"
+        "the repo under --root (compile DB translation units + headers).\n"
+        "\n"
+        "  --root <dir>            repo root (default: .)\n"
+        "  --compdb <path>         compile_commands.json (default:\n"
+        "                          <root>/build/compile_commands.json)\n"
+        "  --require-compdb        exit 77 (skip) when no compile DB exists\n"
+        "  --baseline <path>       suppression file (default:\n"
+        "                          <root>/tools/analyze-baseline.json)\n"
+        "  --no-baseline           ignore any baseline file\n"
+        "  --write-baseline <path> write active findings as a baseline and\n"
+        "                          exit 0\n"
+        "  --sarif <path>          also write a SARIF 2.1.0 report\n"
+        "  --check <name>          run only this check (repeatable)\n"
+        "  --scope-as <prefix>     analyze explicit files as if they lived\n"
+        "                          under this repo prefix (fixture corpus)\n"
+        "  --list-checks           print the check registry and exit\n";
+}
+
+std::optional<std::string> slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// `p` made relative to `root` with POSIX separators; empty when `p` is
+/// not under `root`.
+std::string rel_to_root(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(p, root, ec);
+  if (ec || rel.empty()) {
+    return {};
+  }
+  std::string s = rel.generic_string();
+  if (s.rfind("..", 0) == 0) {
+    return {};
+  }
+  return s;
+}
+
+bool has_source_ext(const fs::path& p) {
+  const std::string e = p.extension().string();
+  return e == ".cpp" || e == ".cc" || e == ".cxx" || e == ".hpp" ||
+         e == ".h" || e == ".hh";
+}
+
+/// The repo surface the analyzer owns.  tests/analyze/ is the seeded-bad
+/// fixture corpus -- analyzed only via the fixture tests, never in the
+/// repo sweep.
+bool in_scanned_tree(const std::string& rel) {
+  static constexpr const char* kTrees[] = {"src/", "tools/", "bench/",
+                                           "examples/", "tests/"};
+  if (rel.rfind("tests/analyze/", 0) == 0) {
+    return false;
+  }
+  return std::any_of(std::begin(kTrees), std::end(kTrees),
+                     [&](const char* t) { return rel.rfind(t, 0) == 0; });
+}
+
+struct Options {
+  fs::path root = ".";
+  fs::path compdb;        // resolved later when empty
+  fs::path baseline;      // resolved later when empty
+  fs::path write_baseline;
+  fs::path sarif;
+  std::set<std::string> checks;
+  std::string scope_as;
+  std::vector<fs::path> files;
+  bool require_compdb = false;
+  bool no_baseline = false;
+  bool list_checks = false;
+};
+
+bool parse_args(int argc, char** argv, Options& opt, std::string& err) {
+  const auto need_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      err = std::string(flag) + " needs a value";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const char* v = nullptr;
+    if (a == "--root") {
+      if ((v = need_value(i, "--root")) == nullptr) return false;
+      opt.root = v;
+    } else if (a == "--compdb") {
+      if ((v = need_value(i, "--compdb")) == nullptr) return false;
+      opt.compdb = v;
+    } else if (a == "--baseline") {
+      if ((v = need_value(i, "--baseline")) == nullptr) return false;
+      opt.baseline = v;
+    } else if (a == "--write-baseline") {
+      if ((v = need_value(i, "--write-baseline")) == nullptr) return false;
+      opt.write_baseline = v;
+    } else if (a == "--sarif") {
+      if ((v = need_value(i, "--sarif")) == nullptr) return false;
+      opt.sarif = v;
+    } else if (a == "--check") {
+      if ((v = need_value(i, "--check")) == nullptr) return false;
+      const auto& reg = rcf::analyze::check_registry();
+      const bool known = std::any_of(
+          reg.begin(), reg.end(),
+          [&](const rcf::analyze::CheckInfo& c) {
+            return std::string_view(c.name) == v;
+          });
+      if (!known) {
+        err = std::string("unknown check '") + v + "' (see --list-checks)";
+        return false;
+      }
+      opt.checks.insert(v);
+    } else if (a == "--scope-as") {
+      if ((v = need_value(i, "--scope-as")) == nullptr) return false;
+      opt.scope_as = v;
+    } else if (a == "--require-compdb") {
+      opt.require_compdb = true;
+    } else if (a == "--no-baseline") {
+      opt.no_baseline = true;
+    } else if (a == "--list-checks") {
+      opt.list_checks = true;
+    } else if (a == "--help" || a == "-h") {
+      usage(std::cout);
+      std::exit(kExitClean);
+    } else if (!a.empty() && a[0] == '-') {
+      err = "unknown option '" + a + "'";
+      return false;
+    } else {
+      opt.files.emplace_back(a);
+    }
+  }
+  return true;
+}
+
+/// Translation units named by the compile DB, repo-relative.  Returns
+/// false on a malformed DB.
+bool compdb_files(const fs::path& compdb, const fs::path& root,
+                  std::set<std::string>& out, std::string& err) {
+  const auto text = slurp(compdb);
+  if (!text) {
+    err = compdb.string() + ": unreadable";
+    return false;
+  }
+  const auto doc = rcf::parse_json(*text);
+  if (!doc || !doc->is_array()) {
+    err = compdb.string() + ": not a JSON array (compile_commands.json)";
+    return false;
+  }
+  for (const rcf::JsonValue& entry : doc->array) {
+    const std::string file = entry.string_or("file", "");
+    if (file.empty()) {
+      continue;
+    }
+    fs::path p(file);
+    if (p.is_relative()) {
+      p = fs::path(entry.string_or("directory", ".")) / p;
+    }
+    std::error_code ec;
+    p = fs::weakly_canonical(p, ec);
+    if (ec) {
+      continue;
+    }
+    const std::string rel = rel_to_root(p, root);
+    if (!rel.empty() && in_scanned_tree(rel)) {
+      out.insert(rel);
+    }
+  }
+  return true;
+}
+
+void walk_tree(const fs::path& root, std::set<std::string>& out) {
+  for (const char* tree : {"src", "tools", "bench", "examples", "tests"}) {
+    const fs::path dir = root / tree;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) {
+      continue;
+    }
+    for (auto it = fs::recursive_directory_iterator(dir, ec);
+         !ec && it != fs::recursive_directory_iterator(); ++it) {
+      if (!it->is_regular_file(ec) || !has_source_ext(it->path())) {
+        continue;
+      }
+      const std::string rel = rel_to_root(it->path(), root);
+      if (!rel.empty() && in_scanned_tree(rel)) {
+        out.insert(rel);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  std::string err;
+  if (!parse_args(argc, argv, opt, err)) {
+    std::cerr << "rcf-analyze: " << err << "\n";
+    usage(std::cerr);
+    return kExitUsage;
+  }
+  if (opt.list_checks) {
+    for (const auto& c : rcf::analyze::check_registry()) {
+      std::cout << c.name << "\t" << c.summary << "\n";
+    }
+    return kExitClean;
+  }
+
+  std::error_code ec;
+  const fs::path root = fs::weakly_canonical(opt.root, ec);
+  if (ec || !fs::is_directory(root)) {
+    std::cerr << "rcf-analyze: --root " << opt.root.string()
+              << " is not a directory\n";
+    return kExitUsage;
+  }
+
+  // Assemble the file set.
+  std::set<std::string> rel_files;           // repo-relative
+  std::vector<fs::path> explicit_files;      // analyzed verbatim
+  if (!opt.files.empty()) {
+    explicit_files = opt.files;
+  } else {
+    const fs::path compdb = opt.compdb.empty()
+                                ? root / "build" / "compile_commands.json"
+                                : opt.compdb;
+    const bool have_compdb = fs::is_regular_file(compdb, ec);
+    if (opt.require_compdb && !have_compdb) {
+      std::cout << "rcf-analyze: no compile database at " << compdb.string()
+                << " -- skipping (configure with cmake -B build first)\n";
+      return kExitSkip;
+    }
+    if (have_compdb) {
+      if (!compdb_files(compdb, root, rel_files, err)) {
+        std::cerr << "rcf-analyze: " << err << "\n";
+        return kExitUsage;
+      }
+    } else if (!opt.compdb.empty()) {
+      std::cerr << "rcf-analyze: --compdb " << opt.compdb.string()
+                << " is unreadable\n";
+      return kExitUsage;
+    }
+    // Headers (and, without a compile DB, everything) via directory walk.
+    walk_tree(root, rel_files);
+  }
+
+  // Analyze.
+  std::vector<Finding> findings;
+  const auto analyze_one = [&](const std::string& rel_path,
+                               const fs::path& disk_path,
+                               std::string_view scope_as) -> bool {
+    const auto text = slurp(disk_path);
+    if (!text) {
+      std::cerr << "rcf-analyze: cannot read " << disk_path.string() << "\n";
+      return false;
+    }
+    const rcf::analyze::SourceFile src =
+        rcf::analyze::lex_source(rel_path, *text);
+    const auto fns = rcf::analyze::parse_functions(src);
+    rcf::analyze::run_checks(src, fns, opt.checks, scope_as, findings);
+    return true;
+  };
+  bool io_ok = true;
+  for (const std::string& rel : rel_files) {
+    io_ok = analyze_one(rel, root / rel, {}) && io_ok;
+  }
+  for (const fs::path& p : explicit_files) {
+    std::string rel = rel_to_root(fs::weakly_canonical(p, ec), root);
+    if (rel.empty()) {
+      rel = p.generic_string();
+    }
+    io_ok = analyze_one(rel, p, opt.scope_as) && io_ok;
+  }
+  if (!io_ok) {
+    return kExitUsage;
+  }
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+
+  // Baseline.
+  Baseline baseline;
+  if (!opt.no_baseline && opt.write_baseline.empty()) {
+    const fs::path bl = opt.baseline.empty()
+                            ? root / "tools" / "analyze-baseline.json"
+                            : opt.baseline;
+    if (!rcf::analyze::load_baseline(bl.string(), baseline, err)) {
+      std::cerr << "rcf-analyze: " << err << "\n";
+      return kExitUsage;
+    }
+    rcf::analyze::apply_baseline(baseline, findings);
+  }
+
+  if (!opt.write_baseline.empty()) {
+    std::ofstream out(opt.write_baseline);
+    out << rcf::analyze::render_baseline(findings);
+    if (!out) {
+      std::cerr << "rcf-analyze: cannot write "
+                << opt.write_baseline.string() << "\n";
+      return kExitUsage;
+    }
+    std::cout << "rcf-analyze: baseline written to "
+              << opt.write_baseline.string() << "\n";
+    return kExitClean;
+  }
+
+  if (!opt.sarif.empty()) {
+    std::ofstream out(opt.sarif);
+    out << rcf::analyze::render_sarif(findings);
+    if (!out) {
+      std::cerr << "rcf-analyze: cannot write " << opt.sarif.string() << "\n";
+      return kExitUsage;
+    }
+  }
+
+  std::string report;
+  const std::size_t n_active =
+      rcf::analyze::render_text(findings, baseline, report);
+  std::cout << report;
+  const bool stale = std::any_of(baseline.entries.begin(),
+                                 baseline.entries.end(),
+                                 [](const Baseline::Entry& e) {
+                                   return !e.used;
+                                 });
+  return (n_active > 0 || stale) ? kExitFindings : kExitClean;
+}
