@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -238,6 +239,92 @@ BENCHMARK(BM_SymvPooled)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Backend rows: scalar-vs-SIMD roofline comparison (see DESIGN.md "Kernel
+// backends").  The benchmark loop runs under the SIMD backend; the scalar
+// reference time for the same call is measured inline and published as
+// `simd_speedup` (scalar seconds per call / SIMD seconds per call), so one
+// `--benchmark_format=json` capture carries both sides of the comparison.
+// With --counters the rows also report the usual roofline counters for the
+// SIMD side.
+
+template <typename Fn>
+void run_backend_pair(benchmark::State& state, double flops_per_iter,
+                      const Fn& call) {
+  double scalar_sec = 0.0;
+  {
+    la::ScopedBackend scoped(la::Backend::kScalar);
+    scalar_sec = sequential_seconds(call, 3);
+  }
+  la::ScopedBackend scoped(la::Backend::kSimd);
+  WallTimer wall;
+  run_kernel(state, flops_per_iter, call);
+  const double total = wall.seconds();
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["simd_speedup"] =
+      (iters > 0 && total > 0.0) ? scalar_sec / (total / iters) : 0.0;
+}
+
+void BM_GemmBackend(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  la::Matrix a(d, d, 0.5), b(d, d, 0.25), c(d, d);
+  const double dd = static_cast<double>(d);
+  run_backend_pair(state, 2.0 * dd * dd * dd, [&] {
+    la::gemm(1.0, a, b, 0.0, c);
+    benchmark::DoNotOptimize(c.data());
+  });
+}
+BENCHMARK(BM_GemmBackend)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_SyrkBackend(benchmark::State& state) {
+  // The dense Gram kernel H = A A^T: the shape RC-SFISTA hits on dense
+  // clones (d x mbar sampled block).
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = 512;
+  la::Matrix a(d, k, 0.5), c(d, d);
+  run_backend_pair(
+      state, static_cast<double>(d) * static_cast<double>(d) *
+                 static_cast<double>(k),
+      [&] {
+        la::syrk(1.0, a, 0.0, c);
+        benchmark::DoNotOptimize(c.data());
+      });
+}
+BENCHMARK(BM_SyrkBackend)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_SampledGramBackend(benchmark::State& state) {
+  // Dense rows take the four-sample fused SIMD path in sampled_gram.
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const auto mat = make_matrix(2000, d, 1.0);
+  la::Vector y(2000, 1.0);
+  la::Matrix h(d, d);
+  la::Vector r(d);
+  Rng rng(42, 1);
+  const auto idx = rng.sample_without_replacement(2000, 500);
+  const double dd = static_cast<double>(d);
+  const double flops =
+      static_cast<double>(idx.size()) * (2.0 * dd * dd + 2.0 * dd);
+  run_backend_pair(state, flops, [&] {
+    benchmark::DoNotOptimize(
+        sparse::sampled_gram(mat, y.span(), idx, h, r.span()));
+  });
+}
+BENCHMARK(BM_SampledGramBackend)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SpMVBackend(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto mat = make_matrix(rows, 256, 0.2);
+  std::vector<double> x(256, 1.0), y(rows);
+  run_backend_pair(state, 2.0 * static_cast<double>(mat.nnz()), [&] {
+    mat.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  });
+}
+BENCHMARK(BM_SpMVBackend)->Arg(10000)->Unit(benchmark::kMillisecond);
+
 void BM_Gemv(benchmark::State& state) {
   const auto d = static_cast<std::size_t>(state.range(0));
   la::Matrix h(d, d, 0.5);
@@ -367,20 +454,30 @@ BENCHMARK(BM_SolverIteration)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-// Custom main (instead of benchmark::benchmark_main): strips --counters
-// before google-benchmark parses the argv (it rejects unknown flags), and
-// turns on the obs::PerfScope sampling that rides the exec::Pool kernel
-// spans for the pooled rows.
+// Custom main (instead of benchmark::benchmark_main): strips --counters and
+// --backend before google-benchmark parses the argv (it rejects unknown
+// flags), and turns on the obs::PerfScope sampling that rides the exec::Pool
+// kernel spans for the pooled rows.
 int main(int argc, char** argv) {
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
+  std::string backend_value;
   for (int i = 0; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--counters") {
+    const std::string_view arg(argv[i]);
+    if (arg == "--counters") {
       g_counters = true;
+      continue;
+    }
+    constexpr std::string_view kBackendPrefix = "--backend=";
+    if (arg.substr(0, kBackendPrefix.size()) == kBackendPrefix) {
+      backend_value = arg.substr(kBackendPrefix.size());
       continue;
     }
     args.push_back(argv[i]);
   }
+  // Default backend for the plain rows; the BM_*Backend rows pin their own.
+  const rcf::la::Backend backend =
+      rcf::la::install_backend_from(backend_value);
   if (g_counters) {
     rcf::obs::set_perf_scopes_enabled(true);
     if (!rcf::obs::PerfCounters::supported()) {
@@ -399,6 +496,7 @@ int main(int argc, char** argv) {
 #ifdef RCF_BUILD_FLAGS
   benchmark::AddCustomContext("rcf_build_flags", RCF_BUILD_FLAGS);
 #endif
+  benchmark::AddCustomContext("rcf_backend", rcf::la::backend_name(backend));
   if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
     return 1;
   }

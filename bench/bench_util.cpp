@@ -110,6 +110,10 @@ void add_common_flags(CliParser& cli) {
                "intra-rank pool threads per rank (1 = sequential, 0 = "
                "hardware/ranks; env RCF_THREADS when flag absent)",
                "");
+  cli.add_flag("backend",
+               "kernel backend: scalar|simd (env RCF_BACKEND when flag "
+               "absent)",
+               "");
 }
 
 int requested_threads(const CliParser& cli) {
@@ -123,6 +127,10 @@ int requested_threads(const CliParser& cli) {
 }
 
 obs::ScopedSession start_observability(const CliParser& cli) {
+  // Every bench calls this right after parsing, so installing the kernel
+  // backend here gives all binaries the --backend knob without per-main
+  // plumbing.  CLI wins over RCF_BACKEND; default scalar.
+  la::install_backend_from(cli.get_string("backend", ""));
   std::string live = cli.get_string("live", "");
   if (live == "1") {
     live = "rcf_live.jsonl";

@@ -9,6 +9,7 @@
 //   --lambda-ratio=<f>            lambda as a fraction of lambda_max (0.1)
 //   --seed=<n>                    experiment seed
 //   --machine=<name>              comet | spark | ethernet | infiniband
+//   --backend=<name>              scalar | simd kernel backend
 #pragma once
 
 #include <memory>
@@ -54,8 +55,10 @@ void add_common_flags(CliParser& cli);
 /// Starts the global trace session from --trace-out / --trace-jsonl /
 /// --metrics-out and the live monitor from --live (registered by
 /// add_common_flags; --live=1 maps to rcf_live.jsonl, matching RCF_LIVE).
-/// Keep the returned guard alive for the whole run; it writes the outputs
-/// on destruction.  Inert when none of the flags were given.
+/// Also installs the kernel backend from --backend / RCF_BACKEND (CLI wins)
+/// so every bench honors the knob uniformly.  Keep the returned guard alive
+/// for the whole run; it writes the outputs on destruction.  Inert when
+/// none of the flags were given.
 [[nodiscard]] obs::ScopedSession start_observability(const CliParser& cli);
 
 /// Build provenance baked in at compile time (bench/CMakeLists.txt stamps

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "dist/comm.hpp"
+#include "la/backend.hpp"
 #include "la/vector.hpp"
 #include "model/cost.hpp"
 #include "obs/aggregate.hpp"
@@ -42,6 +43,12 @@ struct IterationRecord {
 struct SolveResult {
   la::Vector w;              ///< final iterate.
   std::string solver;        ///< solver name ("rc-sfista", ...).
+  /// Kernel backend ("scalar" / "simd") active when the solver constructed
+  /// this result -- solvers build their SolveResult at solve start, so this
+  /// records the backend the trajectory was computed with (trajectories are
+  /// backend-dependent; see la/backend.hpp and the per-backend golden
+  /// fixtures).  Stamped here once rather than at each solver site.
+  std::string backend = la::backend_name(la::active_backend());
   int iterations = 0;        ///< iterations actually executed.
   bool converged = false;    ///< tol-based stop triggered.
   /// Structured failure flag: the solve was rejected (poisoned payload

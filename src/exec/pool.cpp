@@ -182,6 +182,16 @@ std::span<double> Pool::scratch(int thread, std::size_t n) {
   return {arena.data(), n};
 }
 
+std::span<double> Pool::aligned_scratch(int thread, std::size_t n) {
+  constexpr std::size_t kPad = kScratchAlign / sizeof(double);
+  auto raw = scratch(thread, n + kPad - 1);
+  const auto addr = reinterpret_cast<std::uintptr_t>(raw.data());
+  const std::size_t skip =
+      ((kScratchAlign - addr % kScratchAlign) % kScratchAlign) /
+      sizeof(double);
+  return raw.subspan(skip, n);
+}
+
 int Pool::resolve_width(int requested, int ranks) {
   RCF_CHECK_MSG(requested >= 0, "exec::Pool: threads must be >= 0");
   if (requested > 0) {

@@ -44,6 +44,10 @@ class Counter;
 
 namespace rcf::exec {
 
+/// Alignment (bytes) guaranteed by Pool::aligned_scratch -- one full SIMD
+/// vector (la::simd::kLanes doubles).
+inline constexpr std::size_t kScratchAlign = 32;
+
 /// Half-open index range [begin, end).
 struct Range {
   std::size_t begin = 0;
@@ -91,6 +95,13 @@ class Pool {
   /// grows) across dispatches.  Contents are unspecified on entry.  Must
   /// only be called with the caller's own task index.
   std::span<double> scratch(int thread, std::size_t n);
+
+  /// scratch() with the returned pointer aligned to kScratchAlign bytes
+  /// (the SIMD vector width), for packed panels in the vectorized kernel
+  /// backend.  Same arena, same lifetime rules; alignment is a performance
+  /// contract only -- SIMD loads are position-based (memcpy), so results
+  /// never depend on it.
+  std::span<double> aligned_scratch(int thread, std::size_t n);
 
   /// Resolves a requested width: > 0 is taken literally; 0 means the
   /// hardware concurrency divided by `ranks` (at least 1), so SPMD ranks

@@ -1,0 +1,73 @@
+#include "la/backend.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace rcf::la {
+
+namespace {
+
+// kUnset sentinel keeps the env read lazy: the first active_backend() call
+// resolves RCF_BACKEND exactly once, after which the atomic holds a real
+// Backend value.  Kernels pay one relaxed load per call.
+constexpr int kUnset = -1;
+std::atomic<int> g_backend{kUnset};
+
+}  // namespace
+
+const char* backend_name(Backend b) {
+  return b == Backend::kSimd ? "simd" : "scalar";
+}
+
+Backend parse_backend(std::string_view name) {
+  if (name == "scalar") {
+    return Backend::kScalar;
+  }
+  if (name == "simd") {
+    return Backend::kSimd;
+  }
+  throw InvalidArgument("unknown kernel backend '" + std::string(name) +
+                        "' (expected scalar or simd)");
+}
+
+Backend backend_from_env(Backend fallback) {
+  const char* env = std::getenv("RCF_BACKEND");
+  if (env == nullptr || *env == '\0') {
+    return fallback;
+  }
+  return parse_backend(env);
+}
+
+Backend install_backend_from(std::string_view cli_value) {
+  const Backend b = cli_value.empty() ? backend_from_env(Backend::kScalar)
+                                      : parse_backend(cli_value);
+  set_backend(b);
+  return b;
+}
+
+Backend active_backend() {
+  int cur = g_backend.load(std::memory_order_relaxed);
+  if (cur == kUnset) {
+    const Backend resolved = backend_from_env(Backend::kScalar);
+    // First resolver wins; a concurrent set_backend() is kept instead.
+    int expected = kUnset;
+    g_backend.compare_exchange_strong(expected, static_cast<int>(resolved),
+                                      std::memory_order_relaxed);
+    cur = g_backend.load(std::memory_order_relaxed);
+  }
+  return static_cast<Backend>(cur);
+}
+
+void set_backend(Backend b) {
+  g_backend.store(static_cast<int>(b), std::memory_order_relaxed);
+}
+
+ScopedBackend::ScopedBackend(Backend b) : previous_(active_backend()) {
+  set_backend(b);
+}
+
+ScopedBackend::~ScopedBackend() { set_backend(previous_); }
+
+}  // namespace rcf::la

@@ -1,7 +1,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "la/backend.hpp"
 #include "la/blas.hpp"
+#include "la/simd.hpp"
 
 namespace rcf::la {
 
@@ -45,6 +47,12 @@ void copy(std::span<const double> src, std::span<double> dst) {
 
 double dot(std::span<const double> x, std::span<const double> y) {
   check_same_size(x, y, "dot");
+  // SIMD backend: fixed-order lane grouping, a pure function of the length
+  // (see la/simd.hpp) -- dot is sequential (never pool-dispatched), so the
+  // backends differ only by that regrouping.
+  if (active_backend() == Backend::kSimd) {
+    return simd::dot4(x.data(), y.data(), x.size());
+  }
   double acc = 0.0;
   const std::size_t n = x.size();
   for (std::size_t i = 0; i < n; ++i) {

@@ -1,5 +1,7 @@
 #include "exec/pool.hpp"
+#include "la/backend.hpp"
 #include "la/blas.hpp"
+#include "la/simd.hpp"
 
 namespace rcf::la {
 
@@ -8,6 +10,16 @@ namespace rcf::la {
 // of y for gemv_t -- and each output element is computed with exactly the
 // sequential loop body and term order.  Results are therefore bit-identical
 // at any pool width (DESIGN.md "Execution layer").
+//
+// Backend note: each kernel carries two interchangeable per-range bodies.
+// The scalar body is the reference loop (unchanged from the seed); the SIMD
+// body (la::Backend::kSimd) vectorizes with the la/simd.hpp primitives.
+// Reduction kernels (gemv's row dot) regroup the sum into fixed-order lane
+// accumulators, so SIMD results differ from scalar within rounding but stay
+// bit-identical across pool widths -- the grouping depends only on the
+// reduction length, never on the partition (DESIGN.md "Kernel backends").
+// Elementwise kernels (gemv_t, ger) keep the scalar per-element operation
+// order exactly.
 
 void gemv(double alpha, const Matrix& a, std::span<const double> x, double beta,
           std::span<double> y) {
@@ -16,7 +28,16 @@ void gemv(double alpha, const Matrix& a, std::span<const double> x, double beta,
   }
   const std::size_t rows = a.rows();
   const std::size_t cols = a.cols();
+  const bool use_simd = active_backend() == Backend::kSimd;
   const auto row_block = [&](int, exec::Range range) {
+    if (use_simd) {
+      for (std::size_t r = range.begin; r < range.end; ++r) {
+        const auto row = a.row(r);
+        const double acc = simd::dot4(row.data(), x.data(), row.size());
+        y[r] = alpha * acc + beta * y[r];
+      }
+      return;
+    }
     for (std::size_t r = range.begin; r < range.end; ++r) {
       const auto row = a.row(r);
       double acc = 0.0;
@@ -48,9 +69,12 @@ void gemv_t(double alpha, const Matrix& a, std::span<const double> x,
   }
   const std::size_t rows = a.rows();
   const std::size_t cols = a.cols();
+  const bool use_simd = active_backend() == Backend::kSimd;
   // Each task owns the y entries in [lo, hi): it applies the beta scaling
   // to its slice, then accumulates the rows of A in row order restricted
-  // to its columns (unit stride on both A and y within the slice).
+  // to its columns (unit stride on both A and y within the slice).  The
+  // SIMD body is the same saxpy sweep vectorized elementwise -- identical
+  // per-element operation order, including the xr == 0 row skip.
   const auto col_block = [&](int, exec::Range range) {
     auto y_slice = y.subspan(range.begin, range.size());
     if (beta == 0.0) {
@@ -64,6 +88,11 @@ void gemv_t(double alpha, const Matrix& a, std::span<const double> x,
         continue;
       }
       const auto row = a.row(r);
+      if (use_simd) {
+        simd::axpy4(xr, row.data() + range.begin, y.data() + range.begin,
+                    range.size());
+        continue;
+      }
       for (std::size_t c = range.begin; c < range.end; ++c) {
         y[c] += xr * row[c];
       }
@@ -98,6 +127,7 @@ void ger(double alpha, std::span<const double> x, std::span<const double> y,
     throw DimensionMismatch("ger: shape mismatch");
   }
   const std::size_t rows = a.rows();
+  const bool use_simd = active_backend() == Backend::kSimd;
   const auto row_block = [&](int, exec::Range range) {
     for (std::size_t r = range.begin; r < range.end; ++r) {
       const double xr = alpha * x[r];
@@ -105,6 +135,10 @@ void ger(double alpha, std::span<const double> x, std::span<const double> y,
         continue;
       }
       auto row = a.row(r);
+      if (use_simd) {
+        simd::axpy4(xr, y.data(), row.data(), row.size());
+        continue;
+      }
       for (std::size_t c = 0; c < row.size(); ++c) {
         row[c] += xr * y[c];
       }

@@ -1,8 +1,12 @@
 #include <algorithm>
+#include <cstring>
+#include <vector>
 
 #include "check/partition.hpp"
 #include "exec/pool.hpp"
+#include "la/backend.hpp"
 #include "la/blas.hpp"
+#include "la/simd.hpp"
 
 namespace rcf::la {
 
@@ -10,6 +14,18 @@ namespace rcf::la {
 // *output* rows (C rows for gemm/syrk, lower-triangle rows for the
 // symmetrize) and computes each element with the sequential loop body, so
 // results are bit-identical at any pool width.
+//
+// Backend note: the SIMD bodies keep the same output-row partitioning and
+// give every C element a term grouping that is a pure function of its own
+// (i, j, k) position -- never of the pool width -- so each backend is
+// bitwise width-invariant on its own (DESIGN.md "Kernel backends").
+
+namespace {
+
+/// Column width of the gemm register tile: two V4 accumulators per C row.
+constexpr std::size_t kGemmTileCols = 2 * simd::kLanes;
+
+}  // namespace
 
 void gemm(double alpha, const Matrix& a, const Matrix& b, double beta,
           Matrix& c) {
@@ -40,16 +56,124 @@ void gemm(double alpha, const Matrix& a, const Matrix& b, double beta,
       }
     }
   };
+  // SIMD body: register/cache-blocked micro-kernel.  The owning task packs
+  // each k x 8 panel of B contiguously (aligned pool scratch), then walks
+  // its C rows four at a time holding a 4x8 accumulator tile in registers
+  // -- the pack amortizes B traffic over the whole row range and the tile
+  // breaks the update's dependency chains.  Every C element still
+  // accumulates its k terms in ascending p order (one multiply-add per p),
+  // so the grouping is a pure function of the element position; widths only
+  // change which rows a task owns.  alpha is applied once per element at
+  // store time; unlike the scalar body there is no aip == 0 short-circuit,
+  // so non-finite payloads can propagate differently (0 * inf), which the
+  // differential suite documents and excludes from cross-backend gates.
+  const auto simd_block = [&](int t, exec::Range range, exec::Pool* pool) {
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      auto crow = c.row(i);
+      if (beta == 0.0) {
+        std::fill(crow.begin(), crow.end(), 0.0);
+      } else if (beta != 1.0) {
+        scal(beta, crow);
+      }
+    }
+    std::vector<double> local;
+    std::span<double> panel;
+    if (pool != nullptr) {
+      panel = pool->aligned_scratch(t, k * kGemmTileCols);
+    } else {
+      local.resize(k * kGemmTileCols);
+      panel = {local.data(), local.size()};
+    }
+    const simd::V4 valpha = simd::broadcast(alpha);
+    const auto flush8 = [&](double* cp, simd::V4 lo, simd::V4 hi) {
+      simd::store4(cp, simd::load4(cp) + valpha * lo);
+      simd::store4(cp + simd::kLanes,
+                   simd::load4(cp + simd::kLanes) + valpha * hi);
+    };
+    std::size_t j0 = 0;
+    for (; j0 + kGemmTileCols <= n; j0 += kGemmTileCols) {
+      for (std::size_t p = 0; p < k; ++p) {
+        std::memcpy(panel.data() + p * kGemmTileCols, b.row(p).data() + j0,
+                    kGemmTileCols * sizeof(double));
+      }
+      std::size_t i = range.begin;
+      for (; i + 4 <= range.end; i += 4) {
+        const double* a0 = a.row(i).data();
+        const double* a1 = a.row(i + 1).data();
+        const double* a2 = a.row(i + 2).data();
+        const double* a3 = a.row(i + 3).data();
+        simd::V4 t00 = simd::zero4(), t01 = simd::zero4();
+        simd::V4 t10 = simd::zero4(), t11 = simd::zero4();
+        simd::V4 t20 = simd::zero4(), t21 = simd::zero4();
+        simd::V4 t30 = simd::zero4(), t31 = simd::zero4();
+        for (std::size_t p = 0; p < k; ++p) {
+          const simd::V4 b0 = simd::load4(panel.data() + p * kGemmTileCols);
+          const simd::V4 b1 =
+              simd::load4(panel.data() + p * kGemmTileCols + simd::kLanes);
+          const simd::V4 va0 = simd::broadcast(a0[p]);
+          t00 += va0 * b0;
+          t01 += va0 * b1;
+          const simd::V4 va1 = simd::broadcast(a1[p]);
+          t10 += va1 * b0;
+          t11 += va1 * b1;
+          const simd::V4 va2 = simd::broadcast(a2[p]);
+          t20 += va2 * b0;
+          t21 += va2 * b1;
+          const simd::V4 va3 = simd::broadcast(a3[p]);
+          t30 += va3 * b0;
+          t31 += va3 * b1;
+        }
+        flush8(c.row(i).data() + j0, t00, t01);
+        flush8(c.row(i + 1).data() + j0, t10, t11);
+        flush8(c.row(i + 2).data() + j0, t20, t21);
+        flush8(c.row(i + 3).data() + j0, t30, t31);
+      }
+      for (; i < range.end; ++i) {  // row tail: 1x8 tile, same element order
+        const double* a0 = a.row(i).data();
+        simd::V4 t00 = simd::zero4(), t01 = simd::zero4();
+        for (std::size_t p = 0; p < k; ++p) {
+          const simd::V4 va0 = simd::broadcast(a0[p]);
+          t00 += va0 * simd::load4(panel.data() + p * kGemmTileCols);
+          t01 += va0 * simd::load4(panel.data() + p * kGemmTileCols +
+                                   simd::kLanes);
+        }
+        flush8(c.row(i).data() + j0, t00, t01);
+      }
+    }
+    // Column tail (n % 8): per-element ascending-p chain, the same grouping
+    // as one tile lane, so an element's rounding does not depend on whether
+    // n put it in a full panel.
+    for (std::size_t i = range.begin; i < range.end && j0 < n; ++i) {
+      const auto arow = a.row(i);
+      auto crow = c.row(i);
+      for (std::size_t j = j0; j < n; ++j) {
+        double acc = 0.0;
+        for (std::size_t p = 0; p < k; ++p) {
+          acc += arow[p] * b(p, j);
+        }
+        crow[j] += alpha * acc;
+      }
+    }
+  };
+  const bool use_simd = active_backend() == Backend::kSimd;
   exec::Pool* pool = exec::usable_pool(2 * static_cast<std::uint64_t>(m) * n * k);
   if (pool == nullptr) {
-    row_block(0, {0, m});
+    if (use_simd) {
+      simd_block(0, {0, m}, nullptr);
+    } else {
+      row_block(0, {0, m});
+    }
     return;
   }
   const int width = pool->width();
   pool->run("la.gemm", [&](int t) {
     const exec::Range range = exec::block_range(m, width, t);
     if (!range.empty()) {
-      row_block(t, range);
+      if (use_simd) {
+        simd_block(t, range, pool);
+      } else {
+        row_block(t, range);
+      }
     }
   });
 }
@@ -82,9 +206,68 @@ void syrk(double alpha, const Matrix& a, double beta, Matrix& c) {
       }
     }
   };
+  // SIMD body: j-blocked by 4 so four inner products share each load of
+  // a.row(i) and run as independent V4 chains (breaking the scalar loop's
+  // single dependency chain is where the speedup comes from).  Each element
+  // (i, j) keeps the dot4 grouping -- one V4 accumulator stepped in
+  // ascending p, hsum, sequential tail -- whether it sits in a 4-block or
+  // the j tail, so its rounding depends only on k.
+  const auto simd_row_block = [&](int, exec::Range range) {
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      auto ci = c.row(i);
+      if (beta == 0.0) {
+        std::fill(ci.begin(), ci.end(), 0.0);
+      } else if (beta != 1.0) {
+        scal(beta, ci);
+      }
+      const double* ap = a.row(i).data();
+      std::size_t j = i;
+      for (; j + 4 <= n; j += 4) {
+        const double* r0 = a.row(j).data();
+        const double* r1 = a.row(j + 1).data();
+        const double* r2 = a.row(j + 2).data();
+        const double* r3 = a.row(j + 3).data();
+        simd::V4 acc0 = simd::zero4(), acc1 = simd::zero4();
+        simd::V4 acc2 = simd::zero4(), acc3 = simd::zero4();
+        std::size_t p = 0;
+        for (; p + simd::kLanes <= k; p += simd::kLanes) {
+          const simd::V4 va = simd::load4(ap + p);
+          acc0 += va * simd::load4(r0 + p);
+          acc1 += va * simd::load4(r1 + p);
+          acc2 += va * simd::load4(r2 + p);
+          acc3 += va * simd::load4(r3 + p);
+        }
+        double s0 = simd::hsum(acc0);
+        double s1 = simd::hsum(acc1);
+        double s2 = simd::hsum(acc2);
+        double s3 = simd::hsum(acc3);
+        for (; p < k; ++p) {
+          s0 += ap[p] * r0[p];
+          s1 += ap[p] * r1[p];
+          s2 += ap[p] * r2[p];
+          s3 += ap[p] * r3[p];
+        }
+        ci[j] += alpha * s0;
+        ci[j + 1] += alpha * s1;
+        ci[j + 2] += alpha * s2;
+        ci[j + 3] += alpha * s3;
+      }
+      for (; j < n; ++j) {
+        ci[j] += alpha * simd::dot4(ap, a.row(j).data(), k);
+      }
+    }
+  };
+  const bool use_simd = active_backend() == Backend::kSimd;
+  const auto dispatch_block = [&](int t, exec::Range range) {
+    if (use_simd) {
+      simd_row_block(t, range);
+    } else {
+      row_block(t, range);
+    }
+  };
   exec::Pool* pool = exec::usable_pool(static_cast<std::uint64_t>(n) * n * k);
   if (pool == nullptr) {
-    row_block(0, {0, n});
+    dispatch_block(0, {0, n});
   } else {
     const int width = pool->width();
     if (check::partition_audit_due()) {
@@ -99,7 +282,7 @@ void syrk(double alpha, const Matrix& a, double beta, Matrix& c) {
     pool->run("la.syrk", [&](int t) {
       const exec::Range range = exec::triangle_range(n, width, t);
       if (!range.empty()) {
-        row_block(t, range);
+        dispatch_block(t, range);
       }
     });
   }
@@ -112,7 +295,8 @@ void symmetrize_from_upper(Matrix& c) {
   }
   const std::size_t n = c.rows();
   // Task t owns the lower-triangle rows in its range: writes to row j only,
-  // reads from the (already final) upper triangle.
+  // reads from the (already final) upper triangle.  Pure copies: no SIMD
+  // variant needed (no arithmetic to regroup).
   const auto row_block = [&](int, exec::Range range) {
     for (std::size_t j = range.begin; j < range.end; ++j) {
       for (std::size_t i = 0; i < j; ++i) {

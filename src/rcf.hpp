@@ -28,6 +28,7 @@
 #include "dist/comm.hpp"         // IWYU pragma: export
 #include "dist/thread_comm.hpp"  // IWYU pragma: export
 #include "exec/pool.hpp"         // IWYU pragma: export
+#include "la/backend.hpp"        // IWYU pragma: export
 #include "la/blas.hpp"           // IWYU pragma: export
 #include "la/eigen.hpp"          // IWYU pragma: export
 #include "la/matrix.hpp"         // IWYU pragma: export

@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "exec/pool.hpp"
+#include "la/backend.hpp"
+#include "la/simd.hpp"
 
 namespace rcf::sparse {
 
@@ -106,12 +108,42 @@ double CsrMatrix::density() const {
 // ambient exec pool -- y rows for spmv/spmm, y entries (= matrix columns)
 // for spmv_t -- with the sequential loop body per element, so results are
 // bit-identical at any pool width (DESIGN.md "Execution layer").
+//
+// Backend note: the SIMD spmv body batches each row's gathered products
+// into four independent accumulator chains combined in the fixed hsum
+// order; the grouping is a pure function of the row's nnz, so each backend
+// stays bitwise width-invariant (DESIGN.md "Kernel backends").  spmv_t and
+// spmm vectorize only elementwise work (per-element operation order
+// unchanged from scalar).
 
 void CsrMatrix::spmv(std::span<const double> x, std::span<double> y) const {
   if (x.size() != cols_ || y.size() != rows_) {
     throw DimensionMismatch("spmv: shape mismatch");
   }
+  const bool use_simd = la::active_backend() == la::Backend::kSimd;
   const auto row_block = [&](int, exec::Range range) {
+    if (use_simd) {
+      // Row-batched gather kernel: the indirection blocks true vector
+      // loads, so run four scalar chains abreast (breaking the dependency
+      // chain) and fold them with the same association as simd::hsum.
+      for (std::size_t r = range.begin; r < range.end; ++r) {
+        const std::size_t row_end = row_ptr_[r + 1];
+        double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+        std::size_t i = row_ptr_[r];
+        for (; i + 4 <= row_end; i += 4) {
+          a0 += values_[i] * x[col_idx_[i]];
+          a1 += values_[i + 1] * x[col_idx_[i + 1]];
+          a2 += values_[i + 2] * x[col_idx_[i + 2]];
+          a3 += values_[i + 3] * x[col_idx_[i + 3]];
+        }
+        double acc = (a0 + a1) + (a2 + a3);
+        for (; i < row_end; ++i) {
+          acc += values_[i] * x[col_idx_[i]];
+        }
+        y[r] = acc;
+      }
+      return;
+    }
     for (std::size_t r = range.begin; r < range.end; ++r) {
       double acc = 0.0;
       for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
@@ -156,6 +188,7 @@ void CsrMatrix::spmv_t(std::span<const double> x, std::span<double> y) const {
   if (x.size() != rows_ || y.size() != cols_) {
     throw DimensionMismatch("spmv_t: shape mismatch");
   }
+  const bool use_simd = la::active_backend() == la::Backend::kSimd;
   // Each task owns the y entries in [lo, hi) and scans the rows in order,
   // accumulating only the entries whose column falls in its slice (located
   // by binary search on the row's ascending column indices).
@@ -175,6 +208,17 @@ void CsrMatrix::spmv_t(std::span<const double> x, std::span<double> y) const {
                              col_idx_.begin() + static_cast<std::ptrdiff_t>(row_end),
                              static_cast<std::uint32_t>(lo)) -
             col_idx_.begin());
+      }
+      if (use_simd) {
+        // Scatter with strictly ascending columns: the four statements hit
+        // distinct y entries, so this is pure unrolling -- each y element
+        // still receives exactly one term per row, in row order.
+        for (; i + 4 <= row_end && col_idx_[i + 3] < hi; i += 4) {
+          y[col_idx_[i]] += xr * values_[i];
+          y[col_idx_[i + 1]] += xr * values_[i + 1];
+          y[col_idx_[i + 2]] += xr * values_[i + 2];
+          y[col_idx_[i + 3]] += xr * values_[i + 3];
+        }
       }
       for (; i < row_end && col_idx_[i] < hi; ++i) {
         y[col_idx_[i]] += xr * values_[i];
@@ -200,6 +244,7 @@ void CsrMatrix::spmm(const la::Matrix& b, la::Matrix& y) const {
     throw DimensionMismatch("spmm: shape mismatch");
   }
   const std::size_t n = b.cols();
+  const bool use_simd = la::active_backend() == la::Backend::kSimd;
   const auto row_block = [&](int, exec::Range range) {
     for (std::size_t r = range.begin; r < range.end; ++r) {
       auto yrow = y.row(r);
@@ -207,6 +252,12 @@ void CsrMatrix::spmm(const la::Matrix& b, la::Matrix& y) const {
       for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
         const double v = values_[i];
         const auto brow = b.row(col_idx_[i]);
+        if (use_simd) {
+          // Elementwise axpy across the B row: per-element operation order
+          // identical to the scalar loop.
+          la::simd::axpy4(v, brow.data(), yrow.data(), n);
+          continue;
+        }
         for (std::size_t j = 0; j < n; ++j) {
           yrow[j] += v * brow[j];
         }

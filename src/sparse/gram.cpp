@@ -7,7 +7,9 @@
 #include "check/partition.hpp"
 #include "common/error.hpp"
 #include "exec/pool.hpp"
+#include "la/backend.hpp"
 #include "la/blas.hpp"
+#include "la/simd.hpp"
 
 namespace rcf::sparse {
 
@@ -62,6 +64,54 @@ inline void outer_product_row_range(const SparseRowView& row, double w,
   }
 }
 
+/// Blocked SIMD fast path: four *dense* sample rows fused into one sweep of
+/// the owned H rows, so each H element is loaded and stored once per four
+/// samples instead of once per sample (the accumulation is memory-bound on
+/// H traffic).  Every H / r element still receives exactly one term per
+/// sample, added in idx order -- the same per-element term order as the
+/// scalar path -- and the four-sample batch boundaries depend only on the
+/// idx list, never on the pool width (DESIGN.md "Kernel backends").
+inline void dense_quad_row_range(const SparseRowView rows[4],
+                                 const double w[4], const double yw[4],
+                                 la::Matrix& h, std::span<double> r,
+                                 std::size_t lo, std::size_t hi) {
+  const std::size_t k = h.cols();
+  const double* v0 = rows[0].vals.data();
+  const double* v1 = rows[1].vals.data();
+  const double* v2 = rows[2].vals.data();
+  const double* v3 = rows[3].vals.data();
+  for (std::size_t a = lo; a < hi; ++a) {
+    const double va0 = w[0] * v0[a];
+    const double va1 = w[1] * v1[a];
+    const double va2 = w[2] * v2[a];
+    const double va3 = w[3] * v3[a];
+    auto hrow = h.row(a);
+    const la::simd::V4 b0 = la::simd::broadcast(va0);
+    const la::simd::V4 b1 = la::simd::broadcast(va1);
+    const la::simd::V4 b2 = la::simd::broadcast(va2);
+    const la::simd::V4 b3 = la::simd::broadcast(va3);
+    std::size_t b = a;
+    for (; b + la::simd::kLanes <= k; b += la::simd::kLanes) {
+      la::simd::V4 acc = la::simd::load4(hrow.data() + b);
+      acc += b0 * la::simd::load4(v0 + b);
+      acc += b1 * la::simd::load4(v1 + b);
+      acc += b2 * la::simd::load4(v2 + b);
+      acc += b3 * la::simd::load4(v3 + b);
+      la::simd::store4(hrow.data() + b, acc);
+    }
+    for (; b < k; ++b) {
+      hrow[b] += va0 * v0[b];
+      hrow[b] += va1 * v1[b];
+      hrow[b] += va2 * v2[b];
+      hrow[b] += va3 * v3[b];
+    }
+    r[a] += yw[0] * v0[a];
+    r[a] += yw[1] * v1[a];
+    r[a] += yw[2] * v2[a];
+    r[a] += yw[3] * v3[a];
+  }
+}
+
 /// Accumulation driver shared by the plain and weighted Gram kernels:
 /// `row_scale(i)` yields the (w, yw) pair for sample row i.  Dispatches
 /// onto the ambient pool with triangle-balanced H-row ranges when the work
@@ -72,7 +122,42 @@ void accumulate_rows(const CsrMatrix& xt, std::span<const std::uint32_t> idx,
                      std::uint64_t flops, la::Matrix& h, std::span<double> r,
                      const RowScale& row_scale) {
   const std::size_t d = h.cols();
+  const bool use_simd = la::active_backend() == la::Backend::kSimd;
   const auto run_range = [&](std::size_t lo, std::size_t hi) {
+    if (use_simd) {
+      // Batch the sample list in fours; a batch of dense rows takes the
+      // fused quad sweep, anything else (sparse rows, the tail) falls back
+      // to the per-sample kernel.  Batch composition is a pure function of
+      // (idx, matrix), so the grouping is identical at every pool width.
+      std::size_t s = 0;
+      for (; s + 4 <= idx.size(); s += 4) {
+        SparseRowView rows[4] = {xt.row(idx[s]), xt.row(idx[s + 1]),
+                                 xt.row(idx[s + 2]), xt.row(idx[s + 3])};
+        double w[4], yw[4];
+        bool all_dense = true;
+        for (int q = 0; q < 4; ++q) {
+          RCF_DCHECK(idx[s + static_cast<std::size_t>(q)] < xt.rows());
+          const auto [wq, ywq] = row_scale(idx[s + static_cast<std::size_t>(q)]);
+          w[q] = wq;
+          yw[q] = ywq;
+          all_dense = all_dense && rows[q].nnz() == d;
+        }
+        if (all_dense && d > 0) {
+          dense_quad_row_range(rows, w, yw, h, r, lo, hi);
+        } else {
+          for (int q = 0; q < 4; ++q) {
+            outer_product_row_range(rows[q], w[q], yw[q], h, r, lo, hi);
+          }
+        }
+      }
+      for (; s < idx.size(); ++s) {
+        const std::uint32_t i = idx[s];
+        RCF_DCHECK(i < xt.rows());
+        const auto [wi, ywi] = row_scale(i);
+        outer_product_row_range(xt.row(i), wi, ywi, h, r, lo, hi);
+      }
+      return;
+    }
     for (const std::uint32_t i : idx) {
       RCF_DCHECK(i < xt.rows());
       const auto [w, yw] = row_scale(i);

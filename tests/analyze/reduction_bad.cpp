@@ -45,4 +45,25 @@ double shared_member_accumulator(Pool& pool, const std::vector<double>& xs,
   return stats.total;
 }
 
+// Reordered SIMD reduction: the V4 accumulator lives OUTSIDE the parallel
+// body, so blocks fold into it in pool-width-dependent order -- the lanes'
+// fixed hsum cannot save a reduction whose block order reassociates.
+struct V4 {
+  double lane[4];
+  V4& operator+=(const V4& o) {
+    for (int l = 0; l < 4; ++l) {
+      lane[l] += o.lane[l];
+    }
+    return *this;
+  }
+};
+
+double shared_simd_accumulator(Pool& pool, const std::vector<V4>& xs) {
+  V4 acc = {{0.0, 0.0, 0.0, 0.0}};
+  parallel_for(pool, xs.size(), "bad-simd", [&](std::size_t i) {
+    acc += xs[i];  // BAD(nondeterministic-reduction)
+  });
+  return (acc.lane[0] + acc.lane[1]) + (acc.lane[2] + acc.lane[3]);
+}
+
 }  // namespace fixture

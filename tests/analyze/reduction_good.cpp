@@ -31,6 +31,30 @@ void blockwise_partial(Pool& pool, std::vector<double>& partials,
   });
 }
 
+// Stand-in for la::simd::V4 (the fixture corpus is lexed, not compiled
+// against src/): four lanes combined only through a fixed-order hsum.
+struct V4 {
+  double lane[4];
+  V4& operator+=(const V4& o) {
+    for (int l = 0; l < 4; ++l) {
+      lane[l] += o.lane[l];
+    }
+    return *this;
+  }
+};
+
+void simd_blockwise_partial(Pool& pool, std::vector<double>& partials,
+                            const std::vector<V4>& xs) {
+  parallel_for(pool, partials.size(), "ok-simd", [&](std::size_t b) {
+    V4 acc = {{0.0, 0.0, 0.0, 0.0}};  // body-local vector accumulator
+    for (std::size_t j = b * 4; j < b * 4 + 4 && j < xs.size(); ++j) {
+      acc += xs[j];  // lane order fixed by element position, not pool width
+    }
+    // Fixed combine (l0+l1)+(l2+l3); one writer per output slot.
+    partials[b] = (acc.lane[0] + acc.lane[1]) + (acc.lane[2] + acc.lane[3]);
+  });
+}
+
 double ordered_sum(const std::map<int, double>& weights) {
   double total = 0.0;
   for (const auto& kv : weights) {

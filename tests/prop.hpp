@@ -22,9 +22,11 @@
 #include <cstdint>
 #include <cstddef>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "sparse/csr.hpp"
 
 namespace rcf::prop {
 
@@ -76,6 +78,140 @@ class Gen {
   Rng rng_;
   double scale_;
 };
+
+// ---------------------------------------------------------------------------
+// Shape and payload generators, shared by the kernel property suite
+// (test_prop_kernels.cpp) and the backend differential suite
+// (test_backend_diff.cpp).
+// ---------------------------------------------------------------------------
+
+/// One generated (rows x cols) kernel shape.
+struct Shape {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+};
+
+/// One seeded dimension in [0 | 1, hi]: mostly ragged uniform draws, with a
+/// deliberate bias toward the sizes that break vectorized kernels --
+/// 0 (when allowed), 1 (single element), exact multiples of the 4-lane SIMD
+/// width (full vector bodies, empty tails), and off-by-one neighbours of
+/// those multiples (maximal tails, unaligned leading dims).
+inline std::size_t dim(Gen& g, std::size_t hi, bool allow_empty = true) {
+  const std::size_t lo = allow_empty ? 0 : 1;
+  switch (g.index(8)) {
+    case 0:
+      return lo;  // empty (or degenerate 1)
+    case 1:
+      return std::min<std::size_t>(1, hi);  // single element
+    case 2: {  // SIMD-aligned: a multiple of 4 lanes
+      const std::size_t quads = hi / 4;
+      return quads == 0 ? std::max(lo, std::min<std::size_t>(1, hi))
+                        : 4 * (1 + g.index(quads));
+    }
+    case 3: {  // off-by-one from a lane boundary
+      const std::size_t quads = hi / 4;
+      const std::size_t base =
+          quads == 0 ? 1 : 4 * (1 + g.index(quads));
+      return std::min(hi, base + 1);
+    }
+    default:
+      return g.size(lo, hi);  // ragged
+  }
+}
+
+/// A seeded matrix shape with the edge-case mix of dim() on both axes
+/// (0-row, 0-col, 1x1, aligned, off-by-one, ragged).
+inline Shape shape(Gen& g, std::size_t hi, bool allow_empty = true) {
+  return {dim(g, hi, allow_empty), dim(g, hi, allow_empty)};
+}
+
+/// Value classes for generated payloads.  kDenormal mixes subnormals into
+/// normal data (exercising gradual-underflow paths at full speed);
+/// kNonFinite mixes NaN and +-inf in (propagation-order tests only -- see
+/// the differential suite for why cross-backend comparison stops there).
+enum class Payload { kNormal, kDenormal, kNonFinite };
+
+/// One seeded value of the given payload class.
+inline double value(Gen& g, Payload p) {
+  switch (p) {
+    case Payload::kDenormal:
+      if (g.index(2) == 0) {
+        return static_cast<double>(1 + g.index(std::uint64_t{1} << 20)) *
+               std::numeric_limits<double>::denorm_min();
+      }
+      return g.normal();
+    case Payload::kNonFinite:
+      switch (g.index(8)) {
+        case 0:
+          return std::numeric_limits<double>::quiet_NaN();
+        case 1:
+          return std::numeric_limits<double>::infinity();
+        case 2:
+          return -std::numeric_limits<double>::infinity();
+        default:
+          return g.normal();
+      }
+    case Payload::kNormal:
+    default:
+      return g.normal();
+  }
+}
+
+/// Length-n vector of the given payload class.
+inline std::vector<double> payload_vector(Gen& g, std::size_t n, Payload p) {
+  std::vector<double> v(n);
+  for (double& x : v) {
+    x = value(g, p);
+  }
+  return v;
+}
+
+/// A seeded CSR matrix whose row structure covers the kernel edge cases:
+/// each row independently picks a regime -- empty, single-entry, fully
+/// dense (the sampled-Gram fast path), or ragged random fill -- and its
+/// columns are drawn as a sorted distinct subset (sequential selection
+/// sampling, replayable).  Values come from the payload class.
+inline sparse::CsrMatrix csr(Gen& g, std::size_t rows, std::size_t cols,
+                             Payload p = Payload::kNormal) {
+  std::vector<std::size_t> row_ptr(rows + 1, 0);
+  std::vector<std::uint32_t> col_idx;
+  std::vector<double> values;
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::size_t nnz = 0;
+    if (cols > 0) {
+      switch (g.index(4)) {
+        case 0:
+          nnz = 0;
+          break;
+        case 1:
+          nnz = 1;
+          break;
+        case 2:
+          nnz = cols;
+          break;
+        default:
+          nnz = g.size(0, cols);
+          break;
+      }
+    }
+    std::size_t need = nnz;
+    for (std::uint32_t c = 0; need > 0; ++c) {
+      const std::size_t left = cols - c;
+      if (g.index(left) < need) {
+        double v = value(g, p);
+        while (v == 0.0) {  // CSR stores no explicit zeros
+          v = g.normal() + 1e-3;
+        }
+        col_idx.push_back(c);
+        values.push_back(v);
+        --need;
+      }
+    }
+    row_ptr[r + 1] = col_idx.size();
+  }
+  return sparse::CsrMatrix::from_parts(rows, cols, std::move(row_ptr),
+                                       std::move(col_idx), std::move(values));
+}
 
 /// A property: generate inputs from `g`, check the invariant, return
 /// AssertionFailure() (with a message) to reject.

@@ -1,6 +1,15 @@
 // Golden-trajectory regression tests.  Each fixture in tests/golden/ pins
 // one solver's full objective trace and final iterate, written with %.17g
-// (exact double round-trip).  The suite then asserts:
+// (exact double round-trip).
+//
+// Kernel backends: trajectories are backend-dependent (the SIMD backend
+// regroups reductions; see la/backend.hpp), so every run here pins its
+// backend explicitly with ScopedBackend -- the historical fixtures are
+// scalar, rcsfista_simd pins the SIMD trajectory.  That makes this suite
+// a backend sweep in itself: it passes unchanged under RCF_BACKEND=scalar
+// and RCF_BACKEND=simd (CI runs both).
+//
+// The suite then asserts:
 //
 //  * width 1 reproduces the fixture bitwise (the repo's determinism
 //    contract: a trajectory is a pure function of (problem, options)),
@@ -30,6 +39,7 @@
 #include "core/solvers.hpp"
 #include "data/synthetic.hpp"
 #include "dist/comm.hpp"
+#include "la/backend.hpp"
 #include "la/blas.hpp"
 
 #ifndef RCF_GOLDEN_DIR
@@ -154,6 +164,7 @@ void check_against_fixture(const std::string& name, const Trajectory& got) {
 // SFISTA.
 
 SolveResult run_sfista(int threads) {
+  la::ScopedBackend scoped(la::Backend::kScalar);
   const auto dataset = golden_dataset();
   const LassoProblem problem(dataset, 0.005);
   SolverOptions opts;
@@ -181,6 +192,7 @@ TEST(Golden, SfistaIsWidthInvariant) {
 // RC-SFISTA (k-overlap + Hessian reuse).
 
 SolveResult run_rcsfista(int threads) {
+  la::ScopedBackend scoped(la::Backend::kScalar);
   const auto dataset = golden_dataset();
   const LassoProblem problem(dataset, 0.005);
   SolverOptions opts;
@@ -205,9 +217,61 @@ TEST(Golden, RcSfistaIsWidthInvariant) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Kernel-backend sweep: the SIMD backend's regrouped reductions give it a
+// (slightly) different trajectory, pinned bitwise by its own fixture.
+
+SolveResult run_rcsfista_simd(int threads) {
+  la::ScopedBackend scoped(la::Backend::kSimd);
+  const auto dataset = golden_dataset();
+  const LassoProblem problem(dataset, 0.005);
+  SolverOptions opts;
+  opts.max_iters = 48;
+  opts.sampling_rate = 0.2;
+  opts.k = 4;
+  opts.s = 2;
+  opts.seed = 42;
+  opts.threads = threads;
+  return solve_rc_sfista(problem, opts);
+}
+
+TEST(Golden, RcSfistaSimdMatchesOwnFixture) {
+  const auto result = run_rcsfista_simd(1);
+  EXPECT_EQ(result.backend, "simd");
+  check_against_fixture("rcsfista_simd", trajectory_of(result));
+}
+
+TEST(Golden, RcSfistaSimdIsWidthInvariant) {
+  // The SIMD lane grouping is a pure function of each reduction's length,
+  // so the SIMD backend honors the same bitwise width-invariance contract
+  // as scalar.
+  const auto base = run_rcsfista_simd(1);
+  for (const int threads : {2, 7}) {
+    EXPECT_EQ(base.w, run_rcsfista_simd(threads).w) << "threads=" << threads;
+  }
+}
+
+TEST(Golden, BackendTrajectoriesAgreeWithinTolerance) {
+  // Scalar vs SIMD is a tolerance contract, not bitwise: both fixtures
+  // descend the same problem, so the final iterates must stay close even
+  // though per-iteration rounding differs.
+  const auto scalar = run_rcsfista(1);
+  const auto simd = run_rcsfista_simd(1);
+  ASSERT_EQ(scalar.w.size(), simd.w.size());
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < scalar.w.size(); ++i) {
+    max_diff = std::max(max_diff,
+                        std::abs(scalar.w.span()[i] - simd.w.span()[i]));
+  }
+  EXPECT_LT(max_diff, 1e-6);
+  EXPECT_NEAR(scalar.objective, simd.objective,
+              1e-9 * (1.0 + std::abs(scalar.objective)));
+}
+
 TEST(Golden, RcSfistaFourRankAgreesWithFixture) {
   // The SPMD reduction reassociates the per-rank partial Gram sums, so
   // cross-rank agreement is within tolerance rather than bitwise.
+  la::ScopedBackend scoped(la::Backend::kScalar);
   Trajectory want;
   if (regen_requested()) {
     GTEST_SKIP() << "regen run";
@@ -237,6 +301,7 @@ TEST(Golden, RcSfistaFourRankAgreesWithFixture) {
 // Chunk-pipelined RC-SFISTA (nonblocking iallreduce path).
 
 SolveResult run_rcsfista_pipelined(int staleness) {
+  la::ScopedBackend scoped(la::Backend::kScalar);
   const auto dataset = golden_dataset();
   const LassoProblem problem(dataset, 0.005);
   SolverOptions opts;
@@ -286,6 +351,7 @@ TEST(Golden, PipelinedStalenessTwoMatchesFixture) {
 // Proximal Newton (RC-SFISTA inner).
 
 SolveResult run_pn(int threads) {
+  la::ScopedBackend scoped(la::Backend::kScalar);
   const auto dataset = golden_dataset();
   const LassoProblem problem(dataset, 0.005);
   PnOptions opts;
@@ -314,6 +380,7 @@ TEST(Golden, ProxNewtonIsWidthInvariant) {
 // ProxCoCoA baseline (4 workers, adding aggregation).
 
 SolveResult run_proxcocoa(int threads) {
+  la::ScopedBackend scoped(la::Backend::kScalar);
   const auto dataset = golden_dataset();
   const LassoProblem problem(dataset, 0.005);
   CocoaOptions opts;
@@ -356,6 +423,7 @@ data::Dataset golden_logistic_dataset() {
 }
 
 SolveResult run_logistic_pn(int threads) {
+  la::ScopedBackend scoped(la::Backend::kScalar);
   const auto dataset = golden_logistic_dataset();
   const LogisticProblem problem(dataset, 0.002);
   PnOptions opts;

@@ -391,7 +391,11 @@ struct ReductionCheck {
                              "short", "bool", "char", "size_t", "ptrdiff_t",
                              "int8_t", "int16_t", "int32_t", "int64_t",
                              "uint8_t", "uint16_t", "uint32_t", "uint64_t",
-                             "Range"});
+                             // la::simd vector type: a body-local V4 is a
+                             // fixed-order intra-block accumulator (lanes
+                             // combine only through hsum), which the
+                             // determinism contract allows.
+                             "V4", "Range"});
       const bool after_ref = prev.text == "&" || prev.text == "*";
       if ((after_type || after_ref) && i + 1 < e &&
           in_any(ctx.tok(i + 1).text, {"=", ";", "{", "("})) {
